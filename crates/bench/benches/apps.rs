@@ -1,0 +1,25 @@
+//! Criterion wall-clock benchmark of every application under its naive and
+//! tuned schedules (the Fig. 7 workloads at reduced size).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halide_pipelines::{apps::ScheduleChoice, AppKind};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps_64x64");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for app in AppKind::PAPER_APPS {
+        for (label, schedule) in [("naive", ScheduleChoice::Naive), ("tuned", ScheduleChoice::Tuned)] {
+            group.bench_function(BenchmarkId::new(app.name(), label), |b| {
+                b.iter(|| {
+                    let (result, _) = app.run(64, 64, schedule, 4).expect("lowers");
+                    result.expect("runs")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion wall-clock benchmark of the blur schedules of Fig. 3.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halide_pipelines::blur::{make_input, BlurApp, BlurSchedule};
+
+fn bench_blur_schedules(c: &mut Criterion) {
+    let input = make_input(256, 192);
+    let mut group = c.benchmark_group("blur_schedules_256x192");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for schedule in BlurSchedule::ALL {
+        let app = BlurApp::new();
+        let module = app.compile(schedule).expect("lowers");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedule.label()),
+            &module,
+            |b, module| {
+                b.iter(|| app.run(module, &input, 4, false).expect("runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blur_schedules);
+criterion_main!(benches);

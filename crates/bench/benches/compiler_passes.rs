@@ -1,0 +1,36 @@
+//! Criterion benchmark of compilation itself (lowering the local Laplacian
+//! pipeline) and of the sliding-window ablation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use halide_lower::{lower, lower_with_options, LowerOptions};
+use halide_pipelines::blur::{make_input, BlurApp, BlurSchedule};
+use halide_pipelines::local_laplacian::LocalLaplacianApp;
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("lower_local_laplacian_4_levels", |b| {
+        b.iter(|| {
+            let app = LocalLaplacianApp::new(4, 8, 1.0, 0.7);
+            lower(&app.pipeline()).expect("lowers")
+        });
+    });
+    group.bench_function("sliding_window_ablation_blur_128", |b| {
+        let input = make_input(128, 128);
+        b.iter(|| {
+            for opts in [
+                LowerOptions::default(),
+                LowerOptions { sliding_window: false, storage_folding: false, ..Default::default() },
+            ] {
+                let app = BlurApp::new();
+                BlurSchedule::SlidingWindow.apply(&app);
+                let module = lower_with_options(&app.pipeline(), &opts).expect("lowers");
+                app.run(&module, &input, 1, false).expect("runs");
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowering);
+criterion_main!(benches);

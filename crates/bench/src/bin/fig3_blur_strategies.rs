@@ -1,0 +1,28 @@
+//! Regenerates the Fig. 3 table: span (available parallelism), locality
+//! (peak live intermediate storage), and work amplification for the blur
+//! scheduling strategies of Sec. 3.1.
+use halide_bench::{blur_strategy_table, ms, print_row, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!(
+        "Fig. 3 — two-stage blur strategies ({}x{}, {} threads)\n",
+        cfg.width, cfg.height, cfg.threads
+    );
+    print_row(&[
+        "Strategy".into(),
+        "Span (tasks)".into(),
+        "Peak live bytes".into(),
+        "Work ampl.".into(),
+        "Time (ms)".into(),
+    ]);
+    for r in blur_strategy_table(cfg.width, cfg.height, cfg.threads) {
+        print_row(&[
+            r.strategy,
+            r.span.to_string(),
+            r.peak_live_bytes.to_string(),
+            format!("{:.3}x", r.work_amplification),
+            ms(r.wall),
+        ]);
+    }
+}

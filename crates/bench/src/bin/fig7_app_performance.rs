@@ -1,0 +1,29 @@
+//! Regenerates the x86 half of Fig. 7: per application, the naive
+//! (breadth-first, serial) schedule vs. the tuned schedule, plus the
+//! hand-written Rust reference where one exists. The backend is an
+//! interpreter, so compare ratios, not absolute times (see EXPERIMENTS.md).
+use halide_bench::{app_performance_table, ms, print_row, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!(
+        "Fig. 7 (CPU) — naive vs tuned schedules ({}x{}, {} threads)\n",
+        cfg.width, cfg.height, cfg.threads
+    );
+    print_row(&[
+        "Application".into(),
+        "Naive (ms)".into(),
+        "Tuned (ms)".into(),
+        "Speedup".into(),
+        "Hand-written ref (ms)".into(),
+    ]);
+    for r in app_performance_table(&cfg) {
+        print_row(&[
+            r.app,
+            ms(r.naive),
+            ms(r.tuned),
+            format!("{:.2}x", r.speedup_vs_naive),
+            r.reference.map(ms).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates the CUDA half of Fig. 7 on the simulated GPU device: the same
+//! algorithms scheduled as graphs of kernel launches, with host<->device copy
+//! and launch statistics.
+use halide_bench::{gpu_table, ms, print_row, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!(
+        "Fig. 7 (GPU, simulated) — CPU-tuned vs GPU schedules ({}x{})\n",
+        cfg.width, cfg.height
+    );
+    print_row(&[
+        "Application".into(),
+        "CPU tuned (ms)".into(),
+        "GPU schedule (ms)".into(),
+        "kernel launches".into(),
+        "device bytes copied".into(),
+    ]);
+    for r in gpu_table(&cfg) {
+        print_row(&[
+            r.app,
+            ms(r.cpu),
+            ms(r.gpu),
+            r.kernel_launches.to_string(),
+            r.device_bytes.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 8: schedules autotuned at one resolution cross-tested at
+//! another, compared to tuning directly at the target resolution.
+use halide_bench::{cross_resolution_table, ms, print_row, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!("Fig. 8 — cross-testing autotuned schedules across resolutions\n");
+    print_row(&[
+        "Application".into(),
+        "Source size".into(),
+        "Target size".into(),
+        "Cross-tested (ms)".into(),
+        "Tuned on target (ms)".into(),
+        "Slowdown".into(),
+    ]);
+    for r in cross_resolution_table(&cfg) {
+        print_row(&[
+            r.app,
+            format!("{}x{}", r.source.0, r.source.1),
+            format!("{}x{}", r.target.0, r.target.1),
+            ms(r.cross_tested),
+            ms(r.tuned_on_target),
+            format!("{:.2}x", r.slowdown),
+        ]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Reproduces the Sec. 5 estimate of the size of the schedule search space
+//! (the paper estimates a lower bound of 10^720 schedules for the 99-stage
+//! local Laplacian pipeline).
+use halide_autotune::search_space_log10;
+use halide_pipelines::local_laplacian::LocalLaplacianApp;
+use halide_pipelines::blur::BlurApp;
+
+fn main() {
+    println!("Sec. 5 — schedule search-space size estimates (log10 of #schedules)\n");
+    let blur = BlurApp::new();
+    println!("  blur (2 stages):            10^{:.0}", search_space_log10(&blur.pipeline()));
+    let llf_small = LocalLaplacianApp::new(4, 8, 1.0, 0.7);
+    println!(
+        "  local Laplacian (4 levels): 10^{:.0}  ({} stages)",
+        search_space_log10(&llf_small.pipeline()),
+        llf_small.stage_count()
+    );
+    let llf = LocalLaplacianApp::new(8, 8, 1.0, 0.7);
+    println!(
+        "  local Laplacian (8 levels): 10^{:.0}  ({} stages; paper's lower bound was 10^720)",
+        search_space_log10(&llf.pipeline()),
+        llf.stage_count()
+    );
+}

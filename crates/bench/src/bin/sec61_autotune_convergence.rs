@@ -1,0 +1,45 @@
+//! Reproduces the Sec. 6.1 observation that stochastic search converges to a
+//! good schedule within a modest number of generations: prints the best time
+//! per generation for the blur and bilateral-grid pipelines.
+use halide_autotune::{Autotuner, TuneOptions};
+use halide_bench::{ms, verified_evaluator, HarnessConfig};
+use halide_pipelines::blur::BlurApp;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!(
+        "Sec. 6.1 — autotuner convergence on blur ({}x{}, population {}, {} generations)\n",
+        cfg.width, cfg.height, cfg.population, cfg.generations
+    );
+    let app = BlurApp::new();
+    let pipeline = app.pipeline();
+    let tuner = Autotuner::new(TuneOptions {
+        population: cfg.population,
+        generations: cfg.generations,
+        ..Default::default()
+    });
+    let input = halide_pipelines::blur::make_input(cfg.width, cfg.height);
+    let result = tuner.tune(
+        &pipeline,
+        verified_evaluator(
+            app.input.name().to_string(),
+            input,
+            vec![cfg.width, cfg.height],
+            cfg.threads,
+        ),
+    );
+    println!("generation | best (ms) | evaluated | rejected");
+    for h in &result.history {
+        println!(
+            "{:>10} | {:>9} | {:>9} | {:>8}",
+            h.generation,
+            ms(h.best),
+            h.evaluated,
+            h.rejected
+        );
+    }
+    println!("\nbest schedule found ({} ms):", ms(result.best_time));
+    for (f, s) in &result.best {
+        println!("  {f}: {}", s.describe());
+    }
+}

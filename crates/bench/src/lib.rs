@@ -1,0 +1,402 @@
+//! # halide-bench
+//!
+//! Harnesses that regenerate every table and figure of the paper's
+//! evaluation (Sec. 6). Each binary under `src/bin/` prints one table;
+//! the Criterion benches under `benches/` provide wall-clock measurements
+//! of the same workloads.
+//!
+//! All harnesses accept `--quick` (default: small images, short searches)
+//! and `--full` (paper-scale sizes; expect long runs under the interpreting
+//! backend).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Duration;
+
+use halide_exec::Realizer;
+use halide_lang::analyze;
+use halide_pipelines::blur::{BlurApp, BlurSchedule};
+use halide_pipelines::{apps::ScheduleChoice, AppKind};
+use halide_runtime::Buffer;
+
+/// Harness configuration derived from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Image width used for the main experiments.
+    pub width: i64,
+    /// Image height used for the main experiments.
+    pub height: i64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Autotuner generations (where applicable).
+    pub generations: usize,
+    /// Autotuner population (where applicable).
+    pub population: usize,
+}
+
+impl HarnessConfig {
+    /// Parses `--quick` / `--full` / `--threads N` from the process args.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let threads = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(halide_runtime::num_threads_default);
+        if full {
+            HarnessConfig {
+                width: 1536,
+                height: 1024,
+                threads,
+                generations: 25,
+                population: 32,
+            }
+        } else {
+            HarnessConfig {
+                width: 192,
+                height: 128,
+                threads,
+                generations: 4,
+                population: 10,
+            }
+        }
+    }
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// One row of the Fig. 3 table.
+#[derive(Debug, Clone)]
+pub struct BlurStrategyRow {
+    /// Schedule name.
+    pub strategy: String,
+    /// Parallel tasks available (the "span" proxy).
+    pub span: u64,
+    /// Peak bytes of intermediate storage live (locality / reuse-distance proxy).
+    pub peak_live_bytes: u64,
+    /// Work amplification vs. breadth-first.
+    pub work_amplification: f64,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+/// Reproduces the measurements behind Fig. 3: runs every blur schedule on the
+/// same input and reports span, locality, work amplification, and time.
+pub fn blur_strategy_table(width: i64, height: i64, threads: usize) -> Vec<BlurStrategyRow> {
+    let input = halide_pipelines::blur::make_input(width, height);
+    let mut rows = Vec::new();
+    let mut baseline_ops: Option<u64> = None;
+    for schedule in BlurSchedule::ALL {
+        let app = BlurApp::new();
+        let module = app.compile(schedule).expect("built-in schedule lowers");
+        let result = app
+            .run(&module, &input, threads, true)
+            .expect("built-in schedule runs");
+        let ops = result.counters.arith_ops;
+        let baseline = *baseline_ops.get_or_insert(ops);
+        rows.push(BlurStrategyRow {
+            strategy: schedule.label().to_string(),
+            span: result.counters.parallel_tasks,
+            peak_live_bytes: result.counters.peak_bytes_live,
+            work_amplification: ops as f64 / baseline as f64,
+            wall: result.wall_time,
+        });
+    }
+    rows
+}
+
+/// One row of the Fig. 6 table.
+#[derive(Debug, Clone)]
+pub struct AppPropertiesRow {
+    /// Application name.
+    pub app: String,
+    /// Number of functions in the pipeline.
+    pub functions: usize,
+    /// Number of stencil producer-consumer edges.
+    pub stencils: usize,
+    /// Qualitative structure label.
+    pub structure: String,
+}
+
+/// Reproduces Fig. 6: structural properties of each application.
+pub fn app_properties_table() -> Vec<AppPropertiesRow> {
+    let mut rows = Vec::new();
+    let entries: Vec<(String, halide_lang::PipelineStats)> = vec![
+        ("Blur".to_string(), analyze(&BlurApp::new().pipeline())),
+        (
+            "Bilateral grid".to_string(),
+            analyze(&halide_pipelines::bilateral_grid::BilateralGridApp::new().pipeline()),
+        ),
+        (
+            "Camera pipe".to_string(),
+            analyze(&halide_pipelines::camera_pipe::CameraPipeApp::new(2.2, 0.8).pipeline()),
+        ),
+        (
+            "Interpolate (6 levels)".to_string(),
+            analyze(&halide_pipelines::interpolate::InterpolateApp::new(6).pipeline()),
+        ),
+        (
+            "Local Laplacian (8 levels)".to_string(),
+            analyze(
+                &halide_pipelines::local_laplacian::LocalLaplacianApp::new(8, 8, 1.0, 0.7)
+                    .pipeline(),
+            ),
+        ),
+    ];
+    for (app, stats) in entries {
+        rows.push(AppPropertiesRow {
+            app,
+            functions: stats.functions,
+            stencils: stats.stencils,
+            structure: stats.structure().to_string(),
+        });
+    }
+    rows
+}
+
+/// One row of the Fig. 7-style performance table.
+#[derive(Debug, Clone)]
+pub struct AppPerformanceRow {
+    /// Application name.
+    pub app: String,
+    /// Naive (breadth-first, serial) schedule time.
+    pub naive: Duration,
+    /// Tuned schedule time.
+    pub tuned: Duration,
+    /// Hand-written reference implementation time, if one exists.
+    pub reference: Option<Duration>,
+    /// Speedup of the tuned schedule over the naive schedule.
+    pub speedup_vs_naive: f64,
+}
+
+/// Reproduces the shape of Fig. 7 (x86 half): for every app, the naive
+/// schedule vs. the tuned schedule (and the hand-written reference where
+/// available). Because the backend is an interpreter, the meaningful numbers
+/// are the *ratios*, not the absolute milliseconds.
+pub fn app_performance_table(cfg: &HarnessConfig) -> Vec<AppPerformanceRow> {
+    let mut rows = Vec::new();
+    for app in AppKind::PAPER_APPS {
+        let (naive, _) = app
+            .run(cfg.width, cfg.height, ScheduleChoice::Naive, 1)
+            .expect("naive schedule lowers");
+        let naive = naive.expect("naive schedule runs");
+        let (tuned, _) = app
+            .run(cfg.width, cfg.height, ScheduleChoice::Tuned, cfg.threads)
+            .expect("tuned schedule lowers");
+        let tuned = tuned.expect("tuned schedule runs");
+        let reference = app.reference_time(cfg.width, cfg.height, cfg.threads);
+        rows.push(AppPerformanceRow {
+            app: app.name().to_string(),
+            naive: naive.wall_time,
+            tuned: tuned.wall_time,
+            reference,
+            speedup_vs_naive: naive.wall_time.as_secs_f64()
+                / tuned.wall_time.as_secs_f64().max(1e-9),
+        });
+    }
+    rows
+}
+
+/// One row of the Fig. 7 CUDA-half analogue: CPU-tuned vs. GPU schedule.
+#[derive(Debug, Clone)]
+pub struct GpuRow {
+    /// Application name.
+    pub app: String,
+    /// CPU tuned time.
+    pub cpu: Duration,
+    /// Simulated-GPU schedule time.
+    pub gpu: Duration,
+    /// Kernel launches performed by the GPU schedule.
+    pub kernel_launches: u64,
+    /// Bytes moved between host and device.
+    pub device_bytes: u64,
+}
+
+/// Runs the apps that have GPU schedules under both targets.
+pub fn gpu_table(cfg: &HarnessConfig) -> Vec<GpuRow> {
+    let mut rows = Vec::new();
+    for app in AppKind::ALL.iter().filter(|a| a.has_gpu_schedule()) {
+        let (cpu, _) = app
+            .run(cfg.width, cfg.height, ScheduleChoice::Tuned, cfg.threads)
+            .expect("cpu schedule lowers");
+        let cpu = cpu.expect("cpu schedule runs");
+        let (gpu, _) = app
+            .run(cfg.width, cfg.height, ScheduleChoice::Gpu, cfg.threads)
+            .expect("gpu schedule lowers");
+        let gpu = gpu.expect("gpu schedule runs");
+        rows.push(GpuRow {
+            app: app.name().to_string(),
+            cpu: cpu.wall_time,
+            gpu: gpu.wall_time,
+            kernel_launches: gpu.counters.kernel_launches,
+            device_bytes: gpu.counters.device_bytes_copied,
+        });
+    }
+    rows
+}
+
+/// Fig. 8: cross-testing a schedule tuned at one resolution on another.
+#[derive(Debug, Clone)]
+pub struct CrossResolutionRow {
+    /// Application name.
+    pub app: String,
+    /// Source (tuning) size.
+    pub source: (i64, i64),
+    /// Target (testing) size.
+    pub target: (i64, i64),
+    /// Time of the source-tuned schedule at the target size.
+    pub cross_tested: Duration,
+    /// Time of the target-tuned schedule at the target size.
+    pub tuned_on_target: Duration,
+    /// Slowdown ratio (>= 1 means cross-testing is slower, as expected).
+    pub slowdown: f64,
+}
+
+/// Reproduces Fig. 8's protocol with the autotuner: tune at the source size,
+/// cross-test the winning schedule at the target size, and compare against a
+/// schedule tuned directly at the target size.
+pub fn cross_resolution_table(cfg: &HarnessConfig) -> Vec<CrossResolutionRow> {
+    use halide_autotune::{apply_genome, Autotuner, TuneOptions};
+    let mut rows = Vec::new();
+    let small = (cfg.width / 4, cfg.height / 4);
+    let large = (cfg.width, cfg.height);
+
+    // Blur is the app whose schedule space is cheap enough to search in both
+    // directions even under --quick.
+    for (source, target) in [(small, large), (large, small)] {
+        let app = BlurApp::new();
+        let pipeline = app.pipeline();
+        let options = TuneOptions {
+            population: cfg.population,
+            generations: cfg.generations,
+            ..Default::default()
+        };
+        let tuner = Autotuner::new(options.clone());
+        let source_input = halide_pipelines::blur::make_input(source.0, source.1);
+        let tuned_at_source = tuner.tune(
+            &pipeline,
+            verified_evaluator(
+                app.input.name().to_string(),
+                source_input,
+                vec![source.0, source.1],
+                cfg.threads,
+            ),
+        );
+
+        // Cross-test at the target size.
+        apply_genome(&pipeline, &tuned_at_source.best);
+        let target_input = halide_pipelines::blur::make_input(target.0, target.1);
+        let cross = match halide_lower::lower(&pipeline).ok().and_then(|m| {
+            Realizer::new(&m)
+                .input(app.input.name(), target_input.clone())
+                .threads(cfg.threads)
+                .instrument(false)
+                .realize(&[target.0, target.1])
+                .ok()
+        }) {
+            Some(r) => r.wall_time,
+            // A schedule tuned at a large size can be invalid at a much
+            // smaller one (tile larger than the image) — report it as an
+            // effectively infinite slowdown, which is the paper's point.
+            None => Duration::from_secs(3600),
+        };
+
+        // Tune directly at the target size.
+        let app2 = BlurApp::new();
+        let pipeline2 = app2.pipeline();
+        let tuner2 = Autotuner::new(options);
+        let native = tuner2.tune(
+            &pipeline2,
+            verified_evaluator(
+                app2.input.name().to_string(),
+                target_input,
+                vec![target.0, target.1],
+                cfg.threads,
+            ),
+        );
+
+        rows.push(CrossResolutionRow {
+            app: "Blur".to_string(),
+            source,
+            target,
+            cross_tested: cross,
+            tuned_on_target: native.best_time,
+            slowdown: cross.as_secs_f64() / native.best_time.as_secs_f64().max(1e-9),
+        });
+    }
+    rows
+}
+
+/// Builds an evaluator closure for the autotuner that compiles a pipeline,
+/// runs it on the given input, verifies the output against the first valid
+/// run, and reports the wall time.
+pub fn verified_evaluator(
+    input_name: String,
+    input: Buffer,
+    output_extents: Vec<i64>,
+    threads: usize,
+) -> impl FnMut(&halide_lang::Pipeline) -> Option<Duration> {
+    let mut reference: Option<Buffer> = None;
+    move |p: &halide_lang::Pipeline| {
+        let module = halide_lower::lower(p).ok()?;
+        let result = Realizer::new(&module)
+            .input(input_name.clone(), input.clone())
+            .threads(threads)
+            .instrument(false)
+            .realize(&output_extents)
+            .ok()?;
+        match &reference {
+            None => reference = Some(result.output),
+            Some(r) => {
+                if r.max_abs_diff(&result.output) > 1e-3 {
+                    return None;
+                }
+            }
+        }
+        Some(result.wall_time)
+    }
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blur_strategy_table_has_expected_shape() {
+        let rows = blur_strategy_table(96, 64, 2);
+        assert_eq!(rows.len(), BlurSchedule::ALL.len());
+        // breadth-first is the work baseline
+        assert!((rows[0].work_amplification - 1.0).abs() < 1e-9);
+        // full fusion roughly doubles the work
+        assert!(rows[1].work_amplification > 1.5);
+        // sliding window does not amplify work
+        assert!(rows[2].work_amplification < 1.25);
+        // sliding window's working set is far smaller than breadth-first's
+        assert!(rows[2].peak_live_bytes < rows[0].peak_live_bytes / 4);
+    }
+
+    #[test]
+    fn app_properties_cover_the_five_apps() {
+        let rows = app_properties_table();
+        assert_eq!(rows.len(), 5);
+        let llf = rows
+            .iter()
+            .find(|r| r.app.starts_with("Local Laplacian"))
+            .unwrap();
+        assert!(llf.functions > 50, "local Laplacian has {} funcs", llf.functions);
+        let blur = rows.iter().find(|r| r.app == "Blur").unwrap();
+        assert_eq!(blur.functions, 2);
+        assert_eq!(blur.stencils, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Errors raised while executing a lowered pipeline.
+
+use std::fmt;
+
+/// A runtime execution error: unbound symbols, out-of-bounds accesses,
+/// failed assertions, or malformed (not fully lowered) statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    message: String,
+}
+
+impl ExecError {
+    /// Creates an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ExecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result alias for execution.
+pub type Result<T> = std::result::Result<T, ExecError>;

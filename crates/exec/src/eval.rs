@@ -1,0 +1,697 @@
+//! The evaluator: executes a lowered statement against runtime buffers.
+//!
+//! This is the repository's substitute for the paper's LLVM backend
+//! (Sec. 4.6): every scheduling decision made by the compiler — loop
+//! structure, producer/consumer interleaving, allocation lifetimes and sizes,
+//! parallel / vectorized / unrolled / GPU loops — is preserved in the
+//! statement and faithfully executed here, so schedule-to-schedule
+//! comparisons exercise exactly the tradeoffs the paper studies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use halide_ir::{CallType, Expr, ExprNode, ForKind, Scope, Stmt, StmtNode};
+use halide_runtime::{binary_op, compare_op, select_op, Buffer, Counters, GpuDevice, ThreadPool, Value};
+
+use crate::error::{ExecError, Result};
+
+/// Shared, thread-safe execution context for one realization.
+pub struct Context {
+    /// Worker pool for parallel loops.
+    pub pool: ThreadPool,
+    /// Instrumentation counters.
+    pub counters: Counters,
+    /// The simulated GPU device.
+    pub gpu: GpuDevice,
+    /// When false, the per-operation counters (arithmetic, loads, stores) are
+    /// skipped to keep multi-threaded wall-clock measurements free of shared
+    /// atomic contention. Structural counters (allocations, tasks, kernels,
+    /// copies) are always maintained.
+    pub instrument: bool,
+    gpu_used: AtomicBool,
+    error: Mutex<Option<ExecError>>,
+    failed: AtomicBool,
+}
+
+impl Context {
+    /// Creates a context with the given pool and instrumentation setting.
+    pub fn new(pool: ThreadPool, instrument: bool) -> Self {
+        Context {
+            pool,
+            counters: Counters::new(),
+            gpu: GpuDevice::new(),
+            instrument,
+            gpu_used: AtomicBool::new(false),
+            error: Mutex::new(None),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    fn record_error(&self, e: ExecError) {
+        self.failed.store(true, Ordering::Relaxed);
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// The first error recorded by any thread, if any.
+    pub fn take_error(&self) -> Option<ExecError> {
+        self.error.lock().take()
+    }
+
+    fn has_failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-thread evaluation state: scalar bindings plus the buffers visible in
+/// the current scope. Cloning is cheap (buffers are `Arc`s) and gives each
+/// parallel iteration its own scope, so allocations made inside a parallel
+/// loop body stay private to that iteration.
+#[derive(Clone, Default)]
+pub struct Frame {
+    /// Scalar variable bindings (loop indices, lets, buffer layout symbols,
+    /// parameters).
+    pub env: Scope<Value>,
+    /// Buffers visible in this scope, by name.
+    pub buffers: HashMap<String, Arc<Buffer>>,
+}
+
+impl Frame {
+    fn buffer(&self, name: &str) -> Result<&Arc<Buffer>> {
+        self.buffers
+            .get(name)
+            .ok_or_else(|| ExecError::new(format!("no buffer named {name:?} is in scope")))
+    }
+}
+
+fn eval_intrinsic(name: &str, args: &[Value]) -> Result<Value> {
+    let unary = |f: fn(f64) -> f64| -> Result<Value> {
+        Ok(Value::Float(args[0].to_f64_lanes().iter().map(|v| f(*v)).collect()))
+    };
+    match name {
+        "abs" => Ok(match &args[0] {
+            Value::Int(v) => Value::Int(v.iter().map(|x| x.abs()).collect()),
+            Value::Float(v) => Value::Float(v.iter().map(|x| x.abs()).collect()),
+        }),
+        "sqrt" => unary(f64::sqrt),
+        "exp" => unary(f64::exp),
+        "log" => unary(f64::ln),
+        "sin" => unary(f64::sin),
+        "cos" => unary(f64::cos),
+        "floor" => unary(f64::floor),
+        "ceil" => unary(f64::ceil),
+        "round" => unary(f64::round),
+        "pow" => {
+            let a = args[0].to_f64_lanes();
+            let b = args[1].broadcast(args[0].lanes()).to_f64_lanes();
+            Ok(Value::Float(
+                a.iter().zip(b.iter()).map(|(x, y)| x.powf(*y)).collect(),
+            ))
+        }
+        other => Err(ExecError::new(format!("unknown intrinsic {other:?}"))),
+    }
+}
+
+/// Evaluates an expression to a [`Value`].
+pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
+    match e.node() {
+        ExprNode::IntImm { value, .. } => Ok(Value::int(*value)),
+        ExprNode::UIntImm { value, .. } => Ok(Value::int(*value as i64)),
+        ExprNode::FloatImm { value, .. } => Ok(Value::float(*value)),
+        ExprNode::Var { name, .. } => frame
+            .env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ExecError::new(format!("unbound variable {name:?}"))),
+        ExprNode::Cast { ty, value } => {
+            let v = eval_expr(value, frame, ctx)?;
+            Ok(v.cast_to(ty.scalar()))
+        }
+        ExprNode::Bin { op, a, b } => {
+            let va = eval_expr(a, frame, ctx)?;
+            let vb = eval_expr(b, frame, ctx)?;
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            Ok(binary_op(*op, &va, &vb))
+        }
+        ExprNode::Cmp { op, a, b } => {
+            let va = eval_expr(a, frame, ctx)?;
+            let vb = eval_expr(b, frame, ctx)?;
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            Ok(compare_op(*op, &va, &vb))
+        }
+        ExprNode::And { a, b } => {
+            let va = eval_expr(a, frame, ctx)?;
+            if va.is_scalar() && !va.as_bool() {
+                return Ok(Value::bool(false));
+            }
+            let vb = eval_expr(b, frame, ctx)?;
+            Ok(select_op(&va, &vb, &Value::bool(false)))
+        }
+        ExprNode::Or { a, b } => {
+            let va = eval_expr(a, frame, ctx)?;
+            if va.is_scalar() && va.as_bool() {
+                return Ok(Value::bool(true));
+            }
+            let vb = eval_expr(b, frame, ctx)?;
+            Ok(select_op(&va, &Value::bool(true), &vb))
+        }
+        ExprNode::Not { a } => {
+            let va = eval_expr(a, frame, ctx)?;
+            Ok(Value::Int(
+                va.to_int_lanes().iter().map(|v| (*v == 0) as i64).collect(),
+            ))
+        }
+        ExprNode::Select { cond, t, f } => {
+            let c = eval_expr(cond, frame, ctx)?;
+            // Scalar condition: evaluate only the taken branch (important for
+            // the warm-up selects emitted by the sliding window pass).
+            if c.is_scalar() {
+                return if c.as_bool() {
+                    eval_expr(t, frame, ctx)
+                } else {
+                    eval_expr(f, frame, ctx)
+                };
+            }
+            let tv = eval_expr(t, frame, ctx)?;
+            let fv = eval_expr(f, frame, ctx)?;
+            Ok(select_op(&c, &tv, &fv))
+        }
+        ExprNode::Ramp { base, stride, lanes } => {
+            let b = eval_expr(base, frame, ctx)?;
+            let s = eval_expr(stride, frame, ctx)?;
+            match (&b, &s) {
+                (Value::Float(_), _) | (_, Value::Float(_)) => {
+                    let b = b.as_f64();
+                    let s = s.as_f64();
+                    Ok(Value::Float(
+                        (0..*lanes as i64).map(|i| b + s * i as f64).collect(),
+                    ))
+                }
+                _ => {
+                    let b = b.as_int();
+                    let s = s.as_int();
+                    Ok(Value::Int((0..*lanes as i64).map(|i| b + s * i).collect()))
+                }
+            }
+        }
+        ExprNode::Broadcast { value, lanes } => {
+            Ok(eval_expr(value, frame, ctx)?.broadcast(*lanes as usize))
+        }
+        ExprNode::Let { name, value, body } => {
+            let v = eval_expr(value, frame, ctx)?;
+            let mut inner = frame.clone();
+            inner.env.push(name.clone(), v);
+            eval_expr(body, &inner, ctx)
+        }
+        ExprNode::Load { name, index, .. } => {
+            let idx = eval_expr(index, frame, ctx)?;
+            let buf = frame.buffer(name)?;
+            if ctx.gpu_used.load(Ordering::Relaxed) {
+                ctx.gpu.ensure_on_host(name, &ctx.counters);
+            }
+            let lanes = idx.lanes();
+            if ctx.instrument {
+                ctx.counters.add_load(lanes as u64);
+            }
+            let len = buf.len();
+            let mut out_i: Vec<i64> = Vec::with_capacity(lanes);
+            let mut out_f: Vec<f64> = Vec::with_capacity(lanes);
+            let is_float = buf.ty().is_float();
+            for lane in 0..lanes {
+                let i = idx.lane_int(lane);
+                if i < 0 || i as usize >= len {
+                    return Err(ExecError::new(format!(
+                        "load from {name:?} at flat index {i} is outside the allocation of {len} elements"
+                    )));
+                }
+                if is_float {
+                    out_f.push(buf.get_flat_f64(i as usize));
+                } else {
+                    out_i.push(buf.get_flat_i64(i as usize));
+                }
+            }
+            Ok(if is_float {
+                Value::Float(out_f)
+            } else {
+                Value::Int(out_i)
+            })
+        }
+        ExprNode::Call {
+            name,
+            call_type,
+            args,
+            ..
+        } => match call_type {
+            CallType::Intrinsic => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| eval_expr(a, frame, ctx))
+                    .collect::<Result<_>>()?;
+                if ctx.instrument {
+                    ctx.counters.add_arith(1);
+                }
+                eval_intrinsic(name, &vals)
+            }
+            CallType::Halide | CallType::Image => Err(ExecError::new(format!(
+                "call to {name:?} survived lowering; the statement was not flattened"
+            ))),
+            CallType::Extern => Err(ExecError::new(format!(
+                "extern function {name:?} is not registered with the executor"
+            ))),
+        },
+    }
+}
+
+/// Names of buffers loaded from (reads) and stored to (writes) in a statement.
+fn buffers_touched(stmt: &Stmt) -> (Vec<String>, Vec<String>) {
+    use halide_ir::IrVisitor;
+    struct Touch {
+        reads: Vec<String>,
+        writes: Vec<String>,
+    }
+    impl IrVisitor for Touch {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprNode::Load { name, .. } = e.node() {
+                if !self.reads.contains(name) {
+                    self.reads.push(name.clone());
+                }
+            }
+            halide_ir::visit_expr_children(self, e);
+        }
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if let StmtNode::Store { name, .. } = s.node() {
+                if !self.writes.contains(name) {
+                    self.writes.push(name.clone());
+                }
+            }
+            halide_ir::visit_stmt_children(self, s);
+        }
+    }
+    let mut t = Touch {
+        reads: Vec::new(),
+        writes: Vec::new(),
+    };
+    t.visit_stmt(stmt);
+    (t.reads, t.writes)
+}
+
+/// Executes a statement.
+pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
+    if ctx.has_failed() {
+        return Ok(()); // another thread already failed; unwind quietly
+    }
+    match s.node() {
+        StmtNode::LetStmt { name, value, body } => {
+            let v = eval_expr(value, frame, ctx)?;
+            frame.env.push(name.clone(), v);
+            let r = eval_stmt(body, frame, ctx);
+            frame.env.pop(name);
+            r
+        }
+        StmtNode::Assert { condition, message } => {
+            let c = eval_expr(condition, frame, ctx)?;
+            if c.as_bool() {
+                Ok(())
+            } else {
+                Err(ExecError::new(format!("assertion failed: {message}")))
+            }
+        }
+        StmtNode::Producer { body, .. } => eval_stmt(body, frame, ctx),
+        StmtNode::For {
+            name,
+            min,
+            extent,
+            kind,
+            body,
+        } => {
+            let min_v = eval_expr(min, frame, ctx)?.as_int();
+            let extent_v = eval_expr(extent, frame, ctx)?.as_int();
+            match kind {
+                ForKind::Serial | ForKind::Vectorized | ForKind::Unrolled => {
+                    // Vectorized/unrolled loops only reach the executor when
+                    // the corresponding pass was disabled; run them serially.
+                    frame.env.push(name.clone(), Value::int(0));
+                    for i in min_v..min_v + extent_v {
+                        *frame
+                            .env
+                            .get_mut(name)
+                            .expect("loop variable just pushed") = Value::int(i);
+                        eval_stmt(body, frame, ctx)?;
+                        if ctx.has_failed() {
+                            break;
+                        }
+                    }
+                    frame.env.pop(name);
+                    Ok(())
+                }
+                ForKind::Parallel => {
+                    let base = frame.clone();
+                    ctx.pool
+                        .parallel_for(min_v, extent_v, &ctx.counters, |i| {
+                            if ctx.has_failed() {
+                                return;
+                            }
+                            let mut f = base.clone();
+                            f.env.push(name.clone(), Value::int(i));
+                            if let Err(e) = eval_stmt(body, &mut f, ctx) {
+                                ctx.record_error(e);
+                            }
+                        });
+                    match ctx.take_error() {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                }
+                ForKind::GpuBlock | ForKind::GpuThread => {
+                    self_gpu_launch(name, min_v, extent_v, *kind, body, frame, ctx)
+                }
+            }
+        }
+        StmtNode::Store { name, value, index } => {
+            let idx = eval_expr(index, frame, ctx)?;
+            let val = eval_expr(value, frame, ctx)?;
+            let buf = frame.buffer(name)?;
+            if ctx.gpu_used.load(Ordering::Relaxed) {
+                ctx.gpu.mark_host_dirty(name);
+            }
+            let lanes = idx.lanes().max(val.lanes());
+            if ctx.instrument {
+                ctx.counters.add_store(lanes as u64);
+            }
+            let len = buf.len();
+            let idx = idx.broadcast(lanes);
+            for lane in 0..lanes {
+                let i = idx.lane_int(lane);
+                if i < 0 || i as usize >= len {
+                    return Err(ExecError::new(format!(
+                        "store to {name:?} at flat index {i} is outside the allocation of {len} elements"
+                    )));
+                }
+                buf.set_flat_lane(i as usize, &val, lane);
+            }
+            Ok(())
+        }
+        StmtNode::Allocate { name, ty, size, body } => {
+            let n = eval_expr(size, frame, ctx)?.as_int();
+            if n < 0 {
+                return Err(ExecError::new(format!(
+                    "allocation of {name:?} has negative size {n}"
+                )));
+            }
+            let buf = Arc::new(Buffer::with_extents(ty.scalar(), &[n]));
+            let bytes = buf.size_bytes() as u64;
+            ctx.counters.add_allocation(bytes);
+            frame.buffers.insert(name.clone(), buf);
+            let r = eval_stmt(body, frame, ctx);
+            frame.buffers.remove(name);
+            ctx.counters.add_free(bytes);
+            r
+        }
+        StmtNode::Block { stmts } => {
+            for s in stmts {
+                eval_stmt(s, frame, ctx)?;
+            }
+            Ok(())
+        }
+        StmtNode::IfThenElse {
+            condition,
+            then_case,
+            else_case,
+        } => {
+            let c = eval_expr(condition, frame, ctx)?;
+            if c.as_bool() {
+                eval_stmt(then_case, frame, ctx)
+            } else if let Some(e) = else_case {
+                eval_stmt(e, frame, ctx)
+            } else {
+                Ok(())
+            }
+        }
+        StmtNode::Evaluate { value } => {
+            eval_expr(value, frame, ctx)?;
+            Ok(())
+        }
+        StmtNode::NoOp => Ok(()),
+        StmtNode::Provide { name, .. } | StmtNode::Realize { name, .. } => Err(ExecError::new(
+            format!("{name:?} was not flattened before execution"),
+        )),
+    }
+}
+
+/// Executes a GPU block/thread loop nest as a simulated kernel launch: the
+/// device performs lazy copies for the buffers the kernel touches, the launch
+/// is counted, and the grid runs on the host thread pool.
+fn self_gpu_launch(
+    name: &str,
+    min_v: i64,
+    extent_v: i64,
+    kind: ForKind,
+    body: &Stmt,
+    frame: &mut Frame,
+    ctx: &Context,
+) -> Result<()> {
+    let launching = kind == ForKind::GpuBlock && !ctx.gpu_used.swap(true, Ordering::Relaxed);
+    // Count one launch per outermost block loop encountered while the device
+    // is idle; nested block loops of the same kernel do not relaunch.
+    let is_outer_block = kind == ForKind::GpuBlock && !frame.env.contains("__in_gpu_kernel");
+    if is_outer_block {
+        ctx.gpu.launch(&ctx.counters);
+        let (reads, writes) = buffers_touched(body);
+        for r in &reads {
+            if let Ok(buf) = frame.buffer(r) {
+                ctx.gpu.ensure_on_device(r, buf.size_bytes() as u64, &ctx.counters);
+            }
+        }
+        for w in &writes {
+            if let Ok(buf) = frame.buffer(w) {
+                ctx.gpu.mark_device_dirty(w, buf.size_bytes() as u64);
+            }
+        }
+    }
+    let _ = launching;
+
+    let base = {
+        let mut f = frame.clone();
+        if is_outer_block {
+            f.env.push("__in_gpu_kernel", Value::bool(true));
+        }
+        f
+    };
+    // Blocks run in parallel on the host pool; threads within a block run
+    // serially (their data parallelism is already exposed by the block loop).
+    if kind == ForKind::GpuBlock {
+        ctx.pool.parallel_for(min_v, extent_v, &ctx.counters, |i| {
+            if ctx.has_failed() {
+                return;
+            }
+            let mut f = base.clone();
+            f.env.push(name.to_string(), Value::int(i));
+            if let Err(e) = eval_stmt(body, &mut f, ctx) {
+                ctx.record_error(e);
+            }
+        });
+        match ctx.take_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    } else {
+        let mut f = base;
+        f.env.push(name.to_string(), Value::int(0));
+        for i in min_v..min_v + extent_v {
+            *f.env.get_mut(name).expect("loop variable just pushed") = Value::int(i);
+            eval_stmt(body, &mut f, ctx)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::{ScalarType, Type};
+
+    fn ctx() -> Context {
+        Context::new(ThreadPool::new(4), true)
+    }
+
+    fn frame_with_buffer(name: &str, len: i64) -> Frame {
+        let mut f = Frame::default();
+        f.buffers.insert(
+            name.to_string(),
+            Arc::new(Buffer::with_extents(ScalarType::Float(32), &[len])),
+        );
+        f
+    }
+
+    #[test]
+    fn arithmetic_and_variables() {
+        let c = ctx();
+        let mut f = Frame::default();
+        f.env.push("x", Value::int(7));
+        let e = Expr::var_i32("x") * 3 + 1;
+        assert_eq!(eval_expr(&e, &f, &c).unwrap().as_int(), 22);
+        assert!(eval_expr(&Expr::var_i32("missing"), &f, &c).is_err());
+    }
+
+    #[test]
+    fn serial_loop_stores() {
+        let c = ctx();
+        let mut f = frame_with_buffer("buf", 10);
+        let s = Stmt::for_loop(
+            "i",
+            Expr::int(0),
+            Expr::int(10),
+            ForKind::Serial,
+            Stmt::store("buf", Expr::var_i32("i").cast(Type::f32()) * 2.0f32, Expr::var_i32("i")),
+        );
+        eval_stmt(&s, &mut f, &c).unwrap();
+        let buf = f.buffers["buf"].clone();
+        assert_eq!(buf.get_flat_f64(3), 6.0);
+        assert_eq!(c.counters.snapshot().stores, 10);
+    }
+
+    #[test]
+    fn parallel_loop_matches_serial() {
+        let c = ctx();
+        let mut f = frame_with_buffer("buf", 100);
+        let body = Stmt::store(
+            "buf",
+            Expr::var_i32("i").cast(Type::f32()),
+            Expr::var_i32("i"),
+        );
+        let s = Stmt::for_loop("i", Expr::int(0), Expr::int(100), ForKind::Parallel, body);
+        eval_stmt(&s, &mut f, &c).unwrap();
+        let buf = f.buffers["buf"].clone();
+        assert!((0..100).all(|i| buf.get_flat_f64(i as usize) == i as f64));
+        assert!(c.counters.snapshot().parallel_tasks >= 100);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let c = ctx();
+        let mut f = frame_with_buffer("buf", 4);
+        let s = Stmt::store("buf", Expr::f32(1.0), Expr::int(9));
+        assert!(eval_stmt(&s, &mut f, &c).is_err());
+        let load = Expr::load(Type::f32(), "buf", Expr::int(-1));
+        assert!(eval_expr(&load, &f, &c).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_inside_parallel_loop_is_reported() {
+        let c = ctx();
+        let mut f = frame_with_buffer("buf", 4);
+        let body = Stmt::store("buf", Expr::f32(1.0), Expr::var_i32("i"));
+        let s = Stmt::for_loop("i", Expr::int(0), Expr::int(100), ForKind::Parallel, body);
+        assert!(eval_stmt(&s, &mut f, &c).is_err());
+    }
+
+    #[test]
+    fn allocation_scoping_and_counters() {
+        let c = ctx();
+        let mut f = Frame::default();
+        let body = Stmt::store("tmp", Expr::f32(3.0), Expr::int(0));
+        let s = Stmt::allocate("tmp", Type::f32(), Expr::int(16), body);
+        eval_stmt(&s, &mut f, &c).unwrap();
+        assert!(!f.buffers.contains_key("tmp"));
+        let snap = c.counters.snapshot();
+        assert_eq!(snap.allocations, 1);
+        assert_eq!(snap.bytes_allocated, 64);
+    }
+
+    #[test]
+    fn vector_ramp_load_store() {
+        let c = ctx();
+        let mut f = frame_with_buffer("src", 8);
+        for i in 0..8 {
+            f.buffers["src"].set_flat_f64(i, i as f64);
+        }
+        f.buffers.insert(
+            "dst".to_string(),
+            Arc::new(Buffer::with_extents(ScalarType::Float(32), &[8])),
+        );
+        // dst[ramp(0,1,8)] = src[ramp(0,1,8)] * 2
+        let idx = Expr::ramp(Expr::int(0), Expr::int(1), 8);
+        let s = Stmt::store(
+            "dst",
+            Expr::load(Type::f32(), "src", idx.clone()) * 2.0f32,
+            idx,
+        );
+        eval_stmt(&s, &mut f, &c).unwrap();
+        assert_eq!(f.buffers["dst"].get_flat_f64(7), 14.0);
+        let snap = c.counters.snapshot();
+        // one vector load + one vector store
+        assert_eq!(snap.loads, 1);
+        assert_eq!(snap.stores, 1);
+        assert_eq!(snap.elements_loaded, 8);
+    }
+
+    #[test]
+    fn assertions_and_conditionals() {
+        let c = ctx();
+        let mut f = Frame::default();
+        assert!(eval_stmt(&Stmt::assert_stmt(Expr::bool(true), "ok"), &mut f, &c).is_ok());
+        assert!(eval_stmt(&Stmt::assert_stmt(Expr::bool(false), "boom"), &mut f, &c).is_err());
+        let s = Stmt::if_then_else(
+            Expr::bool(false),
+            Stmt::assert_stmt(Expr::bool(false), "unreachable"),
+            Some(Stmt::no_op()),
+        );
+        assert!(eval_stmt(&s, &mut f, &c).is_ok());
+    }
+
+    #[test]
+    fn intrinsics() {
+        let c = ctx();
+        let f = Frame::default();
+        assert_eq!(
+            eval_expr(&Expr::f32(9.0).sqrt(), &f, &c).unwrap().as_f64(),
+            3.0
+        );
+        assert_eq!(
+            eval_expr(&Expr::int(-4).abs(), &f, &c).unwrap().as_int(),
+            4
+        );
+        assert_eq!(
+            eval_expr(&Expr::f32(2.0).pow(Expr::f32(10.0)), &f, &c)
+                .unwrap()
+                .as_f64(),
+            1024.0
+        );
+        assert!(eval_expr(
+            &Expr::intrinsic("no_such_intrinsic", vec![Expr::int(0)], Type::i32()),
+            &f,
+            &c
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gpu_loops_count_launches_and_copies() {
+        let c = ctx();
+        let mut f = frame_with_buffer("src", 16);
+        f.buffers.insert(
+            "dst".to_string(),
+            Arc::new(Buffer::with_extents(ScalarType::Float(32), &[16])),
+        );
+        let body = Stmt::store(
+            "dst",
+            Expr::load(Type::f32(), "src", Expr::var_i32("bx") * 4 + Expr::var_i32("tx")),
+            Expr::var_i32("bx") * 4 + Expr::var_i32("tx"),
+        );
+        let threads = Stmt::for_loop("tx", Expr::int(0), Expr::int(4), ForKind::GpuThread, body);
+        let blocks = Stmt::for_loop("bx", Expr::int(0), Expr::int(4), ForKind::GpuBlock, threads);
+        eval_stmt(&blocks, &mut f, &c).unwrap();
+        let snap = c.counters.snapshot();
+        assert_eq!(snap.kernel_launches, 1);
+        assert!(snap.device_copies >= 1);
+    }
+}

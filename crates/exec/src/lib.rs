@@ -1,0 +1,47 @@
+//! # halide-exec
+//!
+//! The backend of the halide-rs reproduction. Where the paper's compiler
+//! emits machine code through LLVM (Sec. 4.6), this crate executes the fully
+//! lowered statement directly against the runtime: loops (serial, parallel,
+//! GPU-simulated), vector values, buffer allocation and indexing, and
+//! instrumentation counters.
+//!
+//! The substitution is documented in `DESIGN.md`: every scheduling decision
+//! survives into execution, so the relative performance of schedules — the
+//! quantity the paper's evaluation is about — is preserved, while absolute
+//! times are those of a (fast-ish) interpreter rather than native code.
+//!
+//! The typical entry point is [`Realizer`]:
+//!
+//! ```
+//! use halide_exec::Realizer;
+//! use halide_ir::Type;
+//! use halide_lang::{Func, ImageParam, Pipeline, Var};
+//! use halide_lower::lower;
+//! use halide_runtime::Buffer;
+//!
+//! // brighten(x, y) = input(x, y) * 2
+//! let input = ImageParam::new("exec_doc_input", Type::f32(), 2);
+//! let (x, y) = (Var::new("x"), Var::new("y"));
+//! let f = Func::new("exec_doc_brighten");
+//! f.define(&[x.clone(), y.clone()], input.at(vec![x.expr(), y.expr()]) * 2.0f32);
+//!
+//! let module = lower(&Pipeline::new(&f)).unwrap();
+//! let data = Buffer::from_fn_2d(halide_ir::ScalarType::Float(32), 16, 16, |x, y| (x * y) as f64);
+//! let result = Realizer::new(&module)
+//!     .input("exec_doc_input", data)
+//!     .realize(&[16, 16])
+//!     .unwrap();
+//! assert_eq!(result.output.at_f64(&[3, 4]), 24.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod eval;
+pub mod realize;
+
+pub use error::{ExecError, Result};
+pub use eval::{eval_expr, eval_stmt, Context, Frame};
+pub use realize::{Realization, Realizer};

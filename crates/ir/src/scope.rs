@@ -1,0 +1,139 @@
+//! A lexical scope: a stack of name → value bindings.
+//!
+//! Used by bounds inference (variable → interval), by the simplifier
+//! (variable → known constant), and by the executor (variable → runtime
+//! value). Pushing a binding shadows earlier bindings of the same name; a
+//! matching pop restores them.
+
+use std::collections::HashMap;
+
+/// A stack-structured map from names to values of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use halide_ir::Scope;
+/// let mut s: Scope<i32> = Scope::new();
+/// s.push("x", 1);
+/// s.push("x", 2);
+/// assert_eq!(s.get("x"), Some(&2));
+/// s.pop("x");
+/// assert_eq!(s.get("x"), Some(&1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scope<T> {
+    table: HashMap<String, Vec<T>>,
+}
+
+impl<T> Default for Scope<T> {
+    fn default() -> Self {
+        Scope {
+            table: HashMap::new(),
+        }
+    }
+}
+
+impl<T> Scope<T> {
+    /// Creates an empty scope.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a binding for `name`, shadowing any existing binding.
+    pub fn push(&mut self, name: impl Into<String>, value: T) {
+        self.table.entry(name.into()).or_default().push(value);
+    }
+
+    /// Pops the most recent binding for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` has no binding; unbalanced pushes/pops are compiler
+    /// bugs and should fail loudly.
+    pub fn pop(&mut self, name: &str) -> T {
+        let stack = self
+            .table
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("popping unbound name {name:?} from scope"));
+        let v = stack
+            .pop()
+            .unwrap_or_else(|| panic!("popping unbound name {name:?} from scope"));
+        if stack.is_empty() {
+            self.table.remove(name);
+        }
+        v
+    }
+
+    /// Looks up the innermost binding for `name`.
+    pub fn get(&self, name: &str) -> Option<&T> {
+        self.table.get(name).and_then(|s| s.last())
+    }
+
+    /// Mutable access to the innermost binding for `name`.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut T> {
+        self.table.get_mut(name).and_then(|s| s.last_mut())
+    }
+
+    /// True if `name` has at least one binding.
+    pub fn contains(&self, name: &str) -> bool {
+        self.table.contains_key(name)
+    }
+
+    /// True if the scope has no bindings at all.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over the innermost binding of every name (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &T)> {
+        self.table
+            .iter()
+            .filter_map(|(k, v)| v.last().map(|t| (k.as_str(), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shadow_pop() {
+        let mut s = Scope::new();
+        assert!(s.is_empty());
+        s.push("a", "one");
+        s.push("a", "two");
+        s.push("b", "three");
+        assert_eq!(s.get("a"), Some(&"two"));
+        assert_eq!(s.pop("a"), "two");
+        assert_eq!(s.get("a"), Some(&"one"));
+        assert_eq!(s.pop("a"), "one");
+        assert!(!s.contains("a"));
+        assert!(s.contains("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound name")]
+    fn pop_unbound_panics() {
+        let mut s: Scope<i32> = Scope::new();
+        s.pop("missing");
+    }
+
+    #[test]
+    fn iter_sees_innermost() {
+        let mut s = Scope::new();
+        s.push("a", 1);
+        s.push("a", 2);
+        s.push("b", 3);
+        let mut seen: Vec<(String, i32)> = s.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        seen.sort();
+        assert_eq!(seen, vec![("a".to_string(), 2), ("b".to_string(), 3)]);
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut s = Scope::new();
+        s.push("x", 1);
+        *s.get_mut("x").unwrap() = 9;
+        assert_eq!(s.get("x"), Some(&9));
+    }
+}

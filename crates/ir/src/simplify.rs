@@ -1,0 +1,560 @@
+//! Symbolic simplification: constant folding, algebraic identities, and dead
+//! code removal.
+//!
+//! The lowering passes lean on the simplifier heavily (Sec. 4.6 mentions the
+//! standard constant-folding pass that also cleans up the patterns produced by
+//! bounds inference). The rules below are deliberately conservative: every
+//! rewrite preserves the value of the expression for all variable assignments.
+
+use crate::expr::{BinOp, CmpOp, Expr, ExprNode};
+use crate::stmt::{Stmt, StmtNode};
+use crate::visit::{mutate_expr_children, mutate_stmt_children, stmt_uses_var, IrMutator};
+
+/// Integer division rounding toward negative infinity, matching Halide's
+/// semantics (so that `(x / 2) * 2 <= x` holds for negative `x` too).
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        return 0; // division by zero is defined as zero, like Halide's runtime
+    }
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Integer modulo with the sign of the divisor (non-negative for positive
+/// divisors), consistent with [`div_floor`].
+pub fn mod_floor(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        return 0;
+    }
+    let r = a % b;
+    if r != 0 && ((r < 0) != (b < 0)) {
+        r + b
+    } else {
+        r
+    }
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => div_floor(a, b),
+        BinOp::Mod => mod_floor(a, b),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    }
+}
+
+fn fold_f64(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Mod => a - b * (a / b).floor(),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    }
+}
+
+fn fold_cmp_int(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn fold_cmp_f64(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+struct Simplifier;
+
+impl Simplifier {
+    fn simplify_bin(&mut self, op: BinOp, a: Expr, b: Expr, original: &Expr) -> Expr {
+        let ty = original.ty();
+        // Constant folding.
+        if let (Some(ca), Some(cb)) = (a.as_const_f64(), b.as_const_f64()) {
+            if ty.is_float() {
+                return Expr::imm_of(ty, fold_f64(op, ca, cb));
+            } else if let (Some(ia), Some(ib)) = (a.as_const_int(), b.as_const_int()) {
+                return Expr::imm_of(ty, fold_int(op, ia, ib) as f64);
+            }
+        }
+
+        // Algebraic identities (all valid for ints and floats used here).
+        match op {
+            BinOp::Add => {
+                if a.is_zero() {
+                    return b;
+                }
+                if b.is_zero() {
+                    return a;
+                }
+                // (x + c1) + c2 -> x + (c1 + c2); helps bounds expressions collapse.
+                if let (ExprNode::Bin { op: BinOp::Add, a: x, b: c1 }, Some(c2)) =
+                    (a.node(), b.as_const_int())
+                {
+                    if let Some(c1v) = c1.as_const_int() {
+                        if !ty.is_float() {
+                            return self.mutate_expr(&(x.clone() + Expr::imm_of(ty, (c1v + c2) as f64)));
+                        }
+                    }
+                }
+                // (x - c1) + c2 -> x + (c2 - c1)
+                if let (ExprNode::Bin { op: BinOp::Sub, a: x, b: c1 }, Some(c2)) =
+                    (a.node(), b.as_const_int())
+                {
+                    if let Some(c1v) = c1.as_const_int() {
+                        if !ty.is_float() {
+                            return self.mutate_expr(&(x.clone() + Expr::imm_of(ty, (c2 - c1v) as f64)));
+                        }
+                    }
+                }
+                // c + x -> x + c  (canonical order: constant on the right)
+                if a.as_const_f64().is_some() && b.as_const_f64().is_none() {
+                    return self.simplify_bin(BinOp::Add, b, a, original);
+                }
+            }
+            BinOp::Sub => {
+                if b.is_zero() {
+                    return a;
+                }
+                if a == b {
+                    return Expr::zero(ty);
+                }
+                // (x + c1) - c2 -> x + (c1 - c2)
+                if let (ExprNode::Bin { op: BinOp::Add, a: x, b: c1 }, Some(c2)) =
+                    (a.node(), b.as_const_int())
+                {
+                    if let Some(c1v) = c1.as_const_int() {
+                        if !ty.is_float() {
+                            return self.mutate_expr(&(x.clone() + Expr::imm_of(ty, (c1v - c2) as f64)));
+                        }
+                    }
+                }
+                // (x + y) - x -> y  and  (x + y) - y -> x
+                if let ExprNode::Bin { op: BinOp::Add, a: x, b: y } = a.node() {
+                    if *x == b {
+                        return y.clone();
+                    }
+                    if *y == b {
+                        return x.clone();
+                    }
+                }
+                // Canonicalize subtraction of a signed-integer constant into
+                // addition of its negation, so offsets combine across nested
+                // expressions (important for the monotonicity checks in the
+                // sliding-window pass).
+                if matches!(ty.scalar(), crate::types::ScalarType::Int(_)) {
+                    if let Some(c) = b.as_const_int() {
+                        if b.node() != a.node() {
+                            return self.mutate_expr(&(a + Expr::imm_of(ty, -c as f64)));
+                        }
+                    }
+                    // (x + c1) - (y + c2) -> (x - y) + (c1 - c2)
+                    if let (
+                        ExprNode::Bin { op: BinOp::Add, a: x, b: c1 },
+                        ExprNode::Bin { op: BinOp::Add, a: y, b: c2 },
+                    ) = (a.node(), b.node())
+                    {
+                        if let (Some(c1v), Some(c2v)) = (c1.as_const_int(), c2.as_const_int()) {
+                            return self.mutate_expr(
+                                &((x.clone() - y.clone()) + Expr::imm_of(ty, (c1v - c2v) as f64)),
+                            );
+                        }
+                    }
+                    // x - (y + c) -> (x - y) - c
+                    if let ExprNode::Bin { op: BinOp::Add, a: y, b: c } = b.node() {
+                        if let Some(cv) = c.as_const_int() {
+                            return self.mutate_expr(
+                                &((a.clone() - y.clone()) + Expr::imm_of(ty, -cv as f64)),
+                            );
+                        }
+                    }
+                    // (x + c) - y -> (x - y) + c
+                    if let ExprNode::Bin { op: BinOp::Add, a: x, b: c } = a.node() {
+                        if let Some(cv) = c.as_const_int() {
+                            return self.mutate_expr(
+                                &((x.clone() - b.clone()) + Expr::imm_of(ty, cv as f64)),
+                            );
+                        }
+                    }
+                    // (x*c) - (y*c) -> (x - y)*c
+                    if let (
+                        ExprNode::Bin { op: BinOp::Mul, a: x, b: c1 },
+                        ExprNode::Bin { op: BinOp::Mul, a: y, b: c2 },
+                    ) = (a.node(), b.node())
+                    {
+                        if c1.as_const_int().is_some() && c1.as_const_int() == c2.as_const_int() {
+                            return self
+                                .mutate_expr(&((x.clone() - y.clone()) * c1.clone()));
+                        }
+                    }
+                }
+            }
+            BinOp::Mul => {
+                if a.is_zero() || b.is_zero() {
+                    return Expr::zero(ty);
+                }
+                if a.is_one() {
+                    return b;
+                }
+                if b.is_one() {
+                    return a;
+                }
+                if a.as_const_f64().is_some() && b.as_const_f64().is_none() {
+                    return self.simplify_bin(BinOp::Mul, b, a, original);
+                }
+            }
+            BinOp::Div => {
+                if b.is_one() {
+                    return a;
+                }
+                if a.is_zero() {
+                    return Expr::zero(ty);
+                }
+                if a == b {
+                    return Expr::one(ty);
+                }
+            }
+            BinOp::Mod => {
+                if b.is_one() && !ty.is_float() {
+                    return Expr::zero(ty);
+                }
+            }
+            BinOp::Min | BinOp::Max => {
+                if a == b {
+                    return a;
+                }
+                // If the difference of the operands is a known constant the
+                // winner is known statically: min(v-1, v+1) -> v-1, etc.
+                // This is what collapses the unions produced by bounds
+                // inference over stencil footprints.
+                if !ty.is_float() {
+                    let diff = self.mutate_expr(&(a.clone() - b.clone()));
+                    if let Some(d) = diff.as_const_int() {
+                        let a_wins = (op == BinOp::Min) == (d <= 0);
+                        return if a_wins { a } else { b };
+                    }
+                }
+                // min(min(x, c1), c2) -> min(x, min(c1, c2)); same for max.
+                if let (
+                    ExprNode::Bin { op: inner_op, a: x, b: c1 },
+                    Some(c2),
+                ) = (a.node(), b.as_const_int())
+                {
+                    if *inner_op == op && !ty.is_float() {
+                        if let Some(c1v) = c1.as_const_int() {
+                            let folded = if op == BinOp::Min { c1v.min(c2) } else { c1v.max(c2) };
+                            return ExprNode::Bin {
+                                op,
+                                a: x.clone(),
+                                b: Expr::imm_of(ty, folded as f64),
+                            }
+                            .into();
+                        }
+                    }
+                }
+            }
+        }
+
+        ExprNode::Bin { op, a, b }.into()
+    }
+}
+
+impl IrMutator for Simplifier {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        let e = mutate_expr_children(self, e);
+        match e.node() {
+            ExprNode::Bin { op, a, b } => self.simplify_bin(*op, a.clone(), b.clone(), &e),
+            ExprNode::Cmp { op, a, b } => {
+                if a.ty().is_float() || b.ty().is_float() {
+                    if let (Some(ca), Some(cb)) = (a.as_const_f64(), b.as_const_f64()) {
+                        return Expr::bool(fold_cmp_f64(*op, ca, cb));
+                    }
+                } else if let (Some(ca), Some(cb)) = (a.as_const_int(), b.as_const_int()) {
+                    return Expr::bool(fold_cmp_int(*op, ca, cb));
+                }
+                if a == b {
+                    return Expr::bool(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+                }
+                e
+            }
+            ExprNode::And { a, b } => match (a.as_const_int(), b.as_const_int()) {
+                (Some(0), _) | (_, Some(0)) => Expr::bool(false),
+                (Some(_), Some(_)) => Expr::bool(true),
+                (Some(_), None) => b.clone(),
+                (None, Some(_)) => a.clone(),
+                _ => e,
+            },
+            ExprNode::Or { a, b } => match (a.as_const_int(), b.as_const_int()) {
+                (Some(x), _) if x != 0 => Expr::bool(true),
+                (_, Some(x)) if x != 0 => Expr::bool(true),
+                (Some(_), Some(_)) => Expr::bool(false),
+                (Some(0), None) => b.clone(),
+                (None, Some(0)) => a.clone(),
+                _ => e,
+            },
+            ExprNode::Not { a } => match a.as_const_int() {
+                Some(v) => Expr::bool(v == 0),
+                None => e,
+            },
+            ExprNode::Select { cond, t, f } => match cond.as_const_int() {
+                Some(0) => f.clone(),
+                Some(_) => t.clone(),
+                None => {
+                    if t == f {
+                        t.clone()
+                    } else {
+                        e
+                    }
+                }
+            },
+            ExprNode::Cast { ty, value } => {
+                if *ty == value.ty() {
+                    return value.clone();
+                }
+                if let Some(c) = value.as_const_f64() {
+                    if ty.is_scalar() {
+                        // Clamp-free conversion: truncate toward zero for ints,
+                        // matching the executor's cast semantics.
+                        return match ty.scalar() {
+                            crate::types::ScalarType::Float(_) => Expr::imm_of(*ty, c),
+                            crate::types::ScalarType::Int(_) => Expr::imm_of(*ty, c.trunc()),
+                            crate::types::ScalarType::UInt(_) => {
+                                Expr::imm_of(*ty, c.trunc().max(0.0))
+                            }
+                        };
+                    }
+                }
+                e
+            }
+            ExprNode::Let { name, value, body } => {
+                // Inline lets whose value is an immediate or a variable; they
+                // cost nothing and unlock further folding.
+                match value.node() {
+                    ExprNode::IntImm { .. }
+                    | ExprNode::UIntImm { .. }
+                    | ExprNode::FloatImm { .. }
+                    | ExprNode::Var { .. } => {
+                        let inlined = crate::substitute::substitute(body, name, value);
+                        self.mutate_expr(&inlined)
+                    }
+                    _ => e,
+                }
+            }
+            _ => e,
+        }
+    }
+
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        let s = mutate_stmt_children(self, s);
+        match s.node() {
+            StmtNode::IfThenElse {
+                condition,
+                then_case,
+                else_case,
+            } => match condition.as_const_int() {
+                Some(0) => else_case.clone().unwrap_or_else(Stmt::no_op),
+                Some(_) => then_case.clone(),
+                None => s.clone(),
+            },
+            StmtNode::For { extent, body, .. } => {
+                if extent.as_const_int() == Some(0) || body.is_no_op() {
+                    Stmt::no_op()
+                } else {
+                    s.clone()
+                }
+            }
+            StmtNode::LetStmt { name, value, body } => {
+                // Drop dead lets; inline trivial ones.
+                if !stmt_uses_var(body, name) {
+                    return body.clone();
+                }
+                match value.node() {
+                    ExprNode::IntImm { .. }
+                    | ExprNode::UIntImm { .. }
+                    | ExprNode::FloatImm { .. } => {
+                        let inlined = crate::substitute::substitute_in_stmt(body, name, value);
+                        self.mutate_stmt(&inlined)
+                    }
+                    _ => s.clone(),
+                }
+            }
+            StmtNode::Assert { condition, .. } => {
+                if condition.as_const_int().map(|v| v != 0).unwrap_or(false) {
+                    Stmt::no_op()
+                } else {
+                    s.clone()
+                }
+            }
+            _ => s.clone(),
+        }
+    }
+}
+
+/// Simplifies an expression.
+///
+/// # Examples
+///
+/// ```
+/// use halide_ir::{simplify, Expr};
+/// let x = Expr::var_i32("x");
+/// let e = (x.clone() + 0) * 1 + (Expr::int(2) + 3);
+/// assert_eq!(simplify(&e).to_string(), "(x + 5)");
+/// ```
+pub fn simplify(e: &Expr) -> Expr {
+    Simplifier.mutate_expr(e)
+}
+
+/// Simplifies a statement (also folds expressions nested inside it).
+pub fn simplify_stmt(s: &Stmt) -> Stmt {
+    Simplifier.mutate_stmt(s)
+}
+
+/// Convenience: simplify, then require a constant integer result.
+pub fn const_int(e: &Expr) -> Option<i64> {
+    simplify(e).as_const_int()
+}
+
+/// A boolean expression that simplifies to `true`.
+pub fn is_provably_true(e: &Expr) -> bool {
+    simplify(e).as_const_int() == Some(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::ForKind;
+    use crate::types::Type;
+
+    #[test]
+    fn floor_division_semantics() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_floor(-8, 2), -4);
+        assert_eq!(mod_floor(-7, 3), 2);
+        assert_eq!(mod_floor(7, 3), 1);
+        assert_eq!(div_floor(5, 0), 0);
+        assert_eq!(mod_floor(5, 0), 0);
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(simplify(&(Expr::int(2) + 3)).as_const_int(), Some(5));
+        assert_eq!(simplify(&(Expr::int(10) / 4)).as_const_int(), Some(2));
+        assert_eq!(simplify(&(Expr::f32(1.5) * 2.0)).as_const_f64(), Some(3.0));
+        assert_eq!(
+            simplify(&Expr::min(Expr::int(3), Expr::int(7))).as_const_int(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn identities() {
+        let x = Expr::var_i32("x");
+        assert_eq!(simplify(&(x.clone() + 0)).to_string(), "x");
+        assert_eq!(simplify(&(x.clone() * 1)).to_string(), "x");
+        assert_eq!(simplify(&(x.clone() * 0)).as_const_int(), Some(0));
+        assert_eq!(simplify(&(x.clone() - x.clone())).as_const_int(), Some(0));
+        assert_eq!(simplify(&(x.clone() / 1)).to_string(), "x");
+        assert_eq!(simplify(&(x.clone() % 1)).as_const_int(), Some(0));
+        assert_eq!(simplify(&Expr::min(x.clone(), x.clone())).to_string(), "x");
+    }
+
+    #[test]
+    fn nested_constant_addition_collapses() {
+        let x = Expr::var_i32("x");
+        let e = ((x.clone() + 1) + 2) + 3;
+        assert_eq!(simplify(&e).to_string(), "(x + 6)");
+        let e2 = (x.clone() - 1) + 4;
+        assert_eq!(simplify(&e2).to_string(), "(x + 3)");
+        let e3 = (x + 5) - 2;
+        assert_eq!(simplify(&e3).to_string(), "(x + 3)");
+    }
+
+    #[test]
+    fn select_and_bool_folding() {
+        let x = Expr::var_i32("x");
+        let s = Expr::select(Expr::bool(true), x.clone(), Expr::int(0));
+        assert_eq!(simplify(&s).to_string(), "x");
+        let c = Expr::and(Expr::bool(false), Expr::lt(x.clone(), Expr::int(3)));
+        assert_eq!(simplify(&c).as_const_int(), Some(0));
+        let c2 = Expr::or(Expr::bool(true), Expr::lt(x, Expr::int(3)));
+        assert_eq!(simplify(&c2).as_const_int(), Some(1));
+        assert_eq!(simplify(&Expr::not(Expr::bool(false))).as_const_int(), Some(1));
+    }
+
+    #[test]
+    fn cmp_folding() {
+        assert_eq!(simplify(&Expr::lt(Expr::int(1), Expr::int(2))).as_const_int(), Some(1));
+        assert_eq!(simplify(&Expr::ge(Expr::int(1), Expr::int(2))).as_const_int(), Some(0));
+        let x = Expr::var_i32("x");
+        assert_eq!(simplify(&Expr::le(x.clone(), x)).as_const_int(), Some(1));
+    }
+
+    #[test]
+    fn cast_folding() {
+        let e = Expr::f32(3.7).cast(Type::i32());
+        assert_eq!(simplify(&e).as_const_int(), Some(3));
+        let e = Expr::int(-2).cast(Type::u8());
+        assert_eq!(simplify(&e).as_const_int(), Some(0));
+    }
+
+    #[test]
+    fn let_inlining() {
+        let e = Expr::let_in("t", Expr::int(3), Expr::var_i32("t") + 4);
+        assert_eq!(simplify(&e).as_const_int(), Some(7));
+    }
+
+    #[test]
+    fn stmt_simplification() {
+        let dead = Stmt::let_stmt("unused", Expr::var_i32("q") + 1, Stmt::evaluate(Expr::int(0)));
+        assert!(matches!(simplify_stmt(&dead).node(), StmtNode::Evaluate { .. }));
+
+        let zero_loop = Stmt::for_loop(
+            "i",
+            Expr::int(0),
+            Expr::int(0),
+            ForKind::Serial,
+            Stmt::store("b", Expr::int(1), Expr::int(0)),
+        );
+        assert!(simplify_stmt(&zero_loop).is_no_op());
+
+        let branch = Stmt::if_then_else(
+            Expr::lt(Expr::int(1), Expr::int(2)),
+            Stmt::evaluate(Expr::int(1)),
+            Some(Stmt::evaluate(Expr::int(2))),
+        );
+        assert!(matches!(
+            simplify_stmt(&branch).node(),
+            StmtNode::Evaluate { value } if value.as_const_int() == Some(1)
+        ));
+    }
+
+    #[test]
+    fn min_max_const_chains() {
+        let x = Expr::var_i32("x");
+        let e = Expr::min(Expr::min(x.clone(), Expr::int(5)), Expr::int(3));
+        assert_eq!(simplify(&e).to_string(), "min(x, 3)");
+        let e = Expr::max(Expr::max(x, Expr::int(5)), Expr::int(3));
+        assert_eq!(simplify(&e).to_string(), "max(x, 5)");
+    }
+}

@@ -1,0 +1,98 @@
+//! Variable substitution over expressions and statements.
+
+use std::collections::HashMap;
+
+use crate::expr::{Expr, ExprNode};
+use crate::stmt::Stmt;
+use crate::visit::{mutate_expr_children, IrMutator};
+
+struct Substituter<'a> {
+    map: &'a HashMap<String, Expr>,
+}
+
+impl IrMutator for Substituter<'_> {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        if let ExprNode::Var { name, .. } = e.node() {
+            if let Some(replacement) = self.map.get(name) {
+                return replacement.clone();
+            }
+        }
+        mutate_expr_children(self, e)
+    }
+}
+
+/// Replaces every occurrence of the variable `name` in `e` with `value`.
+///
+/// Lowering generates globally unique variable names, so no shadowing-aware
+/// capture analysis is needed (inner `Let`s never rebind a substituted name).
+pub fn substitute(e: &Expr, name: &str, value: &Expr) -> Expr {
+    let mut map = HashMap::new();
+    map.insert(name.to_string(), value.clone());
+    substitute_map(e, &map)
+}
+
+/// Replaces every variable named in `map` with its mapped expression.
+pub fn substitute_map(e: &Expr, map: &HashMap<String, Expr>) -> Expr {
+    if map.is_empty() {
+        return e.clone();
+    }
+    Substituter { map }.mutate_expr(e)
+}
+
+/// Replaces every occurrence of the variable `name` in statement `s` with `value`.
+pub fn substitute_in_stmt(s: &Stmt, name: &str, value: &Expr) -> Stmt {
+    let mut map = HashMap::new();
+    map.insert(name.to_string(), value.clone());
+    substitute_map_in_stmt(s, &map)
+}
+
+/// Replaces every variable named in `map` within statement `s`.
+pub fn substitute_map_in_stmt(s: &Stmt, map: &HashMap<String, Expr>) -> Stmt {
+    if map.is_empty() {
+        return s.clone();
+    }
+    Substituter { map }.mutate_stmt(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::ForKind;
+
+    #[test]
+    fn substitute_in_expr() {
+        let e = Expr::var_i32("x") * 2 + Expr::var_i32("y");
+        let out = substitute(&e, "x", &Expr::int(5));
+        assert_eq!(out.to_string(), "((5*2) + y)");
+    }
+
+    #[test]
+    fn substitute_many() {
+        let e = Expr::var_i32("x") + Expr::var_i32("y");
+        let mut map = HashMap::new();
+        map.insert("x".to_string(), Expr::int(1));
+        map.insert("y".to_string(), Expr::int(2));
+        assert_eq!(substitute_map(&e, &map).to_string(), "(1 + 2)");
+    }
+
+    #[test]
+    fn substitute_in_statement() {
+        let s = Stmt::for_loop(
+            "i",
+            Expr::int(0),
+            Expr::var_i32("n"),
+            ForKind::Serial,
+            Stmt::store("b", Expr::var_i32("n"), Expr::var_i32("i")),
+        );
+        let out = substitute_in_stmt(&s, "n", &Expr::int(16));
+        let text = out.to_string();
+        assert!(text.contains("0 + 16"));
+        assert!(text.contains("b[i] = 16"));
+    }
+
+    #[test]
+    fn empty_map_is_identity() {
+        let e = Expr::var_i32("x");
+        assert_eq!(substitute_map(&e, &HashMap::new()), e);
+    }
+}

@@ -1,0 +1,231 @@
+//! Input images and scalar parameters.
+//!
+//! An [`ImageParam`] stands for an input buffer supplied at realization time
+//! (the paper's `UniformImage`); a [`Param`] is a runtime scalar argument.
+//! Both appear in expressions symbolically and are bound to concrete data by
+//! the executor.
+
+use halide_ir::{CallType, Expr, Type};
+
+/// Returns the conventional name of the symbolic variable describing `field`
+/// of dimension `dim` of buffer `name` (e.g. `input.extent.0`).
+///
+/// These symbols are bound by the executor from the actual buffer supplied at
+/// realization time, and by the flattening pass for internally allocated
+/// buffers.
+pub fn buffer_field_var(name: &str, field: &str, dim: usize) -> String {
+    format!("{name}.{field}.{dim}")
+}
+
+/// A named input image of a given element type and dimensionality.
+///
+/// # Examples
+///
+/// ```
+/// use halide_lang::{ImageParam, Var};
+/// use halide_ir::Type;
+/// let input = ImageParam::new("input", Type::u8(), 2);
+/// let (x, y) = (Var::new("x"), Var::new("y"));
+/// let e = input.at(vec![x.expr(), y.expr() - 1]);
+/// assert_eq!(e.to_string(), "input(x, (y - 1))");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageParam {
+    name: String,
+    ty: Type,
+    dims: usize,
+}
+
+impl ImageParam {
+    /// Creates an input image parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero (use [`Param`] for scalars).
+    pub fn new(name: impl Into<String>, ty: Type, dims: usize) -> Self {
+        assert!(dims > 0, "an image must have at least one dimension");
+        ImageParam {
+            name: name.into(),
+            ty,
+            dims,
+        }
+    }
+
+    /// The image's name (buffers are bound to it at realization time).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element type.
+    pub fn ty(&self) -> Type {
+        self.ty
+    }
+
+    /// Number of dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.dims
+    }
+
+    /// A load from the image at the given coordinates.
+    ///
+    /// The image is only defined over the region of the buffer supplied at
+    /// realization time; out-of-range coordinates are a runtime error in the
+    /// executor. Use [`ImageParam::at_clamped`] for the common "clamp to
+    /// edge" boundary condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of coordinates does not match the image's
+    /// dimensionality.
+    pub fn at(&self, coords: Vec<Expr>) -> Expr {
+        assert_eq!(
+            coords.len(),
+            self.dims,
+            "image {} has {} dimensions but was called with {} coordinates",
+            self.name,
+            self.dims,
+            coords.len()
+        );
+        Expr::call(self.ty, self.name.clone(), CallType::Image, coords)
+    }
+
+    /// A load with each coordinate clamped into the image's valid region —
+    /// the standard guard-band-free boundary condition. This is also the
+    /// idiom that gives bounds inference a bounded footprint for
+    /// data-dependent accesses (Sec. 4.2's discussion of `clamp`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of coordinates does not match the image's
+    /// dimensionality.
+    pub fn at_clamped(&self, coords: Vec<Expr>) -> Expr {
+        let clamped = coords
+            .into_iter()
+            .enumerate()
+            .map(|(d, c)| c.clamp(self.min(d), self.min(d) + self.extent(d) - 1))
+            .collect();
+        self.at(clamped)
+    }
+
+    /// The symbolic extent of dimension `d` of the bound buffer.
+    pub fn extent(&self, d: usize) -> Expr {
+        Expr::var_i32(buffer_field_var(&self.name, "extent", d))
+    }
+
+    /// The symbolic minimum coordinate of dimension `d` of the bound buffer.
+    pub fn min(&self, d: usize) -> Expr {
+        Expr::var_i32(buffer_field_var(&self.name, "min", d))
+    }
+
+    /// Shorthand for `extent(0)`.
+    pub fn width(&self) -> Expr {
+        self.extent(0)
+    }
+
+    /// Shorthand for `extent(1)`.
+    pub fn height(&self) -> Expr {
+        self.extent(1)
+    }
+
+    /// Shorthand for `extent(2)` (e.g. color channels).
+    pub fn channels(&self) -> Expr {
+        self.extent(2)
+    }
+}
+
+/// A scalar runtime parameter (e.g. a filter strength `sigma`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    name: String,
+    ty: Type,
+}
+
+impl Param {
+    /// Creates a scalar parameter.
+    pub fn new(name: impl Into<String>, ty: Type) -> Self {
+        Param {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// The parameter's name (bound at realization time).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's type.
+    pub fn ty(&self) -> Type {
+        self.ty
+    }
+
+    /// The parameter as an expression.
+    pub fn expr(&self) -> Expr {
+        Expr::var(self.name.clone(), self.ty)
+    }
+}
+
+impl From<&Param> for Expr {
+    fn from(p: &Param) -> Expr {
+        p.expr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::ExprNode;
+
+    #[test]
+    fn image_access_builds_image_call() {
+        let img = ImageParam::new("in", Type::u16(), 2);
+        let e = img.at(vec![Expr::int(3), Expr::int(4)]);
+        match e.node() {
+            ExprNode::Call { call_type, args, ty, .. } => {
+                assert_eq!(*call_type, CallType::Image);
+                assert_eq!(args.len(), 2);
+                assert_eq!(*ty, Type::u16());
+            }
+            other => panic!("expected a call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 dimensions")]
+    fn wrong_arity_panics() {
+        let img = ImageParam::new("in", Type::u8(), 2);
+        let _ = img.at(vec![Expr::int(0)]);
+    }
+
+    #[test]
+    fn clamped_access_mentions_extents() {
+        let img = ImageParam::new("in", Type::f32(), 2);
+        let e = img.at_clamped(vec![Expr::var_i32("x") - 1, Expr::var_i32("y")]);
+        let text = e.to_string();
+        assert!(text.contains("in.extent.0"));
+        assert!(text.contains("in.min.0"));
+        assert!(text.contains("max(min("));
+    }
+
+    #[test]
+    fn size_symbols() {
+        let img = ImageParam::new("img", Type::u8(), 3);
+        assert_eq!(img.width().to_string(), "img.extent.0");
+        assert_eq!(img.height().to_string(), "img.extent.1");
+        assert_eq!(img.channels().to_string(), "img.extent.2");
+        assert_eq!(img.min(1).to_string(), "img.min.1");
+    }
+
+    #[test]
+    fn scalar_param() {
+        let p = Param::new("sigma", Type::f32());
+        assert_eq!(p.expr().ty(), Type::f32());
+        assert_eq!(p.expr().to_string(), "sigma");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dim_image_rejected() {
+        let _ = ImageParam::new("bad", Type::u8(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! A process-wide registry of defined functions.
+//!
+//! Halide pipelines are graphs of named functions; a call site in an
+//! expression refers to its producer purely by name (`Call` nodes in the IR
+//! carry only a string). To let [`crate::Pipeline`] recover the `Func` object
+//! behind each name without forcing users to enumerate every stage of a
+//! 99-stage pipeline by hand, every `Func` registers itself here on creation.
+//!
+//! Names are made unique on registration (a `$n` suffix is appended on
+//! collision), so independently constructed pipelines — including pipelines
+//! built concurrently from different tests — never interfere: each call site
+//! refers to the unique name of the exact object it was created from.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::func::FuncInner;
+
+type Table = HashMap<String, Arc<Mutex<FuncInner>>>;
+
+fn table() -> &'static Mutex<Table> {
+    static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Registers a function under `requested` name, returning the (possibly
+/// uniquified) name actually used.
+///
+/// The registry keeps the definition alive for the lifetime of the process:
+/// pipelines refer to their producers purely by name, and helper functions
+/// routinely build intermediate stages whose frontend handles go out of scope
+/// long before the pipeline is compiled (e.g. the `downx` stage inside a
+/// `downsample` helper). The retained state is just the definition expression
+/// and schedule, a few kilobytes per stage.
+pub(crate) fn register(requested: &str, inner: Arc<Mutex<FuncInner>>) -> String {
+    let mut t = table().lock().expect("func registry poisoned");
+    let mut name = requested.to_string();
+    let mut n = 0usize;
+    while t.contains_key(&name) {
+        n += 1;
+        name = format!("{requested}${n}");
+    }
+    t.insert(name.clone(), inner);
+    name
+}
+
+/// Looks up a registered function by its unique name.
+pub(crate) fn lookup(name: &str) -> Option<Arc<Mutex<FuncInner>>> {
+    let t = table().lock().expect("func registry poisoned");
+    t.get(name).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::func::Func;
+    use crate::var::Var;
+    use halide_ir::Expr;
+
+    #[test]
+    fn names_are_uniquified_and_resolvable() {
+        let x = Var::new("x");
+        let a = Func::new("registry_test_f");
+        a.define(&[x.clone()], Expr::int(1));
+        let b = Func::new("registry_test_f");
+        b.define(&[x], Expr::int(2));
+        assert_ne!(a.name(), b.name());
+        assert!(super::lookup(&a.name()).is_some());
+        assert!(super::lookup(&b.name()).is_some());
+        assert!(super::lookup("registry_test_does_not_exist").is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Free variables of the algorithm language.
+//!
+//! A [`Var`] names a dimension of a function's infinite domain (Sec. 2).
+//! Vars have no range: the region over which a function is evaluated is
+//! decided later by bounds inference.
+
+use halide_ir::{Expr, Type};
+
+/// A named dimension variable, e.g. the `x` and `y` in `blur(x, y) = ...`.
+///
+/// # Examples
+///
+/// ```
+/// use halide_lang::Var;
+/// let x = Var::new("x");
+/// let e = x.expr() + 1; // use it in expressions
+/// assert_eq!(e.to_string(), "(x + 1)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Var {
+    name: String,
+}
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Var { name: name.into() }
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This variable as an `int32` IR expression.
+    pub fn expr(&self) -> Expr {
+        Expr::var(self.name.clone(), Type::i32())
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Expr {
+        v.expr()
+    }
+}
+
+impl From<&Var> for Expr {
+    fn from(v: &Var) -> Expr {
+        v.expr()
+    }
+}
+
+macro_rules! impl_var_op {
+    ($trait:ident, $method:ident) => {
+        impl std::ops::$trait<i32> for Var {
+            type Output = Expr;
+            fn $method(self, rhs: i32) -> Expr {
+                std::ops::$trait::$method(self.expr(), rhs)
+            }
+        }
+        impl std::ops::$trait<i32> for &Var {
+            type Output = Expr;
+            fn $method(self, rhs: i32) -> Expr {
+                std::ops::$trait::$method(self.expr(), rhs)
+            }
+        }
+        impl std::ops::$trait<Expr> for &Var {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                std::ops::$trait::$method(self.expr(), rhs)
+            }
+        }
+    };
+}
+
+impl_var_op!(Add, add);
+impl_var_op!(Sub, sub);
+impl_var_op!(Mul, mul);
+impl_var_op!(Div, div);
+impl_var_op!(Rem, rem);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_to_expr() {
+        let x = Var::new("x");
+        assert_eq!(x.name(), "x");
+        assert_eq!(x.expr().to_string(), "x");
+        let e: Expr = (&x).into();
+        assert_eq!(e.ty(), Type::i32());
+    }
+
+    #[test]
+    fn var_arithmetic_sugar() {
+        let x = Var::new("x");
+        assert_eq!((&x + 1).to_string(), "(x + 1)");
+        assert_eq!((&x - 1).to_string(), "(x - 1)");
+        assert_eq!((&x * 2).to_string(), "(x*2)");
+        assert_eq!((x.clone() / 2).to_string(), "(x/2)");
+        assert_eq!((x % 3).to_string(), "(x % 3)");
+    }
+}

@@ -1,0 +1,347 @@
+//! Bounds inference (Sec. 4.2): computing the region of a producer required
+//! by the statements that consume it, using interval analysis.
+//!
+//! Unlike the polyhedral approach, the region is always an axis-aligned box
+//! whose per-dimension bounds are ordinary expressions in the variables of
+//! the loops *enclosing* the point where the producer will be realized.
+//! Loops *inside* that point are eliminated by substituting their whole
+//! iteration interval.
+
+use halide_ir::interval::{bounds_of_expr_in_scope, loop_interval, Interval};
+use halide_ir::{CallType, Expr, ExprNode, Range, Scope, Stmt, StmtNode};
+
+use crate::error::{LowerError, Result};
+
+/// The inferred bounds of one producer: one interval per pure dimension.
+#[derive(Debug, Clone)]
+pub struct RegionBox {
+    /// Per-dimension intervals, in the order of the producer's pure args.
+    pub dims: Vec<Interval>,
+}
+
+impl RegionBox {
+    fn empty(ndims: usize) -> Self {
+        RegionBox {
+            dims: vec![
+                Interval {
+                    min: None,
+                    max: None,
+                };
+                ndims
+            ],
+        }
+    }
+
+    fn union_in_place(&mut self, dim: usize, other: &Interval) {
+        let current = &self.dims[dim];
+        // An empty (fully unbounded-by-absence) entry is replaced outright;
+        // otherwise union.
+        self.dims[dim] = if current.min.is_none() && current.max.is_none() {
+            other.clone()
+        } else {
+            current.union(other)
+        };
+    }
+
+    /// Converts the box into `Range`s (min, extent).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any dimension is unbounded, naming the function for
+    /// diagnosis — the fix is usually a `clamp` in the algorithm, exactly as
+    /// in the paper.
+    pub fn to_ranges(&self, func: &str) -> Result<Vec<Range>> {
+        self.dims
+            .iter()
+            .enumerate()
+            .map(|(d, i)| match (&i.min, i.extent()) {
+                (Some(min), Some(extent)) => Ok(Range::new(min.clone(), extent)),
+                _ => Err(LowerError::new(format!(
+                    "cannot infer bounds for dimension {d} of {func:?}; \
+                     an access is unbounded (consider clamping the coordinate)"
+                ))),
+            })
+            .collect()
+    }
+
+    /// True if no call site contributed any bounds (the function is unused in
+    /// the analyzed statement).
+    pub fn is_empty(&self) -> bool {
+        self.dims
+            .iter()
+            .all(|i| i.min.is_none() && i.max.is_none())
+    }
+}
+
+struct RegionWalker<'a> {
+    func: &'a str,
+    ndims: usize,
+    scope: Scope<Interval>,
+    region: RegionBox,
+    calls_seen: usize,
+}
+
+impl RegionWalker<'_> {
+    fn visit_expr(&mut self, e: &Expr) {
+        if let ExprNode::Call {
+            name,
+            call_type,
+            args,
+            ..
+        } = e.node()
+        {
+            if name == self.func && matches!(call_type, CallType::Halide | CallType::Image) {
+                self.calls_seen += 1;
+                for (d, a) in args.iter().enumerate().take(self.ndims) {
+                    let b = bounds_of_expr_in_scope(a, &self.scope);
+                    self.region.union_in_place(d, &b);
+                }
+            }
+        }
+        // Recurse manually over children (including call args, which may
+        // themselves contain further calls — data-dependent gathers).
+        match e.node() {
+            ExprNode::IntImm { .. }
+            | ExprNode::UIntImm { .. }
+            | ExprNode::FloatImm { .. }
+            | ExprNode::Var { .. } => {}
+            ExprNode::Cast { value, .. }
+            | ExprNode::Broadcast { value, .. }
+            | ExprNode::Not { a: value } => self.visit_expr(value),
+            ExprNode::Bin { a, b, .. }
+            | ExprNode::Cmp { a, b, .. }
+            | ExprNode::And { a, b }
+            | ExprNode::Or { a, b } => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+            }
+            ExprNode::Select { cond, t, f } => {
+                self.visit_expr(cond);
+                self.visit_expr(t);
+                self.visit_expr(f);
+            }
+            ExprNode::Ramp { base, stride, .. } => {
+                self.visit_expr(base);
+                self.visit_expr(stride);
+            }
+            ExprNode::Let { name, value, body } => {
+                self.visit_expr(value);
+                let b = bounds_of_expr_in_scope(value, &self.scope);
+                self.scope.push(name.clone(), b);
+                self.visit_expr(body);
+                self.scope.pop(name);
+            }
+            ExprNode::Load { index, .. } => self.visit_expr(index),
+            ExprNode::Call { args, .. } => {
+                for a in args {
+                    self.visit_expr(a);
+                }
+            }
+        }
+    }
+
+    fn visit_stmt(&mut self, s: &Stmt) {
+        match s.node() {
+            StmtNode::LetStmt { name, value, body } => {
+                self.visit_expr(value);
+                let b = bounds_of_expr_in_scope(value, &self.scope);
+                self.scope.push(name.clone(), b);
+                self.visit_stmt(body);
+                self.scope.pop(name);
+            }
+            StmtNode::Assert { condition, .. } => self.visit_expr(condition),
+            StmtNode::Producer { body, .. } => self.visit_stmt(body),
+            StmtNode::For {
+                name,
+                min,
+                extent,
+                body,
+                ..
+            } => {
+                self.visit_expr(min);
+                self.visit_expr(extent);
+                // The loop variable covers [min, min+extent-1]; both ends are
+                // reduced to the current scope so that only symbols defined
+                // outside the analyzed statement survive.
+                let imin = bounds_of_expr_in_scope(min, &self.scope);
+                let iextent = bounds_of_expr_in_scope(extent, &self.scope);
+                let interval = match (&imin.min, &imin.max, &iextent.max) {
+                    (Some(lo), Some(hi), Some(ext_hi)) => {
+                        loop_interval(lo, ext_hi).union(&loop_interval(hi, ext_hi))
+                    }
+                    _ => Interval::everything(),
+                };
+                self.scope.push(name.clone(), interval);
+                self.visit_stmt(body);
+                self.scope.pop(name);
+            }
+            StmtNode::Provide { value, args, .. } => {
+                self.visit_expr(value);
+                for a in args {
+                    self.visit_expr(a);
+                }
+            }
+            StmtNode::Store { value, index, .. } => {
+                self.visit_expr(value);
+                self.visit_expr(index);
+            }
+            StmtNode::Realize { bounds, body, .. } => {
+                for r in bounds {
+                    self.visit_expr(&r.min);
+                    self.visit_expr(&r.extent);
+                }
+                self.visit_stmt(body);
+            }
+            StmtNode::Allocate { size, body, .. } => {
+                self.visit_expr(size);
+                self.visit_stmt(body);
+            }
+            StmtNode::Block { stmts } => {
+                for s in stmts {
+                    self.visit_stmt(s);
+                }
+            }
+            StmtNode::IfThenElse {
+                condition,
+                then_case,
+                else_case,
+            } => {
+                self.visit_expr(condition);
+                self.visit_stmt(then_case);
+                if let Some(e) = else_case {
+                    self.visit_stmt(e);
+                }
+            }
+            StmtNode::Evaluate { value } => self.visit_expr(value),
+            StmtNode::NoOp => {}
+        }
+    }
+}
+
+/// Computes the region of `func` (with `ndims` pure dimensions) required by
+/// every call site inside `stmt`.
+///
+/// Loop variables bound *inside* `stmt` are folded into the region (their
+/// whole range is assumed to execute); variables bound outside remain
+/// symbolic, so the result can be evaluated right where the producer will be
+/// realized.
+pub fn region_required(stmt: &Stmt, func: &str, ndims: usize) -> RegionBox {
+    let mut w = RegionWalker {
+        func,
+        ndims,
+        scope: Scope::new(),
+        region: RegionBox::empty(ndims),
+        calls_seen: 0,
+    };
+    w.visit_stmt(stmt);
+    w.region
+}
+
+/// Counts call sites of `func` in `stmt` (used to verify that a `compute_at`
+/// level encloses every consumer).
+pub fn count_calls(stmt: &Stmt, func: &str) -> usize {
+    let mut w = RegionWalker {
+        func,
+        ndims: 0,
+        scope: Scope::new(),
+        region: RegionBox::empty(0),
+        calls_seen: 0,
+    };
+    w.visit_stmt(stmt);
+    w.calls_seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::{ForKind, Type};
+
+    fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::call(Type::f32(), name, CallType::Halide, args)
+    }
+
+    #[test]
+    fn stencil_region_within_loops() {
+        // for y in [0, 8): for x in [0, 16): ... = g(x-1, y+2) + g(x+1, y+2)
+        let body = Stmt::provide(
+            "out",
+            call("g", vec![Expr::var_i32("x") - 1, Expr::var_i32("y") + 2])
+                + call("g", vec![Expr::var_i32("x") + 1, Expr::var_i32("y") + 2]),
+            vec![Expr::var_i32("x"), Expr::var_i32("y")],
+        );
+        let s = Stmt::for_loop(
+            "y",
+            Expr::int(0),
+            Expr::int(8),
+            ForKind::Serial,
+            Stmt::for_loop("x", Expr::int(0), Expr::int(16), ForKind::Serial, body),
+        );
+        let r = region_required(&s, "g", 2);
+        let ranges = r.to_ranges("g").unwrap();
+        assert_eq!(ranges[0].min.as_const_int(), Some(-1));
+        assert_eq!(ranges[0].extent.as_const_int(), Some(18));
+        assert_eq!(ranges[1].min.as_const_int(), Some(2));
+        assert_eq!(ranges[1].extent.as_const_int(), Some(8));
+        assert_eq!(count_calls(&s, "g"), 2);
+    }
+
+    #[test]
+    fn outer_loops_stay_symbolic() {
+        // Analyzing only the inner statement: the x loop is inside, y is not.
+        let body = Stmt::provide(
+            "out",
+            call("g", vec![Expr::var_i32("x"), Expr::var_i32("y") - 1]),
+            vec![Expr::var_i32("x"), Expr::var_i32("y")],
+        );
+        let inner = Stmt::for_loop("x", Expr::int(0), Expr::int(4), ForKind::Serial, body);
+        let r = region_required(&inner, "g", 2);
+        let ranges = r.to_ranges("g").unwrap();
+        assert_eq!(ranges[0].min.as_const_int(), Some(0));
+        assert_eq!(ranges[0].extent.as_const_int(), Some(4));
+        assert_eq!(ranges[1].min.to_string(), "(y - 1)");
+        assert_eq!(ranges[1].extent.as_const_int(), Some(1));
+    }
+
+    #[test]
+    fn unbounded_access_is_an_error() {
+        let idx = Expr::load(Type::i32(), "lut", Expr::var_i32("x"));
+        let body = Stmt::provide("out", call("g", vec![idx]), vec![Expr::var_i32("x")]);
+        let s = Stmt::for_loop("x", Expr::int(0), Expr::int(4), ForKind::Serial, body);
+        let r = region_required(&s, "g", 1);
+        assert!(r.to_ranges("g").is_err());
+    }
+
+    #[test]
+    fn clamped_data_dependent_access_is_bounded() {
+        let idx = Expr::load(Type::i32(), "lut", Expr::var_i32("x")).clamp(Expr::int(0), Expr::int(7));
+        let body = Stmt::provide("out", call("g", vec![idx]), vec![Expr::var_i32("x")]);
+        let s = Stmt::for_loop("x", Expr::int(0), Expr::int(4), ForKind::Serial, body);
+        let ranges = region_required(&s, "g", 1).to_ranges("g").unwrap();
+        assert_eq!(ranges[0].min.as_const_int(), Some(0));
+        assert_eq!(ranges[0].extent.as_const_int(), Some(8));
+    }
+
+    #[test]
+    fn unused_func_has_empty_region() {
+        let s = Stmt::evaluate(Expr::int(0));
+        assert!(region_required(&s, "g", 2).is_empty());
+        assert_eq!(count_calls(&s, "g"), 0);
+    }
+
+    #[test]
+    fn let_bound_coordinates_are_resolved() {
+        let body = Stmt::let_stmt(
+            "t",
+            Expr::var_i32("x") * 2,
+            Stmt::provide(
+                "out",
+                call("g", vec![Expr::var_i32("t")]),
+                vec![Expr::var_i32("x")],
+            ),
+        );
+        let s = Stmt::for_loop("x", Expr::int(0), Expr::int(5), ForKind::Serial, body);
+        let ranges = region_required(&s, "g", 1).to_ranges("g").unwrap();
+        assert_eq!(ranges[0].min.as_const_int(), Some(0));
+        assert_eq!(ranges[0].extent.as_const_int(), Some(9));
+    }
+}

@@ -1,0 +1,41 @@
+//! Errors produced while compiling a scheduled pipeline.
+
+use std::fmt;
+
+/// An error raised by the lowering passes.
+///
+/// Besides signalling genuine programmer mistakes, these errors are the
+/// mechanism by which the autotuner discards invalid schedules: a schedule
+/// that names a non-existent loop level, or that makes bounds inference
+/// impossible, fails here rather than producing wrong code (the compiler is
+/// "safe by construction", Sec. 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    message: String,
+}
+
+impl LowerError {
+    /// Creates an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        LowerError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<halide_schedule::ScheduleError> for LowerError {
+    fn from(e: halide_schedule::ScheduleError) -> Self {
+        LowerError::new(e.to_string())
+    }
+}
+
+/// Result alias for lowering.
+pub type Result<T> = std::result::Result<T, LowerError>;

@@ -1,0 +1,192 @@
+//! Storage flattening (Sec. 4.4): multi-dimensional realizations, provides,
+//! and calls become one-dimensional allocations, stores, and loads.
+//!
+//! The flattening convention matches the paper: the stride of the innermost
+//! dimension is 1 (scanline layout), each further stride is the previous
+//! stride times the previous extent, and the flattened index is the dot
+//! product of (coordinate - dimension minimum) with the strides.
+
+use std::collections::HashMap;
+
+use halide_ir::{CallType, Expr, ExprNode, IrMutator, Stmt, StmtNode, Type};
+
+/// Name of the symbolic minimum of dimension `d` of buffer `name`.
+pub fn buf_min(name: &str, d: usize) -> String {
+    format!("{name}.min.{d}")
+}
+
+/// Name of the symbolic extent of dimension `d` of buffer `name`.
+pub fn buf_extent(name: &str, d: usize) -> String {
+    format!("{name}.extent.{d}")
+}
+
+/// Name of the symbolic stride of dimension `d` of buffer `name`.
+pub fn buf_stride(name: &str, d: usize) -> String {
+    format!("{name}.stride.{d}")
+}
+
+/// The flattened index expression for accessing buffer `name` at `coords`.
+pub fn flat_index(name: &str, coords: &[Expr]) -> Expr {
+    let mut index = Expr::int(0);
+    for (d, c) in coords.iter().enumerate() {
+        let adjusted = c.clone() - Expr::var_i32(buf_min(name, d));
+        index = index + adjusted * Expr::var_i32(buf_stride(name, d));
+    }
+    halide_ir::simplify(&index)
+}
+
+struct Flatten {
+    /// Element types of the buffers we know about (from Realize nodes and the
+    /// pipeline's function signatures); used only for diagnostics.
+    known: HashMap<String, Type>,
+}
+
+impl IrMutator for Flatten {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        let e = halide_ir::mutate_expr_children(self, e);
+        if let ExprNode::Call {
+            ty,
+            name,
+            call_type,
+            args,
+        } = e.node()
+        {
+            if matches!(call_type, CallType::Halide | CallType::Image) {
+                return Expr::load(*ty, name.clone(), flat_index(name, args));
+            }
+        }
+        e
+    }
+
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        match s.node() {
+            StmtNode::Provide { name, value, args } => {
+                let value = self.mutate_expr(value);
+                let args: Vec<Expr> = args.iter().map(|a| self.mutate_expr(a)).collect();
+                Stmt::store(name.clone(), value, flat_index(name, &args))
+            }
+            StmtNode::Realize { name, ty, bounds, body } => {
+                self.known.insert(name.clone(), *ty);
+                let body = self.mutate_stmt(body);
+                // Allocation size: product of extents.
+                let mut size = Expr::int(1);
+                for r in bounds {
+                    size = size * r.extent.clone();
+                }
+                // Define min/extent/stride symbols for the buffer, innermost
+                // stride 1.
+                let mut wrapped = body;
+                // Lets are built innermost-out so that stride.d can reference
+                // stride.(d-1) and extent.(d-1): emit them outermost-first by
+                // wrapping in reverse.
+                let mut lets: Vec<(String, Expr)> = Vec::new();
+                for (d, r) in bounds.iter().enumerate() {
+                    lets.push((buf_min(name, d), r.min.clone()));
+                    lets.push((buf_extent(name, d), r.extent.clone()));
+                    let stride = if d == 0 {
+                        Expr::int(1)
+                    } else {
+                        Expr::var_i32(buf_stride(name, d - 1))
+                            * Expr::var_i32(buf_extent(name, d - 1))
+                    };
+                    lets.push((buf_stride(name, d), stride));
+                }
+                for (n, v) in lets.into_iter().rev() {
+                    wrapped = Stmt::let_stmt(n, v, wrapped);
+                }
+                Stmt::allocate(name.clone(), *ty, halide_ir::simplify(&size), wrapped)
+            }
+            _ => halide_ir::mutate_stmt_children(self, s),
+        }
+    }
+}
+
+/// Flattens all multi-dimensional storage in a statement.
+pub fn flatten(stmt: &Stmt) -> Stmt {
+    Flatten {
+        known: HashMap::new(),
+    }
+    .mutate_stmt(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::{ForKind, Range};
+
+    #[test]
+    fn flat_index_uses_mins_and_strides() {
+        let idx = flat_index("f", &[Expr::var_i32("x"), Expr::var_i32("y")]);
+        let text = idx.to_string();
+        assert!(text.contains("f.min.0"));
+        assert!(text.contains("f.stride.1"));
+    }
+
+    #[test]
+    fn realize_becomes_allocate_with_layout_lets() {
+        let body = Stmt::provide(
+            "f",
+            Expr::f32(1.0),
+            vec![Expr::var_i32("x"), Expr::var_i32("y")],
+        );
+        let realize = Stmt::realize(
+            "f",
+            Type::f32(),
+            vec![
+                Range::new(Expr::int(-1), Expr::int(10)),
+                Range::new(Expr::int(0), Expr::int(4)),
+            ],
+            body,
+        );
+        let flat = flatten(&realize);
+        let text = flat.to_string();
+        assert!(text.contains("allocate f[float32 * 40]"));
+        assert!(text.contains("let f.min.0 = -1"));
+        assert!(text.contains("let f.stride.0 = 1"));
+        assert!(text.contains("let f.stride.1 = (f.stride.0*f.extent.0)"));
+        assert!(text.contains("f["));
+    }
+
+    #[test]
+    fn calls_become_loads() {
+        let call = Expr::call(
+            Type::f32(),
+            "g",
+            CallType::Halide,
+            vec![Expr::var_i32("x") + 1, Expr::var_i32("y")],
+        );
+        let s = Stmt::provide("out", call, vec![Expr::var_i32("x"), Expr::var_i32("y")]);
+        let flat = flatten(&s);
+        let text = flat.to_string();
+        assert!(text.contains("g["));
+        assert!(text.contains("out["));
+        assert!(!text.contains("g(")); // no call syntax left
+    }
+
+    #[test]
+    fn image_calls_also_flattened() {
+        let call = Expr::call(
+            Type::u8(),
+            "input",
+            CallType::Image,
+            vec![Expr::var_i32("x")],
+        );
+        let s = Stmt::for_loop(
+            "x",
+            Expr::int(0),
+            Expr::int(4),
+            ForKind::Serial,
+            Stmt::provide("out", call, vec![Expr::var_i32("x")]),
+        );
+        let text = flatten(&s).to_string();
+        assert!(text.contains("input[((x - input.min.0)*input.stride.0)]"));
+    }
+
+    #[test]
+    fn intrinsic_calls_are_untouched() {
+        let call = Expr::intrinsic("sqrt", vec![Expr::f32(4.0)], Type::f32());
+        let s = Stmt::evaluate(call);
+        let text = flatten(&s).to_string();
+        assert!(text.contains("sqrt(4.0f)"));
+    }
+}

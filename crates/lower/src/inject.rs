@@ -1,0 +1,586 @@
+//! Lowering driver: snapshotting the pipeline, inlining, and injecting the
+//! storage and computation of every producer at the loop levels chosen by its
+//! call schedule (Sec. 4.1), with bounds inference (Sec. 4.2) integrated so
+//! that every loop bound and allocation size is a concrete expression of
+//! outer loop variables and buffer sizes.
+
+use std::collections::BTreeMap;
+
+use halide_ir::{
+    simplify, simplify_stmt, CallType, Expr, ExprNode, IrMutator, Range, Stmt, StmtNode, Type,
+};
+use halide_lang::{Pipeline, RVar};
+use halide_schedule::{FuncSchedule, LoopLevel};
+
+use crate::bounds::{count_calls, region_required};
+use crate::error::{LowerError, Result};
+use crate::nest::{build_produce_nest, loop_var};
+
+/// A plain snapshot of one reduction-domain dimension.
+#[derive(Debug, Clone)]
+pub struct RVarSnapshot {
+    /// Loop variable name (as written in the algorithm, e.g. `r.x`).
+    pub name: String,
+    /// Domain minimum.
+    pub min: Expr,
+    /// Domain extent.
+    pub extent: Expr,
+}
+
+/// A plain snapshot of a reduction domain.
+#[derive(Debug, Clone)]
+pub struct RDomSnapshot {
+    /// The domain's dimensions in lexicographic order.
+    pub dims: Vec<RVarSnapshot>,
+}
+
+/// A plain snapshot of one update definition.
+#[derive(Debug, Clone)]
+pub struct UpdateDefSnapshot {
+    /// Coordinate expressions of the update.
+    pub args: Vec<Expr>,
+    /// Value stored by the update.
+    pub value: Expr,
+    /// Reduction domain, if the update iterates over one.
+    pub rdom: Option<RDomSnapshot>,
+}
+
+/// A plain, immutable snapshot of a `halide_lang::Func`, decoupled from the
+/// shared frontend handles so the compiler can rewrite definitions (e.g.
+/// inlining) without mutating user objects.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// Unique function name.
+    pub name: String,
+    /// Pure argument names, in order.
+    pub args: Vec<String>,
+    /// Pure definition.
+    pub value: Expr,
+    /// Update definitions.
+    pub updates: Vec<UpdateDefSnapshot>,
+    /// The function's schedule.
+    pub schedule: FuncSchedule,
+    /// Value type.
+    pub ty: Type,
+}
+
+fn snapshot_rvar(rv: &RVar) -> RVarSnapshot {
+    RVarSnapshot {
+        name: rv.name().to_string(),
+        min: rv.min().clone(),
+        extent: rv.extent().clone(),
+    }
+}
+
+/// Takes a snapshot of every function in the pipeline, keyed by name.
+pub fn snapshot_pipeline(pipeline: &Pipeline) -> BTreeMap<String, FuncDef> {
+    pipeline
+        .funcs()
+        .map(|f| {
+            let updates = f
+                .updates()
+                .into_iter()
+                .map(|u| UpdateDefSnapshot {
+                    args: u.args.clone(),
+                    value: u.value.clone(),
+                    rdom: u.rdom.as_ref().map(|r| RDomSnapshot {
+                        dims: r.dims().iter().map(snapshot_rvar).collect(),
+                    }),
+                })
+                .collect();
+            (
+                f.name(),
+                FuncDef {
+                    name: f.name(),
+                    args: f.args(),
+                    value: f.value(),
+                    updates,
+                    schedule: f.schedule(),
+                    ty: f.ty(),
+                },
+            )
+        })
+        .collect()
+}
+
+// ---- inlining ---------------------------------------------------------------
+
+struct Inliner<'a> {
+    callee: &'a FuncDef,
+}
+
+impl IrMutator for Inliner<'_> {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        let e = halide_ir::mutate_expr_children(self, e);
+        if let ExprNode::Call {
+            name,
+            call_type: CallType::Halide,
+            args,
+            ..
+        } = e.node()
+        {
+            if name == &self.callee.name {
+                let mut map = std::collections::HashMap::new();
+                for (a, arg) in self.callee.args.iter().zip(args.iter()) {
+                    map.insert(a.clone(), arg.clone());
+                }
+                return halide_ir::substitute_map(&self.callee.value, &map);
+            }
+        }
+        e
+    }
+}
+
+/// Substitutes the definition of `callee` into `expr` at every call site.
+pub fn inline_into(expr: &Expr, callee: &FuncDef) -> Expr {
+    Inliner { callee }.mutate_expr(expr)
+}
+
+/// Inlines every function scheduled `compute_inline` into its callers,
+/// processing producers before consumers so chains of inline functions
+/// collapse completely.
+///
+/// # Errors
+///
+/// Fails if an inline function has update definitions (reductions carry
+/// state and cannot be recomputed at every use site) or if the output is
+/// scheduled inline.
+pub fn inline_all(
+    env: &mut BTreeMap<String, FuncDef>,
+    order: &[String],
+    output: &str,
+) -> Result<()> {
+    for name in order {
+        let def = env[name].clone();
+        if !def.schedule.compute_level.is_inline() {
+            continue;
+        }
+        if name == output {
+            return Err(LowerError::new(format!(
+                "the output function {name:?} cannot be scheduled inline"
+            )));
+        }
+        if !def.updates.is_empty() {
+            return Err(LowerError::new(format!(
+                "function {name:?} has update definitions and cannot be inlined"
+            )));
+        }
+        for (_, other) in env.iter_mut() {
+            if other.name == def.name {
+                continue;
+            }
+            other.value = simplify(&inline_into(&other.value, &def));
+            for u in &mut other.updates {
+                u.value = simplify(&inline_into(&u.value, &def));
+                for a in &mut u.args {
+                    *a = simplify(&inline_into(a, &def));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- injection --------------------------------------------------------------
+
+/// The symbolic range the output function is realized over: its bounds come
+/// from the output buffer supplied at realization time.
+pub fn output_region(func: &FuncDef) -> Vec<Range> {
+    func.args
+        .iter()
+        .map(|a| {
+            Range::new(
+                Expr::var_i32(format!("{}.{a}.min", func.name)),
+                Expr::var_i32(format!("{}.{a}.extent", func.name)),
+            )
+        })
+        .collect()
+}
+
+/// Rewrites the first `For` loop named `target`, replacing its body with
+/// `f(body)`. Returns the rewritten statement and whether the loop was found.
+fn transform_loop_body(
+    stmt: &Stmt,
+    target: &str,
+    f: &mut dyn FnMut(Stmt) -> Stmt,
+) -> (Stmt, bool) {
+    struct Finder<'a> {
+        target: &'a str,
+        f: &'a mut dyn FnMut(Stmt) -> Stmt,
+        found: bool,
+    }
+    impl IrMutator for Finder<'_> {
+        fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+            if self.found {
+                return s.clone();
+            }
+            if let StmtNode::For {
+                name,
+                min,
+                extent,
+                kind,
+                body,
+            } = s.node()
+            {
+                if name == self.target {
+                    self.found = true;
+                    let new_body = (self.f)(body.clone());
+                    return Stmt::for_loop(name.clone(), min.clone(), extent.clone(), *kind, new_body);
+                }
+            }
+            halide_ir::mutate_stmt_children(self, s)
+        }
+    }
+    let mut finder = Finder {
+        target,
+        f,
+        found: false,
+    };
+    let out = finder.mutate_stmt(stmt);
+    (out, finder.found)
+}
+
+/// Extracts (a clone of) the body of the first `For` loop named `target`.
+fn loop_body(stmt: &Stmt, target: &str) -> Option<Stmt> {
+    let mut result: Option<Stmt> = None;
+    let (_, found) = transform_loop_body(stmt, target, &mut |body| {
+        result = Some(body.clone());
+        body
+    });
+    if found {
+        result
+    } else {
+        None
+    }
+}
+
+fn level_loop_name(env: &BTreeMap<String, FuncDef>, level: &LoopLevel) -> Result<Option<String>> {
+    match level {
+        LoopLevel::Root => Ok(None),
+        LoopLevel::Inline => Err(LowerError::new(
+            "inline functions are substituted before injection".to_string(),
+        )),
+        LoopLevel::At { func, var } => {
+            let consumer = env.get(func).ok_or_else(|| {
+                LowerError::new(format!("compute_at/store_at references unknown function {func:?}"))
+            })?;
+            if !consumer.schedule.has_dim(var) && !consumer.args.contains(var) {
+                return Err(LowerError::new(format!(
+                    "compute_at/store_at references loop {var:?} which is not a dimension of {func:?}"
+                )));
+            }
+            Ok(Some(loop_var(func, var)))
+        }
+    }
+}
+
+/// Pads allocation extents so the shift-inwards tail strategy of split loops
+/// can never store outside the allocation even when a required extent is
+/// smaller than a split factor.
+fn padded_bounds(func: &FuncDef, ranges: &[Range]) -> Vec<Range> {
+    ranges
+        .iter()
+        .enumerate()
+        .map(|(d, r)| {
+            let arg = &func.args[d];
+            // Sum of factors of splits rooted (transitively) at this argument.
+            let mut involved: Vec<&str> = vec![arg.as_str()];
+            let mut pad: i64 = 0;
+            for s in &func.schedule.splits {
+                if involved.contains(&s.old.as_str()) {
+                    pad += s.factor;
+                    involved.push(s.outer.as_str());
+                    involved.push(s.inner.as_str());
+                }
+            }
+            if pad == 0 {
+                r.clone()
+            } else {
+                Range::new(r.min.clone(), simplify(&(r.extent.clone() + Expr::int(pad as i32))))
+            }
+        })
+        .collect()
+}
+
+/// Builds the complete (pre-flattening) statement for a pipeline: the output
+/// function's loop nest with every producer's storage and computation
+/// injected at its scheduled loop levels, and all bounds resolved to concrete
+/// expressions.
+///
+/// # Errors
+///
+/// Fails when a schedule is globally inconsistent: unknown loop levels,
+/// compute levels that do not enclose every consumer, or regions whose bounds
+/// cannot be inferred.
+pub fn build_pipeline_stmt(
+    env: &BTreeMap<String, FuncDef>,
+    order: &[String],
+    output: &str,
+) -> Result<Stmt> {
+    let out_def = env
+        .get(output)
+        .ok_or_else(|| LowerError::new(format!("unknown output function {output:?}")))?;
+    let mut stmt = build_produce_nest(out_def, &output_region(out_def))?;
+
+    // The output buffer is supplied by the caller and cannot be padded, so
+    // the shift-inwards tail strategy requires each split dimension of the
+    // output to be at least one split factor wide. Check it at run time.
+    let mut guards = Vec::new();
+    for split in &out_def.schedule.splits {
+        if out_def.args.contains(&split.old) {
+            let extent = Expr::var_i32(format!("{}.{}.extent", out_def.name, split.old));
+            guards.push(Stmt::assert_stmt(
+                Expr::ge(extent, Expr::int(split.factor as i32)),
+                format!(
+                    "output dimension {:?} of {} must be at least {} wide for this schedule",
+                    split.old, out_def.name, split.factor
+                ),
+            ));
+        }
+    }
+    if !guards.is_empty() {
+        guards.push(stmt);
+        stmt = Stmt::block_of(guards);
+    }
+
+    // Inject every non-output, non-inline function, consumers before
+    // producers (reverse realization order, skipping the output itself).
+    for name in order.iter().rev() {
+        if name == output {
+            continue;
+        }
+        let def = &env[name];
+        if def.schedule.compute_level.is_inline() {
+            continue;
+        }
+
+        let compute_loop = level_loop_name(env, &def.schedule.compute_level)?;
+        let store_loop = level_loop_name(env, &def.schedule.store_level)?;
+
+        // Region required at the compute level.
+        let compute_body = match &compute_loop {
+            None => stmt.clone(),
+            Some(l) => loop_body(&stmt, l).ok_or_else(|| {
+                LowerError::new(format!(
+                    "{}: compute_at loop {l:?} does not exist in the current loop nest",
+                    def.name
+                ))
+            })?,
+        };
+        let total_calls = count_calls(&stmt, &def.name);
+        if total_calls == 0 {
+            // Dead stage: every consumer was inlined away or it is never used.
+            continue;
+        }
+        let calls_inside = count_calls(&compute_body, &def.name);
+        if calls_inside < total_calls {
+            return Err(LowerError::new(format!(
+                "{}: compute level {} does not enclose all of its consumers",
+                def.name, def.schedule.compute_level
+            )));
+        }
+        let compute_region = region_required(&compute_body, &def.name, def.args.len())
+            .to_ranges(&def.name)?;
+
+        // Region required at the (equal or coarser) storage level.
+        let store_body = match &store_loop {
+            None => stmt.clone(),
+            Some(l) => loop_body(&stmt, l).ok_or_else(|| {
+                LowerError::new(format!(
+                    "{}: store_at loop {l:?} does not exist in the current loop nest",
+                    def.name
+                ))
+            })?,
+        };
+        let calls_in_store = count_calls(&store_body, &def.name);
+        if calls_in_store < total_calls {
+            return Err(LowerError::new(format!(
+                "{}: store level {} does not enclose all of its consumers",
+                def.name, def.schedule.store_level
+            )));
+        }
+        let store_region =
+            region_required(&store_body, &def.name, def.args.len()).to_ranges(&def.name)?;
+        let store_bounds = padded_bounds(def, &store_region);
+
+        // Build the producer nest over the compute region and inject it at
+        // the compute level.
+        let produce = build_produce_nest(def, &compute_region)?;
+        stmt = match &compute_loop {
+            None => Stmt::block(produce, stmt),
+            Some(l) => {
+                let (new_stmt, found) =
+                    transform_loop_body(&stmt, l, &mut |body| Stmt::block(produce.clone(), body));
+                debug_assert!(found, "compute loop vanished between analysis and injection");
+                new_stmt
+            }
+        };
+
+        // Wrap the storage level in a Realize.
+        let ty = def.ty;
+        let fname = def.name.clone();
+        stmt = match &store_loop {
+            None => Stmt::realize(fname, ty, store_bounds, stmt),
+            Some(l) => {
+                let bounds = store_bounds.clone();
+                let (new_stmt, found) = transform_loop_body(&stmt, l, &mut |body| {
+                    Stmt::realize(fname.clone(), ty, bounds.clone(), body)
+                });
+                debug_assert!(found, "store loop vanished between analysis and injection");
+                new_stmt
+            }
+        };
+    }
+
+    Ok(simplify_stmt(&stmt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::Type;
+    use halide_lang::{Func, ImageParam, Pipeline, Var};
+
+    fn blur_pipeline(prefix: &str) -> (Pipeline, String, String) {
+        let input = ImageParam::new(format!("{prefix}_in"), Type::f32(), 2);
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let blurx = Func::new(format!("{prefix}_blurx"));
+        blurx.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr() - 1, y.expr()])
+                + input.at_clamped(vec![x.expr(), y.expr()])
+                + input.at_clamped(vec![x.expr() + 1, y.expr()]),
+        );
+        let out = Func::new(format!("{prefix}_out"));
+        out.define(
+            &[x.clone(), y.clone()],
+            blurx.at(vec![x.expr(), y.expr() - 1])
+                + blurx.at(vec![x.expr(), y.expr()])
+                + blurx.at(vec![x.expr(), y.expr() + 1]),
+        );
+        let blurx_name = blurx.name();
+        let out_name = out.name();
+        (Pipeline::new(&out), blurx_name, out_name)
+    }
+
+    fn contains_realize(s: &Stmt, name: &str) -> bool {
+        s.to_string().contains(&format!("realize {name}"))
+    }
+
+    #[test]
+    fn breadth_first_realizes_at_root() {
+        let (p, blurx, out) = blur_pipeline("inject_bf");
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let text = stmt.to_string();
+        assert!(contains_realize(&stmt, &blurx));
+        // Realize must be outermost (before the out loops)
+        let realize_pos = text.find("realize").unwrap();
+        let out_loop_pos = text.find(&format!("for {out}.y")).unwrap();
+        assert!(realize_pos < out_loop_pos);
+        // The produced region of blurx extends one row above and below the output.
+        assert!(text.contains(&format!("{blurx}.y.min")) || text.contains("- 1"));
+    }
+
+    #[test]
+    fn inline_schedule_substitutes_definition() {
+        let (p, blurx, out) = blur_pipeline("inject_inline");
+        p.func(&blurx).unwrap().compute_inline();
+        let mut env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        inline_all(&mut env, &order, &out).unwrap();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let text = stmt.to_string();
+        // no realization of blurx, and the input image is read directly from
+        // the out loop nest
+        assert!(!contains_realize(&stmt, &blurx));
+        assert!(!text.contains(&format!("{blurx}(")));
+        assert!(text.contains("inject_inline_in("));
+    }
+
+    #[test]
+    fn compute_at_injects_inside_consumer_loop() {
+        let (p, blurx, out) = blur_pipeline("inject_at");
+        p.func(&blurx)
+            .unwrap()
+            .compute_at(p.func(&out).unwrap(), "y");
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let text = stmt.to_string();
+        // The realize/produce of blurx must be nested inside the out.y loop.
+        let y_loop = text.find(&format!("for {out}.y")).unwrap();
+        let realize = text.find(&format!("realize {blurx}")).unwrap();
+        assert!(realize > y_loop);
+        // Its y extent per iteration is the 3-row stencil window.
+        assert!(text.contains("3"));
+    }
+
+    #[test]
+    fn compute_at_unknown_loop_is_error() {
+        let (p, blurx, out) = blur_pipeline("inject_badloop");
+        p.func(&blurx)
+            .unwrap()
+            .compute_at(p.func(&out).unwrap(), "nonexistent");
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        assert!(build_pipeline_stmt(&env, &order, &out).is_err());
+    }
+
+    #[test]
+    fn store_root_compute_inner_realizes_at_root() {
+        let (p, blurx, out) = blur_pipeline("inject_slide");
+        {
+            let b = p.func(&blurx).unwrap();
+            b.compute_at(p.func(&out).unwrap(), "y");
+            b.store_root();
+        }
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let text = stmt.to_string();
+        let realize = text.find(&format!("realize {blurx}")).unwrap();
+        let y_loop = text.find(&format!("for {out}.y")).unwrap();
+        let produce = text.find(&format!("produce {blurx}")).unwrap();
+        assert!(realize < y_loop, "storage hoisted outside the loop");
+        assert!(produce > y_loop, "computation stays inside the loop");
+    }
+
+    #[test]
+    fn split_and_parallel_schedule_lowers() {
+        let (p, blurx, out) = blur_pipeline("inject_tiled");
+        {
+            let o = p.func(&out).unwrap();
+            o.tile_dims("x", "y", "xo", "yo", "xi", "yi", 32, 32);
+            o.parallelize("yo");
+            let b = p.func(&blurx).unwrap();
+            b.compute_at(o, "xo");
+        }
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let text = stmt.to_string();
+        assert!(text.contains(&format!("parallel for {out}.yo")));
+        assert!(text.contains(&format!("realize {blurx}")));
+        // blurx realize must be inside the xo loop
+        let xo = text.find(&format!("for {out}.xo")).unwrap();
+        let realize = text.find(&format!("realize {blurx}")).unwrap();
+        assert!(realize > xo);
+    }
+
+    #[test]
+    fn snapshot_captures_updates() {
+        let i = Var::new("i");
+        let f = Func::new("inject_snapshot_hist");
+        f.define(&[i.clone()], Expr::int(0));
+        let r = halide_lang::RDom::over("r", 0, 8);
+        f.update(vec![r.x().expr()], f.at(vec![r.x().expr()]) + 1, Some(r));
+        let p = Pipeline::new(&f);
+        let env = snapshot_pipeline(&p);
+        let def = &env[&f.name()];
+        assert_eq!(def.updates.len(), 1);
+        assert_eq!(def.updates[0].rdom.as_ref().unwrap().dims.len(), 1);
+        assert_eq!(def.ty, Type::i32());
+    }
+}

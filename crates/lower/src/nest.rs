@@ -1,0 +1,367 @@
+//! Loop synthesis (Sec. 4.1): building the loop nest that produces one
+//! function over a required region, according to its schedule's domain order.
+
+use std::collections::HashMap;
+
+use halide_ir::{Expr, ForKind, Range, Stmt};
+
+use crate::error::{LowerError, Result};
+use crate::inject::FuncDef;
+
+/// The loop-variable name used in lowered code for dimension `dim` of
+/// function `func`'s pure definition.
+pub fn loop_var(func: &str, dim: &str) -> String {
+    format!("{func}.{dim}")
+}
+
+/// The loop-variable name for dimension `dim` of update stage `stage`.
+pub fn update_loop_var(func: &str, stage: usize, dim: &str) -> String {
+    format!("{func}.s{stage}.{dim}")
+}
+
+/// Builds the statement that computes `func` over `region` (one `Range` per
+/// pure argument, in argument order), honouring the schedule's splits, loop
+/// order, and loop kinds. Update definitions are appended after the pure
+/// initialization, looping over their reduction domains in lexicographic
+/// order (first dimension innermost).
+///
+/// Split dimensions use the shift-inwards tail strategy: the last iteration
+/// of the outer loop is shifted back so the traversed region never exceeds
+/// the required region (at the cost of recomputing a few values), which keeps
+/// stores inside the allocated/required box without per-point guards.
+///
+/// # Errors
+///
+/// Fails if the schedule references dimensions that do not exist or if the
+/// region does not cover every pure argument.
+pub fn build_produce_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
+    if region.len() != func.args.len() {
+        return Err(LowerError::new(format!(
+            "function {} has {} dimensions but the inferred region has {}",
+            func.name,
+            func.args.len(),
+            region.len()
+        )));
+    }
+
+    let pure = build_pure_nest(func, region)?;
+    let mut stages = vec![pure];
+    for (i, update) in func.updates.iter().enumerate() {
+        stages.push(build_update_nest(func, i, update, region)?);
+    }
+    Ok(Stmt::produce(func.name.clone(), Stmt::block_of(stages)))
+}
+
+/// Map from pure argument name to its (min, extent) over the required region.
+fn region_map(func: &FuncDef, region: &[Range]) -> HashMap<String, (Expr, Expr)> {
+    func.args
+        .iter()
+        .cloned()
+        .zip(region.iter().map(|r| (r.min.clone(), r.extent.clone())))
+        .collect()
+}
+
+fn build_pure_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
+    let schedule = &func.schedule;
+
+    // Substitute bare argument names with prefixed loop variables in the
+    // value and the provide coordinates.
+    let mut subst: HashMap<String, Expr> = HashMap::new();
+    for a in &func.args {
+        subst.insert(a.clone(), Expr::var_i32(loop_var(&func.name, a)));
+    }
+    let value = halide_ir::substitute_map(&func.value, &subst);
+    let coords: Vec<Expr> = func
+        .args
+        .iter()
+        .map(|a| Expr::var_i32(loop_var(&func.name, a)))
+        .collect();
+    let mut body = Stmt::provide(func.name.clone(), value, coords);
+
+    // Compute loop bounds for every dimension, applying splits.
+    // `bounds` maps dimension name -> (loop min, loop extent).
+    let mut bounds: HashMap<String, (Expr, Expr)> = region_map(func, region);
+    // Definitions of split-away variables, in application order.
+    let mut split_defs: Vec<(String, Expr)> = Vec::new();
+
+    for split in &schedule.splits {
+        let (old_min, old_extent) = bounds.remove(&split.old).ok_or_else(|| {
+            LowerError::new(format!(
+                "split of unknown dimension {:?} in {}",
+                split.old, func.name
+            ))
+        })?;
+        if let Some(e) = old_extent.as_const_int() {
+            if e < split.factor {
+                return Err(LowerError::new(format!(
+                    "split of {:?} in {} by {} exceeds its constant extent {e}; \
+                     the traversed region would overrun the required region",
+                    split.old, func.name, split.factor
+                )));
+            }
+        }
+        let factor = Expr::int(split.factor as i32);
+        let outer_extent =
+            halide_ir::simplify(&((old_extent.clone() + (factor.clone() - 1)) / factor.clone()));
+        bounds.insert(split.outer.clone(), (Expr::int(0), outer_extent));
+        bounds.insert(split.inner.clone(), (Expr::int(0), factor.clone()));
+        // Shift-inwards: old = old_min + min(outer*factor, max(extent-factor, 0)) + inner
+        let outer_var = Expr::var_i32(loop_var(&func.name, &split.outer));
+        let inner_var = Expr::var_i32(loop_var(&func.name, &split.inner));
+        let base = Expr::min(
+            outer_var * factor.clone(),
+            Expr::max(old_extent.clone() - factor, Expr::int(0)),
+        );
+        let def = old_min + base + inner_var;
+        split_defs.push((loop_var(&func.name, &split.old), def));
+    }
+
+    // Wrap the body in lets defining the split-away variables. Wrapping in
+    // application order places later splits' definitions outermost, so a
+    // variable split twice resolves correctly.
+    for (name, def) in &split_defs {
+        body = Stmt::let_stmt(name.clone(), def.clone(), body);
+    }
+
+    // Wrap in loops, innermost (last dim) first.
+    for dim in schedule.dims.iter().rev() {
+        let (min, extent) = bounds.get(&dim.name).cloned().ok_or_else(|| {
+            LowerError::new(format!(
+                "schedule of {} has dimension {:?} with no bounds (was it split away?)",
+                func.name, dim.name
+            ))
+        })?;
+        body = Stmt::for_loop(loop_var(&func.name, &dim.name), min, extent, dim.kind, body);
+    }
+    Ok(body)
+}
+
+fn build_update_nest(
+    func: &FuncDef,
+    stage: usize,
+    update: &crate::inject::UpdateDefSnapshot,
+    region: &[Range],
+) -> Result<Stmt> {
+    let stage_index = stage + 1;
+    // Substitutions: pure args and reduction variables both get
+    // stage-qualified loop variable names so no two loops in the lowered
+    // program collide.
+    let mut subst: HashMap<String, Expr> = HashMap::new();
+    for a in &func.args {
+        subst.insert(
+            a.clone(),
+            Expr::var_i32(update_loop_var(&func.name, stage_index, a)),
+        );
+    }
+    if let Some(rdom) = &update.rdom {
+        for rv in &rdom.dims {
+            subst.insert(
+                rv.name.clone(),
+                Expr::var_i32(update_loop_var(&func.name, stage_index, &rv.name)),
+            );
+        }
+    }
+
+    let value = halide_ir::substitute_map(&update.value, &subst);
+    let coords: Vec<Expr> = update
+        .args
+        .iter()
+        .map(|a| halide_ir::substitute_map(a, &subst))
+        .collect();
+    let mut body = Stmt::provide(func.name.clone(), value, coords);
+
+    // Reduction loops, first dimension innermost (lexicographic order).
+    if let Some(rdom) = &update.rdom {
+        for rv in &rdom.dims {
+            body = Stmt::for_loop(
+                update_loop_var(&func.name, stage_index, &rv.name),
+                rv.min.clone(),
+                rv.extent.clone(),
+                ForKind::Serial,
+                body,
+            );
+        }
+    }
+
+    // Pure variables that actually appear in the update's coordinates also
+    // loop (over the full required region); ones that don't appear are not
+    // looped (the update touches a lower-dimensional slice).
+    let regions = region_map(func, region);
+    for (a, coord) in func.args.iter().zip(update.args.iter()) {
+        let uses_pure_var = halide_ir::expr_uses_var(coord, a)
+            || coord.as_var().map(|v| v == a).unwrap_or(false);
+        if uses_pure_var {
+            let (min, extent) = regions[a].clone();
+            body = Stmt::for_loop(
+                update_loop_var(&func.name, stage_index, a),
+                min,
+                extent,
+                ForKind::Serial,
+                body,
+            );
+        }
+    }
+
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::snapshot_pipeline;
+    use halide_ir::{CallType, StmtNode, Type};
+    use halide_lang::{Func, ImageParam, Pipeline, RDom, Var};
+
+    fn simple_func(name: &str) -> FuncDef {
+        let input = ImageParam::new(format!("{name}_in"), Type::f32(), 2);
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let f = Func::new(name);
+        f.define(
+            &[x.clone(), y.clone()],
+            input.at(vec![x.expr(), y.expr()]) * 2.0f32,
+        );
+        let p = Pipeline::new(&f);
+        let env = snapshot_pipeline(&p);
+        env[&f.name()].clone()
+    }
+
+    fn region_2d(w: i32, h: i32) -> Vec<Range> {
+        vec![
+            Range::new(Expr::int(0), Expr::int(w)),
+            Range::new(Expr::int(0), Expr::int(h)),
+        ]
+    }
+
+    fn count_loops(s: &Stmt) -> Vec<(String, ForKind)> {
+        fn walk(s: &Stmt, out: &mut Vec<(String, ForKind)>) {
+            match s.node() {
+                StmtNode::For { name, kind, body, .. } => {
+                    out.push((name.clone(), *kind));
+                    walk(body, out);
+                }
+                StmtNode::Block { stmts } => stmts.iter().for_each(|s| walk(s, out)),
+                StmtNode::LetStmt { body, .. }
+                | StmtNode::Producer { body, .. }
+                | StmtNode::Realize { body, .. }
+                | StmtNode::Allocate { body, .. } => walk(body, out),
+                StmtNode::IfThenElse { then_case, else_case, .. } => {
+                    walk(then_case, out);
+                    if let Some(e) = else_case {
+                        walk(e, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut v = Vec::new();
+        walk(s, &mut v);
+        v
+    }
+
+    #[test]
+    fn default_schedule_builds_row_major_loops() {
+        let f = simple_func("nest_simple");
+        let s = build_produce_nest(&f, &region_2d(16, 8)).unwrap();
+        let loops = count_loops(&s);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].0, format!("{}.y", f.name));
+        assert_eq!(loops[1].0, format!("{}.x", f.name));
+    }
+
+    #[test]
+    fn split_generates_outer_inner_and_let() {
+        let mut f = simple_func("nest_split");
+        f.schedule.split("x", "xo", "xi", 4).unwrap();
+        f.schedule.vectorize("xi").unwrap();
+        let s = build_produce_nest(&f, &region_2d(16, 8)).unwrap();
+        let text = s.to_string();
+        assert!(text.contains(&format!("{}.xo", f.name)));
+        assert!(text.contains(&format!("vectorized for {}.xi", f.name)));
+        assert!(text.contains(&format!("let {}.x =", f.name)));
+        // shift-inwards: min(xo*4, extent-4)
+        assert!(text.contains("min("));
+        let loops = count_loops(&s);
+        assert_eq!(loops.len(), 3);
+    }
+
+    #[test]
+    fn region_mismatch_is_error() {
+        let f = simple_func("nest_bad_region");
+        assert!(build_produce_nest(&f, &[Range::new(Expr::int(0), Expr::int(4))]).is_err());
+    }
+
+    #[test]
+    fn update_stage_loops_over_rdom() {
+        let i = Var::new("i");
+        let hist = Func::new("nest_hist");
+        hist.define(&[i.clone()], Expr::int(0));
+        let r = RDom::over("r", 0, 100);
+        hist.update(
+            vec![r.x().expr() % 16],
+            hist.at(vec![r.x().expr() % 16]) + 1,
+            Some(r),
+        );
+        let p = Pipeline::new(&hist);
+        let env = snapshot_pipeline(&p);
+        let def = env[&hist.name()].clone();
+        let s = build_produce_nest(&def, &[Range::new(Expr::int(0), Expr::int(16))]).unwrap();
+        let loops = count_loops(&s);
+        // init loop over i plus the reduction loop
+        assert_eq!(loops.len(), 2);
+        assert!(loops[1].0.contains(".s1.r.x"));
+        // the provide inside the update references the reduction loop var
+        let text = s.to_string();
+        assert!(text.contains(&format!("{}.s1.r.x", def.name)));
+    }
+
+    #[test]
+    fn update_with_pure_vars_loops_over_them() {
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let f = Func::new("nest_pure_update");
+        f.define(&[x.clone(), y.clone()], Expr::f32(0.0));
+        // f(x, y) += 1 over a 1-D rdom in y only; x appears as a pure var.
+        let r = RDom::over("ry", 0, 4);
+        f.update(
+            vec![x.expr(), r.x().expr()],
+            f.at(vec![x.expr(), r.x().expr()]) + 1.0f32,
+            Some(r),
+        );
+        let p = Pipeline::new(&f);
+        let env = snapshot_pipeline(&p);
+        let def = env[&f.name()].clone();
+        let s = build_produce_nest(&def, &region_2d(8, 4)).unwrap();
+        let loops = count_loops(&s);
+        // 2 init loops + (1 pure x loop + 1 rdom loop) for the update
+        assert_eq!(loops.len(), 4);
+    }
+
+    #[test]
+    fn provide_value_uses_prefixed_vars() {
+        let f = simple_func("nest_prefix");
+        let s = build_produce_nest(&f, &region_2d(4, 4)).unwrap();
+        fn find_provide(s: &Stmt) -> Option<(String, Vec<Expr>)> {
+            match s.node() {
+                StmtNode::Provide { name, args, .. } => Some((name.clone(), args.clone())),
+                StmtNode::For { body, .. }
+                | StmtNode::LetStmt { body, .. }
+                | StmtNode::Producer { body, .. } => find_provide(body),
+                StmtNode::Block { stmts } => stmts.iter().find_map(find_provide),
+                _ => None,
+            }
+        }
+        let (name, args) = find_provide(&s).unwrap();
+        assert_eq!(name, f.name);
+        assert_eq!(args[0].to_string(), format!("{}.x", f.name));
+        assert_eq!(args[1].to_string(), format!("{}.y", f.name));
+    }
+
+    #[test]
+    fn image_calls_remain_symbolic() {
+        let f = simple_func("nest_image");
+        let s = build_produce_nest(&f, &region_2d(4, 4)).unwrap();
+        // the input image call should still be a Call node (flattening comes later)
+        let text = s.to_string();
+        assert!(text.contains("nest_image_in("));
+        let _ = CallType::Image; // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,451 @@
+//! Sliding window optimization and storage folding (Sec. 4.3).
+//!
+//! When a function's storage lives at a coarser loop level than its
+//! computation, with a serial loop in between, consecutive iterations of that
+//! loop can reuse values computed by earlier iterations:
+//!
+//! * the **sliding window** pass shrinks the region computed per iteration to
+//!   exclude everything already computed (trading parallelism of that loop
+//!   for the elimination of redundant work);
+//! * the **storage folding** pass shrinks the allocation itself when each
+//!   iteration only touches a bounded, monotonically advancing window of it
+//!   (e.g. keeping just 3 scanlines of `blurx` live instead of the whole
+//!   image).
+
+use std::collections::BTreeMap;
+
+use halide_ir::{
+    simplify, substitute, CallType, Expr, ExprNode, ForKind, IrMutator, Range, Stmt, StmtNode,
+};
+
+use crate::bounds::region_required;
+use crate::inject::FuncDef;
+use crate::nest::loop_var;
+
+/// Statistics describing what the pass did — used by tests and by the
+/// ablation benchmarks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlidingReport {
+    /// Functions whose computed region was shrunk by the sliding window pass.
+    pub slid: Vec<String>,
+    /// Functions whose storage was folded, with the fold factor per folded
+    /// dimension index.
+    pub folded: Vec<(String, usize, i64)>,
+}
+
+/// True if `stmt` directly contains (not nested under another `For`) the
+/// produce marker of `func`.
+fn directly_contains_produce(stmt: &Stmt, func: &str) -> bool {
+    match stmt.node() {
+        StmtNode::Producer { name, is_produce, body } => {
+            (*is_produce && name == func) || directly_contains_produce(body, func)
+        }
+        StmtNode::Block { stmts } => stmts.iter().any(|s| directly_contains_produce(s, func)),
+        StmtNode::LetStmt { body, .. }
+        | StmtNode::Realize { body, .. }
+        | StmtNode::Allocate { body, .. } => directly_contains_produce(body, func),
+        StmtNode::IfThenElse { then_case, else_case, .. } => {
+            directly_contains_produce(then_case, func)
+                || else_case
+                    .as_ref()
+                    .map(|e| directly_contains_produce(e, func))
+                    .unwrap_or(false)
+        }
+        _ => false,
+    }
+}
+
+/// `Some(delta)` if `expr(v) - expr(v-1)` simplifies to a non-negative
+/// constant, i.e. the expression is monotonically non-decreasing in `v` with
+/// a known step.
+fn monotonic_step(expr: &Expr, v: &str) -> Option<i64> {
+    let prev = substitute(expr, v, &(Expr::var_i32(v) - 1));
+    let delta = simplify(&(expr.clone() - prev));
+    match delta.as_const_int() {
+        Some(d) if d >= 0 => Some(d),
+        _ => None,
+    }
+}
+
+struct ProduceLoopRewriter<'a> {
+    func: &'a str,
+    serial_var: &'a str,
+    serial_min: Expr,
+    inside_produce: bool,
+    rewrote: bool,
+}
+
+impl IrMutator for ProduceLoopRewriter<'_> {
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        match s.node() {
+            StmtNode::Producer { name, is_produce, body } if *is_produce && name == self.func => {
+                let was = self.inside_produce;
+                self.inside_produce = true;
+                let nb = self.mutate_stmt(body);
+                self.inside_produce = was;
+                Stmt::produce(name.clone(), nb)
+            }
+            StmtNode::For {
+                name,
+                min,
+                extent,
+                kind,
+                body,
+            } if self.inside_produce
+                && !self.rewrote
+                && name.starts_with(&format!("{}.", self.func)) =>
+            {
+                let max = simplify(&(min.clone() + extent.clone() - 1));
+                let depends = halide_ir::expr_uses_var(min, self.serial_var);
+                if depends {
+                    if let (Some(_), Some(_)) = (
+                        monotonic_step(min, self.serial_var),
+                        monotonic_step(&max, self.serial_var),
+                    ) {
+                        self.rewrote = true;
+                        let prev_max =
+                            substitute(&max, self.serial_var, &(Expr::var_i32(self.serial_var) - 1));
+                        let is_first = Expr::le(
+                            Expr::var_i32(self.serial_var),
+                            self.serial_min.clone(),
+                        );
+                        let new_min = Expr::select(
+                            is_first,
+                            min.clone(),
+                            Expr::max(min.clone(), prev_max + 1),
+                        );
+                        let new_extent = simplify(&(max - new_min.clone() + 1));
+                        return Stmt::for_loop(
+                            name.clone(),
+                            simplify(&new_min),
+                            new_extent,
+                            *kind,
+                            body.clone(),
+                        );
+                    }
+                }
+                halide_ir::mutate_stmt_children(self, s)
+            }
+            _ => halide_ir::mutate_stmt_children(self, s),
+        }
+    }
+}
+
+struct FoldIndexRewriter<'a> {
+    func: &'a str,
+    dim: usize,
+    factor: i64,
+}
+
+impl IrMutator for FoldIndexRewriter<'_> {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        let e = halide_ir::mutate_expr_children(self, e);
+        if let ExprNode::Call {
+            ty,
+            name,
+            call_type: CallType::Halide,
+            args,
+        } = e.node()
+        {
+            if name == self.func {
+                let mut args = args.clone();
+                args[self.dim] = args[self.dim].clone() % Expr::int(self.factor as i32);
+                return Expr::call(*ty, name.clone(), CallType::Halide, args);
+            }
+        }
+        e
+    }
+
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        let s = halide_ir::mutate_stmt_children(self, s);
+        if let StmtNode::Provide { name, value, args } = s.node() {
+            if name == self.func {
+                let mut args = args.clone();
+                args[self.dim] = args[self.dim].clone() % Expr::int(self.factor as i32);
+                return Stmt::provide(name.clone(), value.clone(), args);
+            }
+        }
+        s
+    }
+}
+
+struct SlidingPass<'a> {
+    env: &'a BTreeMap<String, FuncDef>,
+    enable_sliding: bool,
+    enable_folding: bool,
+    report: SlidingReport,
+}
+
+impl SlidingPass<'_> {
+    /// Applies sliding window + storage folding inside one realization whose
+    /// produce sits inside an intervening serial loop.
+    fn optimize_realize(
+        &mut self,
+        func: &FuncDef,
+        ty: halide_ir::Type,
+        bounds: &[Range],
+        body: &Stmt,
+    ) -> Stmt {
+        // Find the serial loop directly containing the produce of this func.
+        fn find_serial_loop(s: &Stmt, func: &str) -> Option<(String, Expr)> {
+            match s.node() {
+                StmtNode::For {
+                    name,
+                    min,
+                    kind,
+                    body,
+                    ..
+                } => {
+                    if directly_contains_produce(body, func) {
+                        if *kind == ForKind::Serial {
+                            Some((name.clone(), min.clone()))
+                        } else {
+                            None
+                        }
+                    } else {
+                        find_serial_loop(body, func)
+                    }
+                }
+                StmtNode::Block { stmts } => stmts.iter().find_map(|s| find_serial_loop(s, func)),
+                StmtNode::LetStmt { body, .. }
+                | StmtNode::Producer { body, .. }
+                | StmtNode::Realize { body, .. }
+                | StmtNode::Allocate { body, .. } => find_serial_loop(body, func),
+                StmtNode::IfThenElse { then_case, else_case, .. } => {
+                    find_serial_loop(then_case, func)
+                        .or_else(|| else_case.as_ref().and_then(|e| find_serial_loop(e, func)))
+                }
+                _ => None,
+            }
+        }
+
+        let Some((serial_var, serial_min)) = find_serial_loop(body, &func.name) else {
+            return Stmt::realize(func.name.clone(), ty, bounds.to_vec(), body.clone());
+        };
+
+        // The per-iteration footprint of the function along each dimension,
+        // with the serial loop variable kept symbolic: the basis for both
+        // folding and (implicitly) the legality of sliding.
+        let loop_body = {
+            // Extract the body of the serial loop for footprint analysis.
+            fn body_of(s: &Stmt, target: &str) -> Option<Stmt> {
+                match s.node() {
+                    StmtNode::For { name, body, .. } if name == target => Some(body.clone()),
+                    StmtNode::For { body, .. }
+                    | StmtNode::LetStmt { body, .. }
+                    | StmtNode::Producer { body, .. }
+                    | StmtNode::Realize { body, .. }
+                    | StmtNode::Allocate { body, .. } => body_of(body, target),
+                    StmtNode::Block { stmts } => stmts.iter().find_map(|s| body_of(s, target)),
+                    StmtNode::IfThenElse { then_case, else_case, .. } => body_of(then_case, target)
+                        .or_else(|| else_case.as_ref().and_then(|e| body_of(e, target))),
+                    _ => None,
+                }
+            }
+            body_of(body, &serial_var)
+        };
+
+        let mut new_body = body.clone();
+
+        if self.enable_sliding {
+            let mut rewriter = ProduceLoopRewriter {
+                func: &func.name,
+                serial_var: &serial_var,
+                serial_min: serial_min.clone(),
+                inside_produce: false,
+                rewrote: false,
+            };
+            new_body = rewriter.mutate_stmt(&new_body);
+            if rewriter.rewrote {
+                self.report.slid.push(func.name.clone());
+            }
+        }
+
+        let mut new_bounds = bounds.to_vec();
+        if self.enable_folding {
+            if let Some(lb) = loop_body {
+                let footprint = region_required(&lb, &func.name, func.args.len());
+                for (d, interval) in footprint.dims.iter().enumerate() {
+                    let per_iter_extent = interval.extent().and_then(|e| e.as_const_int());
+                    let realize_extent = bounds[d].extent.as_const_int();
+                    let Some(c) = per_iter_extent else { continue };
+                    if c <= 0 {
+                        continue;
+                    }
+                    // Only fold if it actually shrinks the allocation (or the
+                    // allocation size is unknown, in which case folding bounds it).
+                    if let Some(re) = realize_extent {
+                        if re <= c {
+                            continue;
+                        }
+                    }
+                    // The window must march monotonically with the serial loop.
+                    let Some(min_expr) = &interval.min else { continue };
+                    if monotonic_step(min_expr, &serial_var).is_none() {
+                        continue;
+                    }
+                    new_body = FoldIndexRewriter {
+                        func: &func.name,
+                        dim: d,
+                        factor: c,
+                    }
+                    .mutate_stmt(&new_body);
+                    new_bounds[d] = Range::new(Expr::int(0), Expr::int(c as i32));
+                    self.report.folded.push((func.name.clone(), d, c));
+                }
+            }
+        }
+
+        Stmt::realize(func.name.clone(), ty, new_bounds, new_body)
+    }
+}
+
+impl IrMutator for SlidingPass<'_> {
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        if let StmtNode::Realize { name, ty, bounds, body } = s.node() {
+            let body = self.mutate_stmt(body); // handle nested realizations first
+            if let Some(def) = self.env.get(name) {
+                let store_differs = def.schedule.store_level != def.schedule.compute_level;
+                if store_differs {
+                    return self.optimize_realize(def, *ty, bounds, &body);
+                }
+            }
+            return Stmt::realize(name.clone(), *ty, bounds.clone(), body);
+        }
+        halide_ir::mutate_stmt_children(self, s)
+    }
+}
+
+/// Runs sliding window and storage folding over a lowered (pre-flattening)
+/// statement. Either optimization can be disabled for ablation studies.
+pub fn sliding_and_folding(
+    stmt: &Stmt,
+    env: &BTreeMap<String, FuncDef>,
+    enable_sliding: bool,
+    enable_folding: bool,
+) -> (Stmt, SlidingReport) {
+    let mut pass = SlidingPass {
+        env,
+        enable_sliding,
+        enable_folding,
+        report: SlidingReport::default(),
+    };
+    let out = pass.mutate_stmt(stmt);
+    (out, pass.report)
+}
+
+/// Convenience: the loop-variable name the sliding pass uses for a consumer
+/// dimension (same as the lowering pass).
+pub fn consumer_loop_var(func: &str, dim: &str) -> String {
+    loop_var(func, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{build_pipeline_stmt, snapshot_pipeline};
+    use halide_ir::Type;
+    use halide_lang::{Func, ImageParam, Pipeline, Var};
+
+    fn sliding_blur(prefix: &str) -> (Pipeline, String, String) {
+        let input = ImageParam::new(format!("{prefix}_in"), Type::f32(), 2);
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let blurx = Func::new(format!("{prefix}_blurx"));
+        blurx.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr() - 1, y.expr()])
+                + input.at_clamped(vec![x.expr(), y.expr()])
+                + input.at_clamped(vec![x.expr() + 1, y.expr()]),
+        );
+        let out = Func::new(format!("{prefix}_out"));
+        out.define(
+            &[x.clone(), y.clone()],
+            blurx.at(vec![x.expr(), y.expr() - 1])
+                + blurx.at(vec![x.expr(), y.expr()])
+                + blurx.at(vec![x.expr(), y.expr() + 1]),
+        );
+        {
+            let b = &blurx;
+            b.compute_at(&out, "y");
+            b.store_root();
+        }
+        let bn = blurx.name();
+        let on = out.name();
+        (Pipeline::new(&out), bn, on)
+    }
+
+    #[test]
+    fn sliding_window_shrinks_computation() {
+        let (p, blurx, out) = sliding_blur("slide_basic");
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let (optimized, report) = sliding_and_folding(&stmt, &env, true, false);
+        assert_eq!(report.slid, vec![blurx.clone()]);
+        let text = optimized.to_string();
+        // The produce loop min now uses a select on the first iteration and a
+        // max against the previous iteration's coverage.
+        assert!(text.contains("select("));
+        assert!(text.contains("max("));
+    }
+
+    #[test]
+    fn storage_folding_shrinks_allocation() {
+        let (p, blurx, out) = sliding_blur("slide_fold");
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let (optimized, report) = sliding_and_folding(&stmt, &env, true, true);
+        // Folded along y by the 3-row stencil window.
+        assert!(report
+            .folded
+            .iter()
+            .any(|(f, d, c)| f == &blurx && *d == 1 && *c == 3));
+        let text = optimized.to_string();
+        assert!(text.contains("% 3"));
+        let _ = out;
+    }
+
+    #[test]
+    fn no_optimization_when_store_equals_compute() {
+        let input = ImageParam::new("slide_none_in", Type::f32(), 2);
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let f = Func::new("slide_none_f");
+        f.define(&[x.clone(), y.clone()], input.at_clamped(vec![x.expr(), y.expr()]));
+        let g = Func::new("slide_none_g");
+        g.define(
+            &[x.clone(), y.clone()],
+            f.at(vec![x.expr(), y.expr() - 1]) + f.at(vec![x.expr(), y.expr() + 1]),
+        );
+        // default: f computed and stored at root — nothing to slide or fold
+        let p = Pipeline::new(&g);
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &g.name()).unwrap();
+        let (_, report) = sliding_and_folding(&stmt, &env, true, true);
+        assert!(report.slid.is_empty());
+        assert!(report.folded.is_empty());
+    }
+
+    #[test]
+    fn monotonic_step_detection() {
+        let v = Expr::var_i32("v");
+        assert_eq!(monotonic_step(&(v.clone() * 2 + 3), "v"), Some(2));
+        assert_eq!(monotonic_step(&Expr::int(7), "v"), Some(0));
+        assert_eq!(monotonic_step(&(Expr::int(10) - v.clone()), "v"), None);
+        // non-linear dependence is rejected
+        assert_eq!(monotonic_step(&(v.clone() * v), "v"), None);
+    }
+
+    #[test]
+    fn sliding_disabled_is_a_no_op() {
+        let (p, _blurx, out) = sliding_blur("slide_disabled");
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let (optimized, report) = sliding_and_folding(&stmt, &env, false, false);
+        assert!(report.slid.is_empty());
+        assert!(report.folded.is_empty());
+        assert_eq!(optimized.to_string(), stmt.to_string());
+    }
+}

@@ -1,0 +1,202 @@
+//! Vectorization and unrolling (Sec. 4.5).
+//!
+//! A loop scheduled `vectorized` with constant extent *n* is eliminated: each
+//! occurrence of its variable is replaced by the vector `ramp(min, 1, n)`,
+//! turning scalar arithmetic into *n*-wide vector arithmetic, dense loads and
+//! stores into vector loads/stores, and gathers/scatters where the index is
+//! not affine. Because the language has no divergent control flow this is
+//! always well defined; scalars that meet vectors are broadcast by the
+//! value semantics of the executor.
+//!
+//! A loop scheduled `unrolled` with constant extent *n* is replaced by *n*
+//! copies of its body with the loop variable bound to `min + i`.
+
+use halide_ir::{const_int, simplify_stmt, substitute_in_stmt, Expr, ForKind, IrMutator, Stmt, StmtNode};
+
+use crate::error::{LowerError, Result};
+
+/// The widest vector the backend accepts. Wider vectorize factors are almost
+/// certainly schedule bugs (or autotuner excess) and are rejected.
+pub const MAX_VECTOR_LANES: i64 = 64;
+
+/// How many times a loop may be unrolled before we refuse (guards against
+/// code-size explosion from careless schedules).
+pub const MAX_UNROLL: i64 = 64;
+
+struct VectorizeUnroll {
+    error: Option<LowerError>,
+}
+
+impl IrMutator for VectorizeUnroll {
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        if self.error.is_some() {
+            return s.clone();
+        }
+        if let StmtNode::For {
+            name,
+            min,
+            extent,
+            kind,
+            body,
+        } = s.node()
+        {
+            match kind {
+                ForKind::Vectorized => {
+                    let Some(n) = const_int(extent) else {
+                        self.error = Some(LowerError::new(format!(
+                            "vectorized loop {name:?} must have a constant extent, got {extent}"
+                        )));
+                        return s.clone();
+                    };
+                    if n < 1 || n > MAX_VECTOR_LANES {
+                        self.error = Some(LowerError::new(format!(
+                            "vectorized loop {name:?} has extent {n}, outside 1..={MAX_VECTOR_LANES}"
+                        )));
+                        return s.clone();
+                    }
+                    if n == 1 {
+                        // A 1-wide vector loop is just the body at the min.
+                        let body = substitute_in_stmt(body, name, min);
+                        return self.mutate_stmt(&body);
+                    }
+                    let ramp = Expr::ramp(min.clone(), Expr::int(1), n as u16);
+                    let body = substitute_in_stmt(body, name, &ramp);
+                    return self.mutate_stmt(&body);
+                }
+                ForKind::Unrolled => {
+                    let Some(n) = const_int(extent) else {
+                        self.error = Some(LowerError::new(format!(
+                            "unrolled loop {name:?} must have a constant extent, got {extent}"
+                        )));
+                        return s.clone();
+                    };
+                    if n < 1 || n > MAX_UNROLL {
+                        self.error = Some(LowerError::new(format!(
+                            "unrolled loop {name:?} has extent {n}, outside 1..={MAX_UNROLL}"
+                        )));
+                        return s.clone();
+                    }
+                    let copies: Vec<Stmt> = (0..n)
+                        .map(|i| {
+                            let value = halide_ir::simplify(&(min.clone() + Expr::int(i as i32)));
+                            let body = substitute_in_stmt(body, name, &value);
+                            self.mutate_stmt(&body)
+                        })
+                        .collect();
+                    return Stmt::block_of(copies);
+                }
+                _ => {}
+            }
+        }
+        halide_ir::mutate_stmt_children(self, s)
+    }
+}
+
+/// Replaces vectorized and unrolled loops with vector expressions and
+/// replicated bodies respectively.
+///
+/// # Errors
+///
+/// Fails if a vectorized or unrolled loop has a non-constant or unreasonable
+/// extent (the schedule should split by a constant factor first).
+pub fn vectorize_and_unroll(stmt: &Stmt) -> Result<Stmt> {
+    let mut pass = VectorizeUnroll { error: None };
+    let out = pass.mutate_stmt(stmt);
+    match pass.error {
+        Some(e) => Err(e),
+        None => Ok(simplify_stmt(&out)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::{ExprNode, Type};
+
+    fn store_loop(kind: ForKind, extent: Expr) -> Stmt {
+        Stmt::for_loop(
+            "x",
+            Expr::int(0),
+            extent,
+            kind,
+            Stmt::store(
+                "buf",
+                Expr::load(Type::f32(), "src", Expr::var_i32("x")) * 2.0f32,
+                Expr::var_i32("x"),
+            ),
+        )
+    }
+
+    #[test]
+    fn vectorized_loop_becomes_ramp() {
+        let s = store_loop(ForKind::Vectorized, Expr::int(8));
+        let out = vectorize_and_unroll(&s).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("ramp(0, 1, 8)"));
+        assert!(!text.contains("for x"));
+    }
+
+    #[test]
+    fn unrolled_loop_is_replicated() {
+        let s = store_loop(ForKind::Unrolled, Expr::int(3));
+        let out = vectorize_and_unroll(&s).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("buf[0]"));
+        assert!(text.contains("buf[1]"));
+        assert!(text.contains("buf[2]"));
+        assert!(!text.contains("for x"));
+    }
+
+    #[test]
+    fn non_constant_extent_is_error() {
+        let s = store_loop(ForKind::Vectorized, Expr::var_i32("n"));
+        assert!(vectorize_and_unroll(&s).is_err());
+        let s = store_loop(ForKind::Unrolled, Expr::var_i32("n"));
+        assert!(vectorize_and_unroll(&s).is_err());
+    }
+
+    #[test]
+    fn excessive_width_is_error() {
+        let s = store_loop(ForKind::Vectorized, Expr::int(1024));
+        assert!(vectorize_and_unroll(&s).is_err());
+    }
+
+    #[test]
+    fn width_one_vector_is_scalarized() {
+        let s = store_loop(ForKind::Vectorized, Expr::int(1));
+        let out = vectorize_and_unroll(&s).unwrap();
+        let text = out.to_string();
+        assert!(!text.contains("ramp"));
+        assert!(text.contains("buf[0]"));
+    }
+
+    #[test]
+    fn serial_loops_are_untouched() {
+        let s = store_loop(ForKind::Serial, Expr::var_i32("n"));
+        let out = vectorize_and_unroll(&s).unwrap();
+        assert!(matches!(out.node(), StmtNode::For { kind: ForKind::Serial, .. }));
+    }
+
+    #[test]
+    fn nested_vector_and_unroll() {
+        let inner = Stmt::for_loop(
+            "xi",
+            Expr::int(0),
+            Expr::int(4),
+            ForKind::Vectorized,
+            Stmt::store("buf", Expr::var_i32("xi") + Expr::var_i32("yi"), Expr::var_i32("xi")),
+        );
+        let outer = Stmt::for_loop("yi", Expr::int(0), Expr::int(2), ForKind::Unrolled, inner);
+        let out = vectorize_and_unroll(&outer).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("ramp(0, 1, 4)"));
+        assert!(!text.contains("for "));
+        // ensure the unrolled copies reference distinct yi values
+        assert!(text.contains("+ 1)") || text.contains("1 +"));
+        let _ = ExprNode::Ramp {
+            base: Expr::int(0),
+            stride: Expr::int(1),
+            lanes: 4,
+        };
+    }
+}

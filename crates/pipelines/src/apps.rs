@@ -1,0 +1,247 @@
+//! A uniform interface over the paper's benchmark applications, used by the
+//! figure/table harnesses in `halide-bench` (Fig. 6, Fig. 7, Fig. 8).
+
+use halide_exec::{Realization, Result as ExecResult};
+use halide_lang::{analyze, PipelineStats};
+use halide_lower::Result as LowerResult;
+
+use crate::{bilateral_grid, blur, camera_pipe, histogram, interpolate, local_laplacian};
+
+/// Which schedule flavour to run an application with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleChoice {
+    /// The default breadth-first schedule (every stage computed at root,
+    /// serial loops) — the "composing library calls" baseline.
+    Naive,
+    /// A hand-crafted schedule in the spirit of the paper's tuned results.
+    Tuned,
+    /// A simulated-GPU schedule (only available for some apps).
+    Gpu,
+}
+
+/// The applications of the paper's evaluation (Fig. 6 / Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Two-stage 3×3 blur (Sec. 3.1).
+    Blur,
+    /// Histogram equalization (Sec. 2).
+    Histogram,
+    /// Bilateral grid.
+    BilateralGrid,
+    /// Camera raw pipeline.
+    CameraPipe,
+    /// Multi-scale interpolation.
+    Interpolate,
+    /// Local Laplacian filters.
+    LocalLaplacian,
+}
+
+impl AppKind {
+    /// The five applications of Fig. 6/7 (histogram equalization is the
+    /// paper's Sec. 2 example and is reported separately where useful).
+    pub const PAPER_APPS: [AppKind; 5] = [
+        AppKind::Blur,
+        AppKind::BilateralGrid,
+        AppKind::CameraPipe,
+        AppKind::Interpolate,
+        AppKind::LocalLaplacian,
+    ];
+
+    /// All applications, including histogram equalization.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::Blur,
+        AppKind::Histogram,
+        AppKind::BilateralGrid,
+        AppKind::CameraPipe,
+        AppKind::Interpolate,
+        AppKind::LocalLaplacian,
+    ];
+
+    /// The app's display name (matching the paper's tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::Blur => "Blur",
+            AppKind::Histogram => "Histogram equalize",
+            AppKind::BilateralGrid => "Bilateral grid",
+            AppKind::CameraPipe => "Camera pipe",
+            AppKind::Interpolate => "Interpolate",
+            AppKind::LocalLaplacian => "Local Laplacian",
+        }
+    }
+
+    /// True if a GPU schedule is provided for this app (mirrors the CUDA
+    /// half of Fig. 7).
+    pub fn has_gpu_schedule(&self) -> bool {
+        matches!(self, AppKind::BilateralGrid | AppKind::Interpolate)
+    }
+
+    /// Builds the app's pipeline (with the chosen schedule applied), a
+    /// synthetic input, and runs it at the given size, returning the
+    /// realization and the pipeline statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors; execution errors are returned in the inner
+    /// result.
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        &self,
+        width: i64,
+        height: i64,
+        schedule: ScheduleChoice,
+        threads: usize,
+    ) -> LowerResult<(ExecResult<Realization>, PipelineStats)> {
+        match self {
+            AppKind::Blur => {
+                let app = blur::BlurApp::new();
+                let s = match schedule {
+                    ScheduleChoice::Naive => blur::BlurSchedule::BreadthFirst,
+                    _ => blur::BlurSchedule::ParallelTiledVector,
+                };
+                let module = app.compile(s)?;
+                let stats = analyze(&app.pipeline());
+                let input = blur::make_input(width, height);
+                Ok((app.run(&module, &input, threads, false), stats))
+            }
+            AppKind::Histogram => {
+                let app = histogram::HistogramApp::new(width as i32, height as i32);
+                if schedule != ScheduleChoice::Naive {
+                    app.schedule_good();
+                }
+                let module = app.compile()?;
+                let stats = analyze(&app.pipeline());
+                let input = histogram::make_input(width, height);
+                Ok((app.run(&module, &input, threads), stats))
+            }
+            AppKind::BilateralGrid => {
+                let app = bilateral_grid::BilateralGridApp::new();
+                match schedule {
+                    ScheduleChoice::Naive => {}
+                    ScheduleChoice::Tuned => app.schedule_good(),
+                    ScheduleChoice::Gpu => app.schedule_gpu(),
+                }
+                let module = app.compile()?;
+                let stats = analyze(&app.pipeline());
+                let input = bilateral_grid::make_input(width, height);
+                Ok((app.run(&module, &input, threads), stats))
+            }
+            AppKind::CameraPipe => {
+                let app = camera_pipe::CameraPipeApp::new(2.2, 0.8);
+                if schedule != ScheduleChoice::Naive {
+                    app.schedule_good();
+                }
+                let module = app.compile()?;
+                let stats = analyze(&app.pipeline());
+                let input = camera_pipe::make_raw_input(width, height);
+                Ok((app.run(&module, &input, threads), stats))
+            }
+            AppKind::Interpolate => {
+                let levels = pyramid_levels(width, height);
+                let app = interpolate::InterpolateApp::new(levels);
+                match schedule {
+                    ScheduleChoice::Naive => {}
+                    ScheduleChoice::Tuned => app.schedule_good(),
+                    ScheduleChoice::Gpu => app.schedule_gpu(),
+                }
+                let module = app.compile()?;
+                let stats = analyze(&app.pipeline());
+                let input = interpolate::make_input(width, height);
+                Ok((app.run(&module, &input, threads), stats))
+            }
+            AppKind::LocalLaplacian => {
+                let levels = pyramid_levels(width, height).min(4);
+                let app = local_laplacian::LocalLaplacianApp::new(levels, 8, 1.0, 0.7);
+                if schedule != ScheduleChoice::Naive {
+                    app.schedule_good();
+                }
+                let module = app.compile()?;
+                let stats = analyze(&app.pipeline());
+                let input = local_laplacian::make_input(width, height);
+                Ok((app.run(&module, &input, threads), stats))
+            }
+        }
+    }
+
+    /// Runs the hand-written reference ("expert") implementation where one is
+    /// provided, returning its wall-clock time.
+    pub fn reference_time(&self, width: i64, height: i64, threads: usize) -> Option<std::time::Duration> {
+        let start = std::time::Instant::now();
+        match self {
+            AppKind::Blur => {
+                let input = blur::make_input(width, height);
+                let t = std::time::Instant::now();
+                let _ = blur::reference_optimized(&input, threads);
+                return Some(t.elapsed());
+            }
+            AppKind::Histogram => {
+                let input = histogram::make_input(width, height);
+                let t = std::time::Instant::now();
+                let _ = histogram::reference(&input);
+                return Some(t.elapsed());
+            }
+            AppKind::BilateralGrid => {
+                let input = bilateral_grid::make_input(width, height);
+                let t = std::time::Instant::now();
+                let _ = bilateral_grid::reference(&input);
+                return Some(t.elapsed());
+            }
+            _ => {}
+        }
+        let _ = start;
+        None
+    }
+}
+
+/// Picks a pyramid depth appropriate for an image size (at least 2, at most 6).
+pub fn pyramid_levels(width: i64, height: i64) -> usize {
+    let mut levels = 2usize;
+    let mut size = width.min(height);
+    while size >= 32 && levels < 6 {
+        size /= 2;
+        levels += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_runs_under_naive_and_tuned_schedules() {
+        for app in AppKind::ALL {
+            for schedule in [ScheduleChoice::Naive, ScheduleChoice::Tuned] {
+                let (result, stats) = app
+                    .run(64, 64, schedule, 2)
+                    .unwrap_or_else(|e| panic!("{}: lowering failed: {e}", app.name()));
+                let realization =
+                    result.unwrap_or_else(|e| panic!("{}: execution failed: {e}", app.name()));
+                assert!(stats.functions >= 2, "{} too small", app.name());
+                assert!(!realization.output.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_apps_launch_kernels() {
+        for app in AppKind::ALL.iter().filter(|a| a.has_gpu_schedule()) {
+            let (result, _) = app.run(32, 32, ScheduleChoice::Gpu, 2).unwrap();
+            let realization = result.unwrap();
+            assert!(realization.counters.kernel_launches > 0, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn pyramid_levels_scale_with_size() {
+        assert_eq!(pyramid_levels(16, 16), 2);
+        assert!(pyramid_levels(64, 64) > pyramid_levels(32, 32));
+        assert_eq!(pyramid_levels(100_000, 100_000), 6);
+    }
+
+    #[test]
+    fn references_exist_for_key_apps() {
+        assert!(AppKind::Blur.reference_time(64, 64, 2).is_some());
+        assert!(AppKind::Histogram.reference_time(64, 64, 1).is_some());
+        assert!(AppKind::LocalLaplacian.reference_time(64, 64, 1).is_none());
+    }
+}

@@ -1,0 +1,440 @@
+//! Typed, multi-dimensional buffers.
+//!
+//! A [`Buffer`] owns the pixel data of an input image, an output image, or an
+//! intermediate allocation created by an `Allocate` statement. Storage is in
+//! scanline order (innermost dimension has stride 1), matching the flattening
+//! convention of the compiler (Sec. 4.4).
+//!
+//! # Concurrency
+//!
+//! Buffers support shared-reference stores ([`Buffer::set_flat`]) because the
+//! generated code writes to them from many threads at once. This is sound for
+//! the same reason Halide's generated code is sound: the compiler only
+//! parallelizes loops whose iterations write disjoint elements (data
+//! parallelism is guaranteed by construction in the language), so no two
+//! threads ever write the same element concurrently, and reads of an element
+//! only happen after the producer loop that wrote it (enforced by the thread
+//! pool joining before consumers run).
+
+use std::cell::UnsafeCell;
+
+use halide_ir::ScalarType;
+
+use crate::value::Value;
+
+/// One dimension of a buffer: the coordinates `[min, min + extent)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferDim {
+    /// Smallest valid coordinate.
+    pub min: i64,
+    /// Number of valid coordinates.
+    pub extent: i64,
+}
+
+#[derive(Debug)]
+enum Storage {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+    I8(Vec<i8>),
+    I16(Vec<i16>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+}
+
+impl Storage {
+    fn new(ty: ScalarType, len: usize) -> Storage {
+        match ty {
+            ScalarType::UInt(1) | ScalarType::UInt(8) => Storage::U8(vec![0; len]),
+            ScalarType::UInt(16) => Storage::U16(vec![0; len]),
+            ScalarType::UInt(_) => Storage::U32(vec![0; len]),
+            ScalarType::Int(8) => Storage::I8(vec![0; len]),
+            ScalarType::Int(16) => Storage::I16(vec![0; len]),
+            ScalarType::Int(32) => Storage::I32(vec![0; len]),
+            ScalarType::Int(_) => Storage::I64(vec![0; len]),
+            ScalarType::Float(32) => Storage::F32(vec![0.0; len]),
+            ScalarType::Float(_) => Storage::F64(vec![0.0; len]),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Storage::U8(v) => v.len(),
+            Storage::U16(v) => v.len(),
+            Storage::U32(v) => v.len(),
+            Storage::I8(v) => v.len(),
+            Storage::I16(v) => v.len(),
+            Storage::I32(v) => v.len(),
+            Storage::I64(v) => v.len(),
+            Storage::F32(v) => v.len(),
+            Storage::F64(v) => v.len(),
+        }
+    }
+
+    fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            Storage::U8(v) => v[i] as f64,
+            Storage::U16(v) => v[i] as f64,
+            Storage::U32(v) => v[i] as f64,
+            Storage::I8(v) => v[i] as f64,
+            Storage::I16(v) => v[i] as f64,
+            Storage::I32(v) => v[i] as f64,
+            Storage::I64(v) => v[i] as f64,
+            Storage::F32(v) => v[i] as f64,
+            Storage::F64(v) => v[i],
+        }
+    }
+
+    fn get_i64(&self, i: usize) -> i64 {
+        match self {
+            Storage::U8(v) => v[i] as i64,
+            Storage::U16(v) => v[i] as i64,
+            Storage::U32(v) => v[i] as i64,
+            Storage::I8(v) => v[i] as i64,
+            Storage::I16(v) => v[i] as i64,
+            Storage::I32(v) => v[i] as i64,
+            Storage::I64(v) => v[i],
+            Storage::F32(v) => v[i] as i64,
+            Storage::F64(v) => v[i] as i64,
+        }
+    }
+
+    fn set_i64(&mut self, i: usize, v: i64) {
+        match self {
+            Storage::U8(s) => s[i] = v as u8,
+            Storage::U16(s) => s[i] = v as u16,
+            Storage::U32(s) => s[i] = v as u32,
+            Storage::I8(s) => s[i] = v as i8,
+            Storage::I16(s) => s[i] = v as i16,
+            Storage::I32(s) => s[i] = v as i32,
+            Storage::I64(s) => s[i] = v,
+            Storage::F32(s) => s[i] = v as f32,
+            Storage::F64(s) => s[i] = v as f64,
+        }
+    }
+
+    fn set_f64(&mut self, i: usize, v: f64) {
+        match self {
+            Storage::U8(s) => s[i] = v as u8,
+            Storage::U16(s) => s[i] = v as u16,
+            Storage::U32(s) => s[i] = v as u32,
+            Storage::I8(s) => s[i] = v as i8,
+            Storage::I16(s) => s[i] = v as i16,
+            Storage::I32(s) => s[i] = v as i32,
+            Storage::I64(s) => s[i] = v as i64,
+            Storage::F32(s) => s[i] = v as f32,
+            Storage::F64(s) => s[i] = v,
+        }
+    }
+}
+
+/// A typed, multi-dimensional pixel buffer with interior mutability for
+/// data-parallel stores (see the module-level concurrency note).
+#[derive(Debug)]
+pub struct Buffer {
+    ty: ScalarType,
+    dims: Vec<BufferDim>,
+    data: UnsafeCell<Storage>,
+}
+
+// SAFETY: see the module-level documentation — the compiler guarantees that
+// concurrently executing iterations write disjoint elements, and all
+// cross-thread reads of an element are ordered after the thread-pool join of
+// the loop that produced it.
+unsafe impl Sync for Buffer {}
+unsafe impl Send for Buffer {}
+
+impl Buffer {
+    /// Creates a zero-filled buffer with the given element type and
+    /// dimensions (each dimension is `(min, extent)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is negative or the total size overflows.
+    pub fn new(ty: ScalarType, dims: &[(i64, i64)]) -> Buffer {
+        let mut len: usize = 1;
+        let dims: Vec<BufferDim> = dims
+            .iter()
+            .map(|&(min, extent)| {
+                assert!(extent >= 0, "buffer extent must be non-negative, got {extent}");
+                len = len
+                    .checked_mul(extent as usize)
+                    .expect("buffer size overflow");
+                BufferDim { min, extent }
+            })
+            .collect();
+        Buffer {
+            ty,
+            dims,
+            data: UnsafeCell::new(Storage::new(ty, len)),
+        }
+    }
+
+    /// Creates a buffer spanning `[0, extent)` in each dimension.
+    pub fn with_extents(ty: ScalarType, extents: &[i64]) -> Buffer {
+        let dims: Vec<(i64, i64)> = extents.iter().map(|&e| (0, e)).collect();
+        Buffer::new(ty, &dims)
+    }
+
+    /// Creates a 2-D buffer filled from a closure of `(x, y)`.
+    pub fn from_fn_2d(ty: ScalarType, width: i64, height: i64, f: impl Fn(i64, i64) -> f64) -> Buffer {
+        let buf = Buffer::with_extents(ty, &[width, height]);
+        for y in 0..height {
+            for x in 0..width {
+                buf.set_coords_f64(&[x, y], f(x, y));
+            }
+        }
+        buf
+    }
+
+    /// Element type.
+    pub fn ty(&self) -> ScalarType {
+        self.ty
+    }
+
+    /// Dimension descriptors.
+    pub fn dims(&self) -> &[BufferDim] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        // SAFETY: reading the length does not race with element writes.
+        unsafe { &*self.data.get() }.len()
+    }
+
+    /// True if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.ty.bytes()
+    }
+
+    /// The stride (in elements) of each dimension: innermost is 1.
+    pub fn strides(&self) -> Vec<i64> {
+        let mut strides = Vec::with_capacity(self.dims.len());
+        let mut s = 1i64;
+        for d in &self.dims {
+            strides.push(s);
+            s *= d.extent;
+        }
+        strides
+    }
+
+    fn flat_index(&self, coords: &[i64]) -> usize {
+        assert_eq!(
+            coords.len(),
+            self.dims.len(),
+            "buffer has {} dimensions, got {} coordinates",
+            self.dims.len(),
+            coords.len()
+        );
+        let strides = self.strides();
+        let mut idx = 0i64;
+        for ((c, d), s) in coords.iter().zip(&self.dims).zip(&strides) {
+            let off = c - d.min;
+            assert!(
+                off >= 0 && off < d.extent,
+                "coordinate {c} outside [{}, {})",
+                d.min,
+                d.min + d.extent
+            );
+            idx += off * s;
+        }
+        idx as usize
+    }
+
+    /// Reads the element at flat index `i` as an `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get_flat_f64(&self, i: usize) -> f64 {
+        // SAFETY: element reads racing with writes of *other* elements are
+        // fine; same-element read/write races are excluded by construction.
+        unsafe { &*self.data.get() }.get_f64(i)
+    }
+
+    /// Reads the element at flat index `i` as an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get_flat_i64(&self, i: usize) -> i64 {
+        unsafe { &*self.data.get() }.get_i64(i)
+    }
+
+    /// Reads the element at flat index `i` as a [`Value`] lane of the
+    /// buffer's kind (integer buffers produce integer values).
+    pub fn get_flat(&self, i: usize) -> Value {
+        if self.ty.is_float() {
+            Value::float(self.get_flat_f64(i))
+        } else {
+            Value::int(self.get_flat_i64(i))
+        }
+    }
+
+    /// Stores an integer at flat index `i` (converted to the element type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[allow(clippy::mut_from_ref)]
+    fn storage_mut(&self) -> &mut Storage {
+        // SAFETY: see the module-level concurrency note.
+        unsafe { &mut *self.data.get() }
+    }
+
+    /// Stores an `i64` at flat index `i`.
+    pub fn set_flat_i64(&self, i: usize, v: i64) {
+        self.storage_mut().set_i64(i, v);
+    }
+
+    /// Stores an `f64` at flat index `i`.
+    pub fn set_flat_f64(&self, i: usize, v: f64) {
+        self.storage_mut().set_f64(i, v);
+    }
+
+    /// Stores one lane of a [`Value`] at flat index `i`.
+    pub fn set_flat_lane(&self, i: usize, v: &Value, lane: usize) {
+        match v {
+            Value::Int(_) => self.set_flat_i64(i, v.lane_int(lane)),
+            Value::Float(_) => self.set_flat_f64(i, v.lane_f64(lane)),
+        }
+    }
+
+    /// Reads the element at the given coordinates as `f64`.
+    pub fn at_f64(&self, coords: &[i64]) -> f64 {
+        self.get_flat_f64(self.flat_index(coords))
+    }
+
+    /// Reads the element at the given coordinates as `i64`.
+    pub fn at_i64(&self, coords: &[i64]) -> i64 {
+        self.get_flat_i64(self.flat_index(coords))
+    }
+
+    /// Writes an `f64` at the given coordinates (converted to the element type).
+    pub fn set_coords_f64(&self, coords: &[i64], v: f64) {
+        let i = self.flat_index(coords);
+        self.set_flat_f64(i, v);
+    }
+
+    /// Writes an `i64` at the given coordinates (converted to the element type).
+    pub fn set_coords_i64(&self, coords: &[i64], v: i64) {
+        let i = self.flat_index(coords);
+        self.set_flat_i64(i, v);
+    }
+
+    /// Maximum absolute difference against another buffer of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Buffer) -> f64 {
+        assert_eq!(self.dims, other.dims, "buffer shapes differ");
+        (0..self.len())
+            .map(|i| (self.get_flat_f64(i) - other.get_flat_f64(i)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// All elements as `f64`, in flat (scanline) order.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get_flat_f64(i)).collect()
+    }
+}
+
+impl Clone for Buffer {
+    fn clone(&self) -> Self {
+        let b = Buffer::new(
+            self.ty,
+            &self
+                .dims
+                .iter()
+                .map(|d| (d.min, d.extent))
+                .collect::<Vec<_>>(),
+        );
+        for i in 0..self.len() {
+            if self.ty.is_float() {
+                b.set_flat_f64(i, self.get_flat_f64(i));
+            } else {
+                b.set_flat_i64(i, self.get_flat_i64(i));
+            }
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_layout() {
+        let b = Buffer::with_extents(ScalarType::UInt(8), &[4, 3]);
+        assert_eq!(b.len(), 12);
+        assert_eq!(b.size_bytes(), 12);
+        assert_eq!(b.strides(), vec![1, 4]);
+        assert_eq!(b.dimensions(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn typed_storage_wraps() {
+        let b = Buffer::with_extents(ScalarType::UInt(8), &[2]);
+        b.set_flat_i64(0, 300);
+        assert_eq!(b.get_flat_i64(0), 44);
+        let f = Buffer::with_extents(ScalarType::Float(32), &[2]);
+        f.set_flat_f64(1, 1.5);
+        assert_eq!(f.get_flat_f64(1), 1.5);
+        assert_eq!(f.get_flat(1), Value::float(1.5));
+        assert_eq!(b.get_flat(0), Value::int(44));
+    }
+
+    #[test]
+    fn coordinates_respect_mins() {
+        let b = Buffer::new(ScalarType::Int(32), &[(-2, 5), (10, 3)]);
+        b.set_coords_i64(&[-2, 10], 7);
+        b.set_coords_i64(&[2, 12], 9);
+        assert_eq!(b.at_i64(&[-2, 10]), 7);
+        assert_eq!(b.at_i64(&[2, 12]), 9);
+        assert_eq!(b.get_flat_i64(0), 7);
+        assert_eq!(b.get_flat_i64(14), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_coordinates_panic() {
+        let b = Buffer::with_extents(ScalarType::Int(32), &[4]);
+        let _ = b.at_i64(&[4]);
+    }
+
+    #[test]
+    fn from_fn_and_diff() {
+        let a = Buffer::from_fn_2d(ScalarType::Float(32), 3, 2, |x, y| (x + 10 * y) as f64);
+        let b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        b.set_coords_f64(&[1, 1], 0.0);
+        assert_eq!(a.max_abs_diff(&b), 11.0);
+        assert_eq!(a.to_f64_vec().len(), 6);
+    }
+
+    #[test]
+    fn i16_and_f64_storage() {
+        let b = Buffer::with_extents(ScalarType::Int(16), &[2]);
+        b.set_flat_i64(0, 40000);
+        assert_eq!(b.get_flat_i64(0), 40000i64 as i16 as i64);
+        let d = Buffer::with_extents(ScalarType::Float(64), &[1]);
+        d.set_flat_f64(0, 1e-12);
+        assert_eq!(d.get_flat_f64(0), 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Instrumentation counters.
+//!
+//! The executor counts the work it performs so the benchmark harnesses can
+//! report the quantities of Fig. 3 of the paper (work amplification, locality
+//! proxies, available parallelism) in addition to wall-clock time, and so the
+//! simulated GPU backend can report copies and kernel launches.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe work counters, shared by every thread of a realization.
+#[derive(Debug, Default)]
+pub struct Counters {
+    arith_ops: AtomicU64,
+    loads: AtomicU64,
+    stores: AtomicU64,
+    elements_loaded: AtomicU64,
+    elements_stored: AtomicU64,
+    allocations: AtomicU64,
+    bytes_allocated: AtomicU64,
+    peak_bytes_live: AtomicU64,
+    bytes_live: AtomicU64,
+    parallel_tasks: AtomicU64,
+    kernel_launches: AtomicU64,
+    device_copies: AtomicU64,
+    device_bytes_copied: AtomicU64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` arithmetic operations (a vector operation counts once, as
+    /// a SIMD unit would execute it).
+    pub fn add_arith(&self, n: u64) {
+        self.arith_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a load of `lanes` elements.
+    pub fn add_load(&self, lanes: u64) {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        self.elements_loaded.fetch_add(lanes, Ordering::Relaxed);
+    }
+
+    /// Records a store of `lanes` elements.
+    pub fn add_store(&self, lanes: u64) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.elements_stored.fetch_add(lanes, Ordering::Relaxed);
+    }
+
+    /// Records an allocation of `bytes` bytes.
+    pub fn add_allocation(&self, bytes: u64) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add(bytes, Ordering::Relaxed);
+        let live = self.bytes_live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records freeing an allocation of `bytes` bytes.
+    pub fn add_free(&self, bytes: u64) {
+        self.bytes_live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` tasks handed to the thread pool.
+    pub fn add_parallel_tasks(&self, n: u64) {
+        self.parallel_tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a simulated GPU kernel launch.
+    pub fn add_kernel_launch(&self) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a simulated host↔device copy of `bytes` bytes.
+    pub fn add_device_copy(&self, bytes: u64) {
+        self.device_copies.fetch_add(1, Ordering::Relaxed);
+        self.device_bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting (individual counters
+    /// are read independently; tiny skew between them is irrelevant for
+    /// benchmarking purposes).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            arith_ops: self.arith_ops.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            elements_loaded: self.elements_loaded.load(Ordering::Relaxed),
+            elements_stored: self.elements_stored.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+            peak_bytes_live: self.peak_bytes_live.load(Ordering::Relaxed),
+            parallel_tasks: self.parallel_tasks.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            device_copies: self.device_copies.load(Ordering::Relaxed),
+            device_bytes_copied: self.device_bytes_copied.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Counters`], cheap to clone and compare.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Arithmetic operations executed (vector ops count once).
+    pub arith_ops: u64,
+    /// Load instructions executed (vector loads count once).
+    pub loads: u64,
+    /// Store instructions executed (vector stores count once).
+    pub stores: u64,
+    /// Individual elements loaded.
+    pub elements_loaded: u64,
+    /// Individual elements stored.
+    pub elements_stored: u64,
+    /// Number of buffer allocations performed.
+    pub allocations: u64,
+    /// Total bytes allocated over the realization.
+    pub bytes_allocated: u64,
+    /// Peak bytes simultaneously live (a working-set / locality proxy).
+    pub peak_bytes_live: u64,
+    /// Tasks submitted to the thread pool (an available-parallelism proxy,
+    /// the "span" column of Fig. 3).
+    pub parallel_tasks: u64,
+    /// Simulated GPU kernel launches.
+    pub kernel_launches: u64,
+    /// Simulated host↔device copies.
+    pub device_copies: u64,
+    /// Bytes moved by simulated host↔device copies.
+    pub device_bytes_copied: u64,
+}
+
+impl CounterSnapshot {
+    /// Work amplification relative to a baseline snapshot: the ratio of
+    /// arithmetic operations (Fig. 3, "work amplification" column).
+    pub fn work_amplification(&self, baseline: &CounterSnapshot) -> f64 {
+        if baseline.arith_ops == 0 {
+            return f64::NAN;
+        }
+        self.arith_ops as f64 / baseline.arith_ops as f64
+    }
+
+    /// Difference of two snapshots (self - earlier), for measuring a region
+    /// of execution.
+    pub fn delta_from(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            arith_ops: self.arith_ops - earlier.arith_ops,
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            elements_loaded: self.elements_loaded - earlier.elements_loaded,
+            elements_stored: self.elements_stored - earlier.elements_stored,
+            allocations: self.allocations - earlier.allocations,
+            bytes_allocated: self.bytes_allocated - earlier.bytes_allocated,
+            peak_bytes_live: self.peak_bytes_live.max(earlier.peak_bytes_live),
+            parallel_tasks: self.parallel_tasks - earlier.parallel_tasks,
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            device_copies: self.device_copies - earlier.device_copies,
+            device_bytes_copied: self.device_bytes_copied - earlier.device_bytes_copied,
+        }
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arith={} loads={} stores={} alloc={} ({} B, peak live {} B) tasks={} kernels={} copies={} ({} B)",
+            self.arith_ops,
+            self.loads,
+            self.stores,
+            self.allocations,
+            self.bytes_allocated,
+            self.peak_bytes_live,
+            self.parallel_tasks,
+            self.kernel_launches,
+            self.device_copies,
+            self.device_bytes_copied
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_snapshot() {
+        let c = Counters::new();
+        c.add_arith(10);
+        c.add_load(4);
+        c.add_store(1);
+        c.add_allocation(100);
+        c.add_allocation(50);
+        c.add_free(100);
+        c.add_parallel_tasks(8);
+        c.add_kernel_launch();
+        c.add_device_copy(256);
+        let s = c.snapshot();
+        assert_eq!(s.arith_ops, 10);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.elements_loaded, 4);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.bytes_allocated, 150);
+        assert_eq!(s.peak_bytes_live, 150);
+        assert_eq!(s.parallel_tasks, 8);
+        assert_eq!(s.kernel_launches, 1);
+        assert_eq!(s.device_bytes_copied, 256);
+        assert!(s.to_string().contains("arith=10"));
+    }
+
+    #[test]
+    fn peak_tracks_maximum_live() {
+        let c = Counters::new();
+        c.add_allocation(100);
+        c.add_free(100);
+        c.add_allocation(60);
+        let s = c.snapshot();
+        assert_eq!(s.peak_bytes_live, 100);
+    }
+
+    #[test]
+    fn work_amplification_ratio() {
+        let a = CounterSnapshot {
+            arith_ops: 200,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            arith_ops: 100,
+            ..Default::default()
+        };
+        assert_eq!(a.work_amplification(&b), 2.0);
+        assert!(a.work_amplification(&CounterSnapshot::default()).is_nan());
+        let d = a.delta_from(&b);
+        assert_eq!(d.arith_ops, 100);
+    }
+}

@@ -1,0 +1,142 @@
+//! A simulated GPU device.
+//!
+//! The paper's CUDA backend (Sec. 4.6) launches graphs of kernels interleaved
+//! with host code, lazily copying buffers between host and device memory.
+//! This module reproduces that *execution model* without GPU hardware: kernel
+//! launches run on the host thread pool, while the device tracks which
+//! buffers are resident, performs (and counts) lazy host↔device copies, and
+//! counts launches — so GPU schedules exercise the same code structure and
+//! report the same style of statistics as the paper's hybrid CPU/GPU
+//! executables.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::counters::Counters;
+
+/// Residency state of one buffer on the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Only the host copy is valid.
+    HostOnly,
+    /// Both copies are valid.
+    Synced,
+    /// The device copy is newer than the host copy.
+    DeviceDirty,
+}
+
+/// The simulated GPU device: tracks buffer residency and launch statistics.
+#[derive(Debug, Default)]
+pub struct GpuDevice {
+    residency: Mutex<HashMap<String, (Residency, u64)>>,
+}
+
+impl GpuDevice {
+    /// Creates an idle device with no resident buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that a kernel is about to read buffer `name` of `bytes`
+    /// bytes: if the device copy is not already valid, a host→device copy is
+    /// performed (and counted).
+    pub fn ensure_on_device(&self, name: &str, bytes: u64, counters: &Counters) {
+        let mut map = self.residency.lock();
+        let entry = map
+            .entry(name.to_string())
+            .or_insert((Residency::HostOnly, bytes));
+        entry.1 = bytes;
+        if entry.0 == Residency::HostOnly {
+            counters.add_device_copy(bytes);
+            entry.0 = Residency::Synced;
+        }
+    }
+
+    /// Declares that a kernel wrote buffer `name`: the device copy becomes
+    /// the authoritative one.
+    pub fn mark_device_dirty(&self, name: &str, bytes: u64) {
+        let mut map = self.residency.lock();
+        map.insert(name.to_string(), (Residency::DeviceDirty, bytes));
+    }
+
+    /// Declares that host code is about to read buffer `name`: if the device
+    /// copy is newer, a device→host copy is performed (and counted).
+    pub fn ensure_on_host(&self, name: &str, counters: &Counters) {
+        let mut map = self.residency.lock();
+        if let Some(entry) = map.get_mut(name) {
+            if entry.0 == Residency::DeviceDirty {
+                counters.add_device_copy(entry.1);
+                entry.0 = Residency::Synced;
+            }
+        }
+    }
+
+    /// Declares that host code wrote buffer `name`: any device copy is stale.
+    pub fn mark_host_dirty(&self, name: &str) {
+        let mut map = self.residency.lock();
+        if let Some(entry) = map.get_mut(name) {
+            entry.0 = Residency::HostOnly;
+        }
+    }
+
+    /// Records a kernel launch.
+    pub fn launch(&self, counters: &Counters) {
+        counters.add_kernel_launch();
+    }
+
+    /// Residency of a buffer, if the device has seen it.
+    pub fn residency(&self, name: &str) -> Option<Residency> {
+        self.residency.lock().get(name).map(|(r, _)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_copies_happen_once() {
+        let dev = GpuDevice::new();
+        let c = Counters::new();
+        dev.ensure_on_device("buf", 1000, &c);
+        dev.ensure_on_device("buf", 1000, &c);
+        let s = c.snapshot();
+        assert_eq!(s.device_copies, 1);
+        assert_eq!(s.device_bytes_copied, 1000);
+        assert_eq!(dev.residency("buf"), Some(Residency::Synced));
+    }
+
+    #[test]
+    fn device_writes_force_copy_back() {
+        let dev = GpuDevice::new();
+        let c = Counters::new();
+        dev.ensure_on_device("buf", 500, &c);
+        dev.mark_device_dirty("buf", 500);
+        dev.ensure_on_host("buf", &c);
+        dev.ensure_on_host("buf", &c);
+        let s = c.snapshot();
+        assert_eq!(s.device_copies, 2); // one up, one down
+        assert_eq!(dev.residency("buf"), Some(Residency::Synced));
+    }
+
+    #[test]
+    fn host_writes_invalidate_device_copy() {
+        let dev = GpuDevice::new();
+        let c = Counters::new();
+        dev.ensure_on_device("buf", 100, &c);
+        dev.mark_host_dirty("buf");
+        dev.ensure_on_device("buf", 100, &c);
+        assert_eq!(c.snapshot().device_copies, 2);
+    }
+
+    #[test]
+    fn launches_are_counted() {
+        let dev = GpuDevice::new();
+        let c = Counters::new();
+        dev.launch(&c);
+        dev.launch(&c);
+        assert_eq!(c.snapshot().kernel_launches, 2);
+        assert_eq!(dev.residency("unknown"), None);
+    }
+}

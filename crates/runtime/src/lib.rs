@@ -1,0 +1,26 @@
+//! # halide-runtime
+//!
+//! The runtime substrate for the halide-rs reproduction: typed pixel
+//! [`Buffer`]s, the data-parallel [`ThreadPool`], instrumentation
+//! [`Counters`], the simulated [`GpuDevice`], and the runtime [`Value`]
+//! representation the executor evaluates expressions to.
+//!
+//! The paper's generated code relies on a small runtime (a task queue
+//! consumed by a thread pool, buffer management, and CUDA driver calls for
+//! the GPU backend); this crate plays that role for the closure-compiling
+//! backend in `halide-exec`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod counters;
+pub mod gpu;
+pub mod pool;
+pub mod value;
+
+pub use buffer::{Buffer, BufferDim};
+pub use counters::{CounterSnapshot, Counters};
+pub use gpu::{GpuDevice, Residency};
+pub use pool::{num_threads_default, ThreadPool};
+pub use value::{binary_op, compare_op, select_op, Value};

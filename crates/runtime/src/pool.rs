@@ -1,0 +1,177 @@
+//! The parallel runtime: a thread pool executing the iterations of loops the
+//! schedule marked `parallel` (Sec. 4.6 — parallel for loops are lowered to
+//! tasks consumed by a thread pool at runtime).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use crate::counters::Counters;
+
+thread_local! {
+    /// Set while the current thread is executing pool work, so nested
+    /// parallel loops degrade gracefully to serial execution instead of
+    /// oversubscribing the machine.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A data-parallel loop executor.
+///
+/// The pool hands contiguous chunks of the iteration space to worker threads
+/// (one chunk per worker by default). Nested parallel loops run serially
+/// inside their worker — the same policy as Halide's runtime, which only
+/// parallelizes the outermost parallel loop it encounters.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::new(num_threads_default())
+    }
+}
+
+/// Number of worker threads used when none is specified: the machine's
+/// available parallelism.
+pub fn num_threads_default() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl ThreadPool {
+    /// Creates a pool that uses `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool that runs everything on the calling thread (useful for
+    /// deterministic tests and for measuring single-threaded baselines).
+    pub fn serial() -> Self {
+        ThreadPool::new(1)
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True if the calling thread is already inside a pool worker.
+    pub fn in_worker() -> bool {
+        IN_POOL_WORKER.with(|f| f.get())
+    }
+
+    /// Executes `body(i)` for every `i` in `[min, min + extent)`.
+    ///
+    /// Iterations are distributed over the workers in contiguous chunks. The
+    /// call returns when every iteration has finished (it is a synchronization
+    /// point, which is what makes cross-stage reads after a parallel producer
+    /// loop safe).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from worker threads after all workers have stopped.
+    pub fn parallel_for<F>(&self, min: i64, extent: i64, counters: &Counters, body: F)
+    where
+        F: Fn(i64) + Sync,
+    {
+        if extent <= 0 {
+            return;
+        }
+        // Nested parallelism or a single worker: run inline.
+        if self.threads == 1 || Self::in_worker() || extent == 1 {
+            counters.add_parallel_tasks(extent as u64);
+            for i in min..min + extent {
+                body(i);
+            }
+            return;
+        }
+
+        let workers = self.threads.min(extent as usize);
+        counters.add_parallel_tasks(extent as u64);
+        let next = AtomicI64::new(0);
+        // Dynamic chunking: each worker repeatedly grabs a chunk of
+        // iterations, which balances uneven per-iteration costs (common when
+        // inner stages have data-dependent work).
+        let chunk = ((extent as usize / (workers * 4)).max(1)) as i64;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IN_POOL_WORKER.with(|f| f.set(true));
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= extent {
+                            break;
+                        }
+                        let end = (start + chunk).min(extent);
+                        for i in start..end {
+                            body(min + i);
+                        }
+                    }
+                    IN_POOL_WORKER.with(|f| f.set(false));
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_iteration_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let counters = Counters::new();
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(5, 1000, &counters, |i| {
+            hits[(i - 5) as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(counters.snapshot().parallel_tasks, 1000);
+    }
+
+    #[test]
+    fn zero_extent_is_a_no_op() {
+        let pool = ThreadPool::default();
+        let counters = Counters::new();
+        pool.parallel_for(0, 0, &counters, |_| panic!("must not run"));
+        pool.parallel_for(0, -5, &counters, |_| panic!("must not run"));
+        assert_eq!(counters.snapshot().parallel_tasks, 0);
+    }
+
+    #[test]
+    fn nested_parallel_loops_run_serially_inside_workers() {
+        let pool = ThreadPool::new(4);
+        let counters = Counters::new();
+        let total = AtomicU64::new(0);
+        pool.parallel_for(0, 8, &counters, |_| {
+            assert!(ThreadPool::in_worker() || pool.threads() == 1);
+            pool.parallel_for(0, 10, &counters, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn serial_pool_runs_on_calling_thread() {
+        let pool = ThreadPool::serial();
+        let counters = Counters::new();
+        let caller = std::thread::current().id();
+        pool.parallel_for(0, 4, &counters, |_| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn default_pool_uses_available_parallelism() {
+        assert!(ThreadPool::default().threads() >= 1);
+        assert!(num_threads_default() >= 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! Runtime values: scalars and SIMD-style vectors.
+//!
+//! The executor evaluates every expression to a [`Value`]: a vector of lanes
+//! that is either integer (covering all signed/unsigned integer and boolean
+//! IR types, stored as `i64`) or floating point (`f64`). A scalar is simply a
+//! one-lane vector. Mixed-lane operations broadcast the scalar side, which is
+//! how vectorized code produced by Sec. 4.5 of the paper executes without a
+//! separate static broadcasting pass.
+
+use halide_ir::{BinOp, CmpOp, ScalarType};
+
+/// A runtime value: one or more lanes of integers or floats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer lanes (also used for unsigned and boolean values).
+    Int(Vec<i64>),
+    /// Floating-point lanes.
+    Float(Vec<f64>),
+}
+
+impl Value {
+    /// A one-lane integer.
+    pub fn int(v: i64) -> Value {
+        Value::Int(vec![v])
+    }
+
+    /// A one-lane float.
+    pub fn float(v: f64) -> Value {
+        Value::Float(vec![v])
+    }
+
+    /// A one-lane boolean (stored as 0/1).
+    pub fn bool(v: bool) -> Value {
+        Value::Int(vec![v as i64])
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        match self {
+            Value::Int(v) => v.len(),
+            Value::Float(v) => v.len(),
+        }
+    }
+
+    /// True if this is a single-lane value.
+    pub fn is_scalar(&self) -> bool {
+        self.lanes() == 1
+    }
+
+    /// The single integer lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a one-lane integer.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) if v.len() == 1 => v[0],
+            other => panic!("expected a scalar integer, got {other:?}"),
+        }
+    }
+
+    /// The single lane as an `f64` (works for both kinds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not one-lane.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) if v.len() == 1 => v[0] as f64,
+            Value::Float(v) if v.len() == 1 => v[0],
+            other => panic!("expected a scalar, got {other:?}"),
+        }
+    }
+
+    /// The single lane interpreted as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not one-lane.
+    pub fn as_bool(&self) -> bool {
+        self.as_f64() != 0.0
+    }
+
+    /// Lane `i` as an `i64`, truncating floats.
+    pub fn lane_int(&self, i: usize) -> i64 {
+        match self {
+            Value::Int(v) => v[i.min(v.len() - 1)],
+            Value::Float(v) => v[i.min(v.len() - 1)] as i64,
+        }
+    }
+
+    /// Lane `i` as an `f64`.
+    pub fn lane_f64(&self, i: usize) -> f64 {
+        match self {
+            Value::Int(v) => v[i.min(v.len() - 1)] as f64,
+            Value::Float(v) => v[i.min(v.len() - 1)],
+        }
+    }
+
+    /// All lanes as `i64`.
+    pub fn to_int_lanes(&self) -> Vec<i64> {
+        match self {
+            Value::Int(v) => v.clone(),
+            Value::Float(v) => v.iter().map(|x| *x as i64).collect(),
+        }
+    }
+
+    /// All lanes as `f64`.
+    pub fn to_f64_lanes(&self) -> Vec<f64> {
+        match self {
+            Value::Int(v) => v.iter().map(|x| *x as f64).collect(),
+            Value::Float(v) => v.clone(),
+        }
+    }
+
+    /// Broadcasts a scalar to `lanes` lanes (no-op if already that wide).
+    pub fn broadcast(&self, lanes: usize) -> Value {
+        if self.lanes() == lanes {
+            return self.clone();
+        }
+        match self {
+            Value::Int(v) => Value::Int(vec![v[0]; lanes]),
+            Value::Float(v) => Value::Float(vec![v[0]; lanes]),
+        }
+    }
+
+    /// Casts every lane to the given scalar type, wrapping integers into the
+    /// target width (matching hardware conversion behaviour) and truncating
+    /// floats toward zero when converting to integers.
+    pub fn cast_to(&self, ty: ScalarType) -> Value {
+        match ty {
+            ScalarType::Float(32) => {
+                Value::Float(self.to_f64_lanes().iter().map(|v| *v as f32 as f64).collect())
+            }
+            ScalarType::Float(_) => Value::Float(self.to_f64_lanes()),
+            ScalarType::UInt(1) => Value::Int(
+                self.to_f64_lanes()
+                    .iter()
+                    .map(|v| (*v != 0.0) as i64)
+                    .collect(),
+            ),
+            ScalarType::UInt(bits) => {
+                let mask: i64 = if bits >= 63 { -1 } else { (1i64 << bits) - 1 };
+                Value::Int(
+                    self.to_int_lanes_trunc()
+                        .iter()
+                        .map(|v| v & mask)
+                        .collect(),
+                )
+            }
+            ScalarType::Int(bits) => {
+                let shift = 64 - bits as u32;
+                Value::Int(
+                    self.to_int_lanes_trunc()
+                        .iter()
+                        .map(|v| if shift == 0 { *v } else { (v << shift) >> shift })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn to_int_lanes_trunc(&self) -> Vec<i64> {
+        match self {
+            Value::Int(v) => v.clone(),
+            Value::Float(v) => v.iter().map(|x| x.trunc() as i64).collect(),
+        }
+    }
+}
+
+fn zip_lanes(a: &Value, b: &Value) -> usize {
+    a.lanes().max(b.lanes())
+}
+
+/// Applies a binary arithmetic operator lane-wise, promoting to float when
+/// either side is float and broadcasting the scalar side when lane counts
+/// differ. Integer division/modulo use the floor semantics of the IR.
+pub fn binary_op(op: BinOp, a: &Value, b: &Value) -> Value {
+    let lanes = zip_lanes(a, b);
+    let float = matches!(a, Value::Float(_)) || matches!(b, Value::Float(_));
+    if float {
+        let av = a.broadcast(lanes).to_f64_lanes();
+        let bv = b.broadcast(lanes).to_f64_lanes();
+        Value::Float(
+            av.iter()
+                .zip(bv.iter())
+                .map(|(x, y)| match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Mod => x - y * (x / y).floor(),
+                    BinOp::Min => x.min(*y),
+                    BinOp::Max => x.max(*y),
+                })
+                .collect(),
+        )
+    } else {
+        let av = a.broadcast(lanes).to_int_lanes();
+        let bv = b.broadcast(lanes).to_int_lanes();
+        Value::Int(
+            av.iter()
+                .zip(bv.iter())
+                .map(|(x, y)| match op {
+                    BinOp::Add => x.wrapping_add(*y),
+                    BinOp::Sub => x.wrapping_sub(*y),
+                    BinOp::Mul => x.wrapping_mul(*y),
+                    BinOp::Div => halide_ir::simplify::div_floor(*x, *y),
+                    BinOp::Mod => halide_ir::simplify::mod_floor(*x, *y),
+                    BinOp::Min => *x.min(y),
+                    BinOp::Max => *x.max(y),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Applies a comparison lane-wise, producing a boolean (0/1) vector.
+pub fn compare_op(op: CmpOp, a: &Value, b: &Value) -> Value {
+    let lanes = zip_lanes(a, b);
+    let float = matches!(a, Value::Float(_)) || matches!(b, Value::Float(_));
+    let test = |ord: std::cmp::Ordering| match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    };
+    let lanes_out: Vec<i64> = if float {
+        let av = a.broadcast(lanes).to_f64_lanes();
+        let bv = b.broadcast(lanes).to_f64_lanes();
+        av.iter()
+            .zip(bv.iter())
+            .map(|(x, y)| test(x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Greater)) as i64)
+            .collect()
+    } else {
+        let av = a.broadcast(lanes).to_int_lanes();
+        let bv = b.broadcast(lanes).to_int_lanes();
+        av.iter().zip(bv.iter()).map(|(x, y)| test(x.cmp(y)) as i64).collect()
+    };
+    Value::Int(lanes_out)
+}
+
+/// Lane-wise select.
+pub fn select_op(cond: &Value, t: &Value, f: &Value) -> Value {
+    let lanes = cond.lanes().max(t.lanes()).max(f.lanes());
+    let c = cond.broadcast(lanes);
+    let float = matches!(t, Value::Float(_)) || matches!(f, Value::Float(_));
+    if float {
+        let tv = t.broadcast(lanes).to_f64_lanes();
+        let fv = f.broadcast(lanes).to_f64_lanes();
+        Value::Float(
+            (0..lanes)
+                .map(|i| if c.lane_int(i) != 0 { tv[i] } else { fv[i] })
+                .collect(),
+        )
+    } else {
+        let tv = t.broadcast(lanes).to_int_lanes();
+        let fv = f.broadcast(lanes).to_int_lanes();
+        Value::Int(
+            (0..lanes)
+                .map(|i| if c.lane_int(i) != 0 { tv[i] } else { fv[i] })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Value::int(3).as_int(), 3);
+        assert_eq!(Value::float(2.5).as_f64(), 2.5);
+        assert!(Value::bool(true).as_bool());
+        assert!(Value::int(7).is_scalar());
+        assert_eq!(Value::Int(vec![1, 2, 3]).lanes(), 3);
+    }
+
+    #[test]
+    fn arithmetic_with_broadcast() {
+        let v = Value::Int(vec![1, 2, 3, 4]);
+        let s = Value::int(10);
+        let sum = binary_op(BinOp::Add, &v, &s);
+        assert_eq!(sum, Value::Int(vec![11, 12, 13, 14]));
+        let prod = binary_op(BinOp::Mul, &s, &v);
+        assert_eq!(prod, Value::Int(vec![10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn float_promotion() {
+        let a = Value::int(3);
+        let b = Value::float(0.5);
+        assert_eq!(binary_op(BinOp::Add, &a, &b), Value::Float(vec![3.5]));
+        assert_eq!(binary_op(BinOp::Div, &a, &Value::int(2)), Value::Int(vec![1]));
+        assert_eq!(
+            binary_op(BinOp::Div, &Value::int(-3), &Value::int(2)),
+            Value::Int(vec![-2]),
+            "integer division rounds toward negative infinity"
+        );
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let a = Value::Int(vec![1, 5, 3]);
+        let b = Value::int(3);
+        let lt = compare_op(CmpOp::Lt, &a, &b);
+        assert_eq!(lt, Value::Int(vec![1, 0, 0]));
+        let sel = select_op(&lt, &Value::int(100), &a);
+        assert_eq!(sel, Value::Int(vec![100, 5, 3]));
+        let ge = compare_op(CmpOp::Ge, &Value::float(1.5), &Value::float(1.5));
+        assert_eq!(ge, Value::Int(vec![1]));
+    }
+
+    #[test]
+    fn casts_wrap_and_truncate() {
+        let v = Value::Int(vec![300, -1, 255]);
+        assert_eq!(v.cast_to(ScalarType::UInt(8)), Value::Int(vec![44, 255, 255]));
+        assert_eq!(
+            Value::float(3.9).cast_to(ScalarType::Int(32)),
+            Value::Int(vec![3])
+        );
+        assert_eq!(
+            Value::Int(vec![200]).cast_to(ScalarType::Int(8)),
+            Value::Int(vec![-56])
+        );
+        assert_eq!(
+            Value::float(2.0).cast_to(ScalarType::UInt(1)),
+            Value::Int(vec![1])
+        );
+        assert_eq!(
+            Value::int(7).cast_to(ScalarType::Float(32)),
+            Value::Float(vec![7.0])
+        );
+    }
+
+    #[test]
+    fn min_max_and_mod() {
+        let a = Value::Int(vec![-7, 7]);
+        let b = Value::int(3);
+        assert_eq!(binary_op(BinOp::Mod, &a, &b), Value::Int(vec![2, 1]));
+        assert_eq!(binary_op(BinOp::Min, &a, &b), Value::Int(vec![-7, 3]));
+        assert_eq!(binary_op(BinOp::Max, &a, &b), Value::Int(vec![3, 7]));
+    }
+}

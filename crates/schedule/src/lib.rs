@@ -1,0 +1,593 @@
+//! # halide-schedule
+//!
+//! The schedule representation of the halide-rs reproduction (Sec. 3 of the
+//! paper). A schedule answers, independently of the algorithm:
+//!
+//! * **domain order** — in what order is the required region of each function
+//!   traversed? Dimensions can be split, reordered, and marked serial,
+//!   parallel, vectorized, unrolled, or mapped to simulated GPU block/thread
+//!   dimensions.
+//! * **call schedule** — at what loop level of its consumers is each function
+//!   computed, and at what (equal or coarser) level is its storage allocated?
+//!
+//! The data structures here are deliberately plain: the DSL frontend
+//! (`halide-lang`) builds them, the compiler (`halide-lower`) consumes them,
+//! and the autotuner (`halide-autotune`) mutates them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::HashSet;
+use std::fmt;
+
+pub use halide_ir::ForKind;
+
+/// Error produced when a schedule is malformed.
+///
+/// The autotuner depends on these being raised (rather than silently
+/// accepted) so it can discard invalid genomes, mirroring the paper's
+/// "reject any partially completed schedules that are invalid".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    message: String,
+}
+
+impl ScheduleError {
+    /// Creates an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ScheduleError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule: {}", self.message)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Result alias for schedule operations.
+pub type Result<T> = std::result::Result<T, ScheduleError>;
+
+/// A dimension split: `old` is replaced by `outer * factor + inner`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// The dimension being split (it disappears from the loop nest).
+    pub old: String,
+    /// Name of the new outer dimension.
+    pub outer: String,
+    /// Name of the new inner dimension (iterates over `0..factor`).
+    pub inner: String,
+    /// The split factor. The traversed domain is rounded up to a multiple of
+    /// this factor, as in the paper (Sec. 4.1).
+    pub factor: i64,
+}
+
+/// One loop dimension in a function's domain order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    /// Dimension (loop variable) name. For split dimensions this is the new
+    /// outer/inner name.
+    pub name: String,
+    /// How the loop over this dimension is executed.
+    pub kind: ForKind,
+}
+
+/// Where a function is computed or stored relative to its consumers
+/// (the "call schedule" of Sec. 3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopLevel {
+    /// Computed on demand at every use site — no loops, no storage
+    /// (the "total fusion" extreme).
+    Inline,
+    /// Computed/stored at the very top of the pipeline, outside all loops
+    /// (the "breadth-first" extreme).
+    Root,
+    /// Computed/stored at the start of each iteration of loop `var` of
+    /// function `func` (somewhere in the middle of the choice space).
+    At {
+        /// The consumer function whose loop nest hosts this level.
+        func: String,
+        /// The loop variable (dimension name after splits) within that nest.
+        var: String,
+    },
+}
+
+impl LoopLevel {
+    /// Convenience constructor for [`LoopLevel::At`].
+    pub fn at(func: impl Into<String>, var: impl Into<String>) -> Self {
+        LoopLevel::At {
+            func: func.into(),
+            var: var.into(),
+        }
+    }
+
+    /// True for the inline level.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, LoopLevel::Inline)
+    }
+
+    /// True for the root level.
+    pub fn is_root(&self) -> bool {
+        matches!(self, LoopLevel::Root)
+    }
+}
+
+impl fmt::Display for LoopLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopLevel::Inline => write!(f, "inline"),
+            LoopLevel::Root => write!(f, "root"),
+            LoopLevel::At { func, var } => write!(f, "at {func}.{var}"),
+        }
+    }
+}
+
+/// The complete schedule of one function: its domain order and call schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncSchedule {
+    /// Applied splits, in application order.
+    pub splits: Vec<Split>,
+    /// Loop dimensions, ordered from **outermost to innermost** (the order the
+    /// paper writes them in, e.g. `order(ty, tx, y, x)`).
+    pub dims: Vec<Dim>,
+    /// Where the function's values are computed.
+    pub compute_level: LoopLevel,
+    /// Where the function's storage lives. Must be at the same loop level as
+    /// the compute level or a coarser (more outer) one.
+    pub store_level: LoopLevel,
+}
+
+impl FuncSchedule {
+    /// The default schedule for a function with the given pure argument names
+    /// (given innermost-first, i.e. `x` then `y`, as in `f(x, y) = ...`):
+    /// every dimension is a serial loop, the loop order is row-major
+    /// (`y` outer, `x` inner), and the function is computed and stored at
+    /// root — the breadth-first strategy.
+    pub fn default_for_args(args: &[String]) -> Self {
+        let dims = args
+            .iter()
+            .rev()
+            .map(|a| Dim {
+                name: a.clone(),
+                kind: ForKind::Serial,
+            })
+            .collect();
+        FuncSchedule {
+            splits: Vec::new(),
+            dims,
+            compute_level: LoopLevel::Root,
+            store_level: LoopLevel::Root,
+        }
+    }
+
+    /// Position of a dimension in the loop order.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name == name)
+    }
+
+    /// True if the schedule currently has a dimension with this name.
+    pub fn has_dim(&self, name: &str) -> bool {
+        self.dim_index(name).is_some()
+    }
+
+    fn require_dim(&self, name: &str) -> Result<usize> {
+        self.dim_index(name).ok_or_else(|| {
+            ScheduleError::new(format!(
+                "dimension {name:?} not found; current dims are {:?}",
+                self.dims.iter().map(|d| &d.name).collect::<Vec<_>>()
+            ))
+        })
+    }
+
+    /// Splits dimension `old` into `outer` and `inner` with the given factor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `old` is not a current dimension, the factor is < 1, or the
+    /// new names collide with existing dimensions.
+    pub fn split(
+        &mut self,
+        old: &str,
+        outer: impl Into<String>,
+        inner: impl Into<String>,
+        factor: i64,
+    ) -> Result<()> {
+        let outer = outer.into();
+        let inner = inner.into();
+        if factor < 1 {
+            return Err(ScheduleError::new(format!(
+                "split factor must be >= 1, got {factor}"
+            )));
+        }
+        let idx = self.require_dim(old)?;
+        for n in [&outer, &inner] {
+            if self.has_dim(n) && n != old {
+                return Err(ScheduleError::new(format!(
+                    "split name {n:?} collides with an existing dimension"
+                )));
+            }
+        }
+        if outer == inner {
+            return Err(ScheduleError::new(
+                "outer and inner split names must differ".to_string(),
+            ));
+        }
+        let kind = self.dims[idx].kind;
+        // The old dimension is replaced in place: outer takes its slot, inner
+        // goes immediately inside (to its right in outermost-first order).
+        self.dims[idx] = Dim {
+            name: outer.clone(),
+            kind,
+        };
+        self.dims.insert(
+            idx + 1,
+            Dim {
+                name: inner.clone(),
+                kind: ForKind::Serial,
+            },
+        );
+        self.splits.push(Split {
+            old: old.to_string(),
+            outer,
+            inner,
+            factor,
+        });
+        Ok(())
+    }
+
+    /// Reorders the listed dimensions. `order` is given **outermost first**
+    /// and must mention a subset of the current dimensions; mentioned
+    /// dimensions are permuted into the given relative order, unmentioned
+    /// ones stay where they are.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any name is unknown or appears twice.
+    pub fn reorder(&mut self, order: &[&str]) -> Result<()> {
+        let mut seen = HashSet::new();
+        for name in order {
+            self.require_dim(name)?;
+            if !seen.insert(*name) {
+                return Err(ScheduleError::new(format!(
+                    "dimension {name:?} listed twice in reorder"
+                )));
+            }
+        }
+        let positions: Vec<usize> = self
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| order.contains(&d.name.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        let mut ordered: Vec<Dim> = Vec::with_capacity(order.len());
+        for name in order {
+            let idx = self.dim_index(name).expect("checked above");
+            ordered.push(self.dims[idx].clone());
+        }
+        for (slot, dim) in positions.into_iter().zip(ordered) {
+            self.dims[slot] = dim;
+        }
+        Ok(())
+    }
+
+    fn set_kind(&mut self, name: &str, kind: ForKind) -> Result<()> {
+        let idx = self.require_dim(name)?;
+        self.dims[idx].kind = kind;
+        Ok(())
+    }
+
+    /// Marks a dimension parallel.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dimension does not exist.
+    pub fn parallel(&mut self, name: &str) -> Result<()> {
+        self.set_kind(name, ForKind::Parallel)
+    }
+
+    /// Marks a dimension serial (the default).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dimension does not exist.
+    pub fn serial(&mut self, name: &str) -> Result<()> {
+        self.set_kind(name, ForKind::Serial)
+    }
+
+    /// Marks a dimension vectorized. The dimension's extent must be constant
+    /// by the time the vectorization pass runs; splitting by the vector width
+    /// first is the usual way to guarantee that.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dimension does not exist.
+    pub fn vectorize(&mut self, name: &str) -> Result<()> {
+        self.set_kind(name, ForKind::Vectorized)
+    }
+
+    /// Marks a dimension unrolled.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dimension does not exist.
+    pub fn unroll(&mut self, name: &str) -> Result<()> {
+        self.set_kind(name, ForKind::Unrolled)
+    }
+
+    /// Maps a dimension to the simulated GPU grid (block index).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dimension does not exist.
+    pub fn gpu_block(&mut self, name: &str) -> Result<()> {
+        self.set_kind(name, ForKind::GpuBlock)
+    }
+
+    /// Maps a dimension to the simulated GPU thread index.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the dimension does not exist.
+    pub fn gpu_thread(&mut self, name: &str) -> Result<()> {
+        self.set_kind(name, ForKind::GpuThread)
+    }
+
+    /// The canonical tiling helper: splits `x` and `y` by the given factors
+    /// and reorders so the tile loops (`yo`, `xo`) are outermost and the
+    /// within-tile loops (`yi`, `xi`) are innermost.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`FuncSchedule::split`] and
+    /// [`FuncSchedule::reorder`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn tile(
+        &mut self,
+        x: &str,
+        y: &str,
+        xo: &str,
+        yo: &str,
+        xi: &str,
+        yi: &str,
+        xfactor: i64,
+        yfactor: i64,
+    ) -> Result<()> {
+        self.split(x, xo, xi, xfactor)?;
+        self.split(y, yo, yi, yfactor)?;
+        self.reorder(&[yo, xo, yi, xi])
+    }
+
+    /// Validates internal consistency of the schedule. The full validity
+    /// check (does the compute-at loop exist in the consumer?) happens during
+    /// lowering, where the whole pipeline is visible.
+    ///
+    /// # Errors
+    ///
+    /// Fails if dimension names are duplicated, a GPU thread loop is not
+    /// nested inside a GPU block loop, storage is at a level finer than
+    /// compute, or an inline function has a non-default domain order.
+    pub fn validate(&self) -> Result<()> {
+        let mut seen = HashSet::new();
+        for d in &self.dims {
+            if !seen.insert(d.name.clone()) {
+                return Err(ScheduleError::new(format!(
+                    "duplicate dimension name {:?}",
+                    d.name
+                )));
+            }
+        }
+        // GPU sanity: thread loops must appear inside (after) a block loop,
+        // with no non-GPU loop in between (Sec. 4.6, GPU code generation).
+        let kinds: Vec<ForKind> = self.dims.iter().map(|d| d.kind).collect();
+        let first_thread = kinds.iter().position(|k| *k == ForKind::GpuThread);
+        let last_block = kinds.iter().rposition(|k| *k == ForKind::GpuBlock);
+        match (first_thread, last_block) {
+            (Some(t), Some(b)) => {
+                if b > t {
+                    return Err(ScheduleError::new(
+                        "gpu thread dimension appears outside a gpu block dimension",
+                    ));
+                }
+                if kinds[b + 1..t].iter().any(|k| !k.is_gpu()) {
+                    return Err(ScheduleError::new(
+                        "gpu block and thread dimensions must be contiguous",
+                    ));
+                }
+            }
+            (Some(_), None) => {
+                return Err(ScheduleError::new(
+                    "gpu thread dimension requires an enclosing gpu block dimension",
+                ));
+            }
+            _ => {}
+        }
+        // Storage must be at the compute level or coarser. We can check the
+        // obvious violation locally: computing at root but storing at an
+        // inner level.
+        if self.compute_level.is_root() && matches!(self.store_level, LoopLevel::At { .. }) {
+            return Err(ScheduleError::new(
+                "storage level must be at least as coarse as the compute level",
+            ));
+        }
+        if self.compute_level.is_inline() {
+            if !self.store_level.is_inline() {
+                return Err(ScheduleError::new(
+                    "an inlined function has no storage; store level must also be inline",
+                ));
+            }
+            if !self.splits.is_empty() {
+                return Err(ScheduleError::new(
+                    "an inlined function has no loops; domain scheduling has no effect",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable one-line summary, useful in autotuner logs.
+    pub fn describe(&self) -> String {
+        let dims: Vec<String> = self
+            .dims
+            .iter()
+            .map(|d| {
+                let k = match d.kind {
+                    ForKind::Serial => "",
+                    ForKind::Parallel => "par ",
+                    ForKind::Vectorized => "vec ",
+                    ForKind::Unrolled => "unroll ",
+                    ForKind::GpuBlock => "gpu_block ",
+                    ForKind::GpuThread => "gpu_thread ",
+                };
+                format!("{k}{}", d.name)
+            })
+            .collect();
+        format!(
+            "compute {} store {} order({})",
+            self.compute_level,
+            self.store_level,
+            dims.join(", ")
+        )
+    }
+}
+
+impl Default for FuncSchedule {
+    fn default() -> Self {
+        FuncSchedule {
+            splits: Vec::new(),
+            dims: Vec::new(),
+            compute_level: LoopLevel::Root,
+            store_level: LoopLevel::Root,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy() -> FuncSchedule {
+        FuncSchedule::default_for_args(&["x".to_string(), "y".to_string()])
+    }
+
+    #[test]
+    fn default_is_breadth_first_row_major() {
+        let s = xy();
+        assert_eq!(s.dims[0].name, "y");
+        assert_eq!(s.dims[1].name, "x");
+        assert!(s.compute_level.is_root());
+        assert!(s.store_level.is_root());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn split_inserts_inner_after_outer() {
+        let mut s = xy();
+        s.split("x", "xo", "xi", 8).unwrap();
+        let names: Vec<&str> = s.dims.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["y", "xo", "xi"]);
+        assert_eq!(s.splits.len(), 1);
+        assert_eq!(s.splits[0].factor, 8);
+    }
+
+    #[test]
+    fn split_errors() {
+        let mut s = xy();
+        assert!(s.split("z", "zo", "zi", 4).is_err());
+        assert!(s.split("x", "xo", "xo", 4).is_err());
+        assert!(s.split("x", "y", "xi", 4).is_err());
+        assert!(s.split("x", "xo", "xi", 0).is_err());
+    }
+
+    #[test]
+    fn reorder_permutes_mentioned_dims() {
+        let mut s = xy();
+        s.reorder(&["x", "y"]).unwrap();
+        let names: Vec<&str> = s.dims.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        assert!(s.reorder(&["x", "x"]).is_err());
+        assert!(s.reorder(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn tile_produces_expected_order() {
+        let mut s = xy();
+        s.tile("x", "y", "xo", "yo", "xi", "yi", 32, 32).unwrap();
+        let names: Vec<&str> = s.dims.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["yo", "xo", "yi", "xi"]);
+    }
+
+    #[test]
+    fn loop_kinds() {
+        let mut s = xy();
+        s.parallel("y").unwrap();
+        s.vectorize("x").unwrap();
+        assert_eq!(s.dims[0].kind, ForKind::Parallel);
+        assert_eq!(s.dims[1].kind, ForKind::Vectorized);
+        s.serial("y").unwrap();
+        assert_eq!(s.dims[0].kind, ForKind::Serial);
+        assert!(s.unroll("q").is_err());
+    }
+
+    #[test]
+    fn gpu_validation() {
+        let mut s = xy();
+        s.gpu_thread("x").unwrap();
+        assert!(s.validate().is_err());
+        s.gpu_block("y").unwrap();
+        assert!(s.validate().is_ok());
+
+        // block inside thread is invalid
+        let mut s2 = xy();
+        s2.gpu_block("x").unwrap();
+        s2.gpu_thread("y").unwrap();
+        assert!(s2.validate().is_err());
+    }
+
+    #[test]
+    fn store_coarser_than_compute() {
+        let mut s = xy();
+        s.compute_level = LoopLevel::Root;
+        s.store_level = LoopLevel::at("out", "x");
+        assert!(s.validate().is_err());
+
+        s.compute_level = LoopLevel::at("out", "x");
+        s.store_level = LoopLevel::Root;
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn inline_constraints() {
+        let mut s = xy();
+        s.compute_level = LoopLevel::Inline;
+        s.store_level = LoopLevel::Inline;
+        assert!(s.validate().is_ok());
+        s.store_level = LoopLevel::Root;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn describe_mentions_levels_and_dims() {
+        let mut s = xy();
+        s.parallel("y").unwrap();
+        let d = s.describe();
+        assert!(d.contains("root"));
+        assert!(d.contains("par y"));
+    }
+
+    #[test]
+    fn duplicate_dims_rejected() {
+        let s = FuncSchedule {
+            dims: vec![
+                Dim { name: "x".into(), kind: ForKind::Serial },
+                Dim { name: "x".into(), kind: ForKind::Serial },
+            ],
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Autotune the blur pipeline (Sec. 5): stochastic search over schedules,
+//! verifying every candidate against a reference output, and printing the
+//! best schedule found per generation.
+use halide::autotune::{Autotuner, TuneOptions};
+use halide::pipelines::blur::{make_input, BlurApp};
+use halide::Realizer;
+
+fn main() {
+    let (w, h) = (192, 128);
+    let app = BlurApp::new();
+    let pipeline = app.pipeline();
+    let input = make_input(w, h);
+    let input_name = app.input.name().to_string();
+
+    let mut reference: Option<halide::runtime::Buffer> = None;
+    let evaluator = move |p: &halide::Pipeline| {
+        let module = halide::lower(p).ok()?;
+        let result = Realizer::new(&module)
+            .input(input_name.clone(), input.clone())
+            .threads(4)
+            .instrument(false)
+            .realize(&[w, h])
+            .ok()?;
+        match &reference {
+            None => reference = Some(result.output),
+            Some(r) => {
+                if r.max_abs_diff(&result.output) > 1e-4 {
+                    return None;
+                }
+            }
+        }
+        Some(result.wall_time)
+    };
+
+    let tuner = Autotuner::new(TuneOptions {
+        population: 12,
+        generations: 5,
+        ..Default::default()
+    });
+    let result = tuner.tune(&pipeline, evaluator);
+    println!("evaluated {} candidates, rejected {}", result.evaluated, result.rejected);
+    for stat in &result.history {
+        println!(
+            "generation {:>2}: best {:.2} ms",
+            stat.generation,
+            stat.best.as_secs_f64() * 1e3
+        );
+    }
+    println!("\nbest schedule:");
+    for (func, schedule) in &result.best {
+        println!("  {func}: {}", schedule.describe());
+    }
+}

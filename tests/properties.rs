@@ -1,0 +1,117 @@
+//! Property-based tests over the compiler's core invariants, using proptest.
+//!
+//! These check the properties the paper's design depends on:
+//! * the simplifier never changes the value of an expression;
+//! * interval analysis is sound (the true value always lies inside the
+//!   inferred bounds);
+//! * schedules — random compositions of valid directives — never change the
+//!   result of a pipeline, only its cost.
+
+use proptest::prelude::*;
+
+use halide::exec::{eval_expr, Context, Frame};
+use halide::ir::interval::bounds_of_expr_in_scope;
+use halide::ir::{simplify, Expr, Interval, Scope};
+use halide::pipelines::blur::{make_input, reference, BlurApp};
+use halide::runtime::{ThreadPool, Value};
+
+/// Builds a random integer expression over variables `a` and `b`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i32..20).prop_map(Expr::int),
+        Just(Expr::var_i32("a")),
+        Just(Expr::var_i32("b")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x + y),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x - y),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x * y),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::min(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::max(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::select(Expr::lt(x.clone(), y.clone()), x, y)),
+            (inner.clone(), (1i32..8)).prop_map(|(x, d)| x / d),
+            (inner, (1i32..8)).prop_map(|(x, d)| x % d),
+        ]
+    })
+}
+
+fn eval_with(e: &Expr, a: i64, b: i64) -> i64 {
+    let ctx = Context::new(ThreadPool::serial(), false);
+    let mut frame = Frame::default();
+    frame.env.push("a", Value::int(a));
+    frame.env.push("b", Value::int(b));
+    eval_expr(e, &frame, &ctx).expect("closed integer expression evaluates").as_int()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// simplify(e) evaluates to the same value as e for every assignment.
+    #[test]
+    fn simplification_preserves_value(e in arb_expr(), a in -10i64..10, b in -10i64..10) {
+        let simplified = simplify(&e);
+        prop_assert_eq!(eval_with(&e, a, b), eval_with(&simplified, a, b));
+    }
+
+    /// Interval analysis brackets the true value of the expression whenever
+    /// the variables stay inside their declared ranges.
+    #[test]
+    fn interval_analysis_is_sound(
+        e in arb_expr(),
+        a in -5i64..5,
+        b in -5i64..5,
+    ) {
+        let mut scope = Scope::new();
+        scope.push("a", Interval::new(Expr::int(-5), Expr::int(5)));
+        scope.push("b", Interval::new(Expr::int(-5), Expr::int(5)));
+        let bounds = bounds_of_expr_in_scope(&e, &scope);
+        let value = eval_with(&e, a, b);
+        if let Some(min) = &bounds.min {
+            let min = min.as_const_int().expect("bounds over constant ranges fold to constants");
+            prop_assert!(value >= min, "value {value} below inferred min {min} for {e}");
+        }
+        if let Some(max) = &bounds.max {
+            let max = max.as_const_int().expect("bounds over constant ranges fold to constants");
+            prop_assert!(value <= max, "value {value} above inferred max {max} for {e}");
+        }
+    }
+}
+
+// A random-schedule variant of the "schedules never change results"
+// guarantee: random (but valid) combinations of split factors, loop kinds
+// and fusion levels applied to the blur pipeline always reproduce the
+// reference output. This is the same check the autotuner relies on.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_schedules_preserve_blur_results(
+        split_x in prop_oneof![Just(4i64), Just(8), Just(16), Just(32)],
+        split_y in prop_oneof![Just(4i64), Just(8), Just(16)],
+        parallel_outer in any::<bool>(),
+        vectorize_inner in any::<bool>(),
+        fuse_choice in 0u8..3,
+    ) {
+        let input = make_input(72, 56);
+        let expected = reference(&input);
+
+        let app = BlurApp::new();
+        app.out.tile_dims("x", "y", "xo", "yo", "xi", "yi", split_x, split_y);
+        if parallel_outer {
+            app.out.parallelize("yo");
+        }
+        if vectorize_inner && split_x >= 8 {
+            app.out.split_dim("xi", "xio", "xii", 4).vectorize_dim("xii");
+        }
+        match fuse_choice {
+            0 => { app.blurx.compute_root(); }
+            1 => { app.blurx.compute_at(&app.out, "xo"); }
+            _ => { app.blurx.compute_inline(); }
+        }
+
+        let module = halide::lower(&app.pipeline()).expect("valid schedule must lower");
+        let result = app.run(&module, &input, 2, false).expect("valid schedule must run");
+        prop_assert!(result.output.max_abs_diff(&expected) < 1e-4);
+    }
+}

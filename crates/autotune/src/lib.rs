@@ -128,9 +128,9 @@ impl Autotuner {
         let mut rejected = 0usize;
 
         let score = |genome: &Genome,
-                         evaluated: &mut usize,
-                         rejected: &mut usize,
-                         evaluate: &mut dyn FnMut(&Pipeline) -> Option<Duration>|
+                     evaluated: &mut usize,
+                     rejected: &mut usize,
+                     evaluate: &mut dyn FnMut(&Pipeline) -> Option<Duration>|
          -> Option<Duration> {
             apply_genome(pipeline, genome);
             *evaluated += 1;
@@ -261,7 +261,8 @@ impl Autotuner {
                             s.store_level = LoopLevel::Root;
                         }
                         // only adopt it if the dimensions line up
-                        let other_args = pipeline.func(&other).map(|f| f.args()).unwrap_or_default();
+                        let other_args =
+                            pipeline.func(&other).map(|f| f.args()).unwrap_or_default();
                         if other_args == args {
                             out.insert(target, s);
                         }

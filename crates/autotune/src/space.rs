@@ -22,10 +22,7 @@ pub const VECTOR_WIDTHS: [i64; 3] = [4, 8, 16];
 
 /// Extracts the current (default or user-set) schedules of a pipeline.
 pub fn current_genome(pipeline: &Pipeline) -> Genome {
-    pipeline
-        .funcs()
-        .map(|f| (f.name(), f.schedule()))
-        .collect()
+    pipeline.funcs().map(|f| (f.name(), f.schedule())).collect()
 }
 
 /// Applies a genome to the pipeline's functions.
@@ -112,7 +109,9 @@ pub fn random_schedule(
     gpu: bool,
     rng: &mut StdRng,
 ) -> FuncSchedule {
-    let f = pipeline.func(func).expect("function belongs to the pipeline");
+    let f = pipeline
+        .func(func)
+        .expect("function belongs to the pipeline");
     let args = f.args();
     let has_updates = !f.updates().is_empty();
 
@@ -227,7 +226,10 @@ mod tests {
         let input = ImageParam::new("space_in", Type::f32(), 2);
         let (x, y) = (Var::new("x"), Var::new("y"));
         let a = Func::new("space_a");
-        a.define(&[x.clone(), y.clone()], input.at_clamped(vec![x.expr(), y.expr()]) * 2.0f32);
+        a.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr(), y.expr()]) * 2.0f32,
+        );
         let b = Func::new("space_b");
         b.define(
             &[x.clone(), y.clone()],
@@ -280,9 +282,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let args = vec!["x".to_string(), "y".to_string()];
         let t = fully_parallel_tiled(&args, &mut rng);
-        assert!(t.dims.iter().any(|d| d.kind == halide_schedule::ForKind::Parallel));
+        assert!(t
+            .dims
+            .iter()
+            .any(|d| d.kind == halide_schedule::ForKind::Parallel));
         let g = gpu_tiled(&args, &mut rng);
         assert!(g.validate().is_ok());
-        assert!(g.dims.iter().any(|d| d.kind == halide_schedule::ForKind::GpuThread));
+        assert!(g
+            .dims
+            .iter()
+            .any(|d| d.kind == halide_schedule::ForKind::GpuThread));
     }
 }

@@ -9,7 +9,10 @@ fn bench_apps(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for app in AppKind::PAPER_APPS {
-        for (label, schedule) in [("naive", ScheduleChoice::Naive), ("tuned", ScheduleChoice::Tuned)] {
+        for (label, schedule) in [
+            ("naive", ScheduleChoice::Naive),
+            ("tuned", ScheduleChoice::Tuned),
+        ] {
             group.bench_function(BenchmarkId::new(app.name(), label), |b| {
                 b.iter(|| {
                     let (result, _) = app.run(64, 64, schedule, 4).expect("lowers");

@@ -20,7 +20,11 @@ fn bench_lowering(c: &mut Criterion) {
         b.iter(|| {
             for opts in [
                 LowerOptions::default(),
-                LowerOptions { sliding_window: false, storage_folding: false, ..Default::default() },
+                LowerOptions {
+                    sliding_window: false,
+                    storage_folding: false,
+                    ..Default::default()
+                },
             ] {
                 let app = BlurApp::new();
                 BlurSchedule::SlidingWindow.apply(&app);

@@ -12,15 +12,25 @@ fn main() {
         ("all optimizations", LowerOptions::default()),
         (
             "no sliding window",
-            LowerOptions { sliding_window: false, ..Default::default() },
+            LowerOptions {
+                sliding_window: false,
+                ..Default::default()
+            },
         ),
         (
             "no storage folding",
-            LowerOptions { storage_folding: false, ..Default::default() },
+            LowerOptions {
+                storage_folding: false,
+                ..Default::default()
+            },
         ),
         (
             "neither",
-            LowerOptions { sliding_window: false, storage_folding: false, ..Default::default() },
+            LowerOptions {
+                sliding_window: false,
+                storage_folding: false,
+                ..Default::default()
+            },
         ),
     ] {
         let app = BlurApp::new();

@@ -4,8 +4,18 @@ use halide_bench::{app_properties_table, print_row};
 
 fn main() {
     println!("Fig. 6 — properties of the example applications\n");
-    print_row(&["Application".into(), "# functions".into(), "# stencils".into(), "structure".into()]);
+    print_row(&[
+        "Application".into(),
+        "# functions".into(),
+        "# stencils".into(),
+        "structure".into(),
+    ]);
     for r in app_properties_table() {
-        print_row(&[r.app, r.functions.to_string(), r.stencils.to_string(), r.structure]);
+        print_row(&[
+            r.app,
+            r.functions.to_string(),
+            r.stencils.to_string(),
+            r.structure,
+        ]);
     }
 }

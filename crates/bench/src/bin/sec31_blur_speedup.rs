@@ -13,8 +13,17 @@ fn main() {
         .min_by_key(|r| r.wall)
         .unwrap();
     println!("Sec. 3.1 — blur: breadth-first vs best fused schedule");
-    println!("  breadth-first: {} ms (peak live {} B)", ms(bf.wall), bf.peak_live_bytes);
-    println!("  {}: {} ms (peak live {} B)", best.strategy, ms(best.wall), best.peak_live_bytes);
+    println!(
+        "  breadth-first: {} ms (peak live {} B)",
+        ms(bf.wall),
+        bf.peak_live_bytes
+    );
+    println!(
+        "  {}: {} ms (peak live {} B)",
+        best.strategy,
+        ms(best.wall),
+        best.peak_live_bytes
+    );
     println!(
         "  speedup {:.2}x, working-set reduction {:.1}x",
         bf.wall.as_secs_f64() / best.wall.as_secs_f64(),

@@ -2,13 +2,16 @@
 //! (the paper estimates a lower bound of 10^720 schedules for the 99-stage
 //! local Laplacian pipeline).
 use halide_autotune::search_space_log10;
-use halide_pipelines::local_laplacian::LocalLaplacianApp;
 use halide_pipelines::blur::BlurApp;
+use halide_pipelines::local_laplacian::LocalLaplacianApp;
 
 fn main() {
     println!("Sec. 5 — schedule search-space size estimates (log10 of #schedules)\n");
     let blur = BlurApp::new();
-    println!("  blur (2 stages):            10^{:.0}", search_space_log10(&blur.pipeline()));
+    println!(
+        "  blur (2 stages):            10^{:.0}",
+        search_space_log10(&blur.pipeline())
+    );
     let llf_small = LocalLaplacianApp::new(4, 8, 1.0, 0.7);
     println!(
         "  local Laplacian (4 levels): 10^{:.0}  ({} stages)",

@@ -394,7 +394,11 @@ mod tests {
             .iter()
             .find(|r| r.app.starts_with("Local Laplacian"))
             .unwrap();
-        assert!(llf.functions > 50, "local Laplacian has {} funcs", llf.functions);
+        assert!(
+            llf.functions > 50,
+            "local Laplacian has {} funcs",
+            llf.functions
+        );
         let blur = rows.iter().find(|r| r.app == "Blur").unwrap();
         assert_eq!(blur.functions, 2);
         assert_eq!(blur.stencils, 2);

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use halide_ir::{CallType, Expr, ExprNode, ForKind, Scope, Stmt, StmtNode};
-use halide_runtime::{binary_op, compare_op, select_op, Buffer, Counters, GpuDevice, ThreadPool, Value};
+use halide_runtime::{
+    binary_op, compare_op, select_op, Buffer, Counters, GpuDevice, ThreadPool, Value,
+};
 
 use crate::error::{ExecError, Result};
 
@@ -91,7 +93,9 @@ impl Frame {
 
 fn eval_intrinsic(name: &str, args: &[Value]) -> Result<Value> {
     let unary = |f: fn(f64) -> f64| -> Result<Value> {
-        Ok(Value::Float(args[0].to_f64_lanes().iter().map(|v| f(*v)).collect()))
+        Ok(Value::Float(
+            args[0].to_f64_lanes().iter().map(|v| f(*v)).collect(),
+        ))
     };
     match name {
         "abs" => Ok(match &args[0] {
@@ -185,7 +189,11 @@ pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
             let fv = eval_expr(f, frame, ctx)?;
             Ok(select_op(&c, &tv, &fv))
         }
-        ExprNode::Ramp { base, stride, lanes } => {
+        ExprNode::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
             let b = eval_expr(base, frame, ctx)?;
             let s = eval_expr(stride, frame, ctx)?;
             match (&b, &s) {
@@ -341,10 +349,8 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
                     // the corresponding pass was disabled; run them serially.
                     frame.env.push(name.clone(), Value::int(0));
                     for i in min_v..min_v + extent_v {
-                        *frame
-                            .env
-                            .get_mut(name)
-                            .expect("loop variable just pushed") = Value::int(i);
+                        *frame.env.get_mut(name).expect("loop variable just pushed") =
+                            Value::int(i);
                         eval_stmt(body, frame, ctx)?;
                         if ctx.has_failed() {
                             break;
@@ -355,17 +361,16 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
                 }
                 ForKind::Parallel => {
                     let base = frame.clone();
-                    ctx.pool
-                        .parallel_for(min_v, extent_v, &ctx.counters, |i| {
-                            if ctx.has_failed() {
-                                return;
-                            }
-                            let mut f = base.clone();
-                            f.env.push(name.clone(), Value::int(i));
-                            if let Err(e) = eval_stmt(body, &mut f, ctx) {
-                                ctx.record_error(e);
-                            }
-                        });
+                    ctx.pool.parallel_for(min_v, extent_v, &ctx.counters, |i| {
+                        if ctx.has_failed() {
+                            return;
+                        }
+                        let mut f = base.clone();
+                        f.env.push(name.clone(), Value::int(i));
+                        if let Err(e) = eval_stmt(body, &mut f, ctx) {
+                            ctx.record_error(e);
+                        }
+                    });
                     match ctx.take_error() {
                         Some(e) => Err(e),
                         None => Ok(()),
@@ -400,7 +405,12 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
             }
             Ok(())
         }
-        StmtNode::Allocate { name, ty, size, body } => {
+        StmtNode::Allocate {
+            name,
+            ty,
+            size,
+            body,
+        } => {
             let n = eval_expr(size, frame, ctx)?.as_int();
             if n < 0 {
                 return Err(ExecError::new(format!(
@@ -468,7 +478,8 @@ fn self_gpu_launch(
         let (reads, writes) = buffers_touched(body);
         for r in &reads {
             if let Ok(buf) = frame.buffer(r) {
-                ctx.gpu.ensure_on_device(r, buf.size_bytes() as u64, &ctx.counters);
+                ctx.gpu
+                    .ensure_on_device(r, buf.size_bytes() as u64, &ctx.counters);
             }
         }
         for w in &writes {
@@ -551,7 +562,11 @@ mod tests {
             Expr::int(0),
             Expr::int(10),
             ForKind::Serial,
-            Stmt::store("buf", Expr::var_i32("i").cast(Type::f32()) * 2.0f32, Expr::var_i32("i")),
+            Stmt::store(
+                "buf",
+                Expr::var_i32("i").cast(Type::f32()) * 2.0f32,
+                Expr::var_i32("i"),
+            ),
         );
         eval_stmt(&s, &mut f, &c).unwrap();
         let buf = f.buffers["buf"].clone();
@@ -656,10 +671,7 @@ mod tests {
             eval_expr(&Expr::f32(9.0).sqrt(), &f, &c).unwrap().as_f64(),
             3.0
         );
-        assert_eq!(
-            eval_expr(&Expr::int(-4).abs(), &f, &c).unwrap().as_int(),
-            4
-        );
+        assert_eq!(eval_expr(&Expr::int(-4).abs(), &f, &c).unwrap().as_int(), 4);
         assert_eq!(
             eval_expr(&Expr::f32(2.0).pow(Expr::f32(10.0)), &f, &c)
                 .unwrap()
@@ -684,7 +696,11 @@ mod tests {
         );
         let body = Stmt::store(
             "dst",
-            Expr::load(Type::f32(), "src", Expr::var_i32("bx") * 4 + Expr::var_i32("tx")),
+            Expr::load(
+                Type::f32(),
+                "src",
+                Expr::var_i32("bx") * 4 + Expr::var_i32("tx"),
+            ),
             Expr::var_i32("bx") * 4 + Expr::var_i32("tx"),
         );
         let threads = Stmt::for_loop("tx", Expr::int(0), Expr::int(4), ForKind::GpuThread, body);

@@ -115,11 +115,19 @@ pub enum ExprNode {
     /// `if cond then t else f`, evaluated without divergent control flow.
     Select { cond: Expr, t: Expr, f: Expr },
     /// Dense affine vector `[base, base+stride, ..., base+(lanes-1)*stride]`.
-    Ramp { base: Expr, stride: Expr, lanes: u16 },
+    Ramp {
+        base: Expr,
+        stride: Expr,
+        lanes: u16,
+    },
     /// `lanes` copies of a scalar.
     Broadcast { value: Expr, lanes: u16 },
     /// Scoped binding: `let name = value in body`.
-    Let { name: String, value: Expr, body: Expr },
+    Let {
+        name: String,
+        value: Expr,
+        body: Expr,
+    },
     /// Load `ty` from the flattened buffer `name` at `index` (post-flattening).
     Load { ty: Type, name: String, index: Expr },
     /// A call: to another Halide func (multi-dimensional, pre-flattening), to
@@ -400,7 +408,12 @@ impl Expr {
 
     /// The affine vector `[base, base+stride, ...]` with `lanes` lanes.
     pub fn ramp(base: Expr, stride: Expr, lanes: u16) -> Expr {
-        ExprNode::Ramp { base, stride, lanes }.into()
+        ExprNode::Ramp {
+            base,
+            stride,
+            lanes,
+        }
+        .into()
     }
 
     /// `lanes` copies of `value`.
@@ -429,12 +442,7 @@ impl Expr {
     }
 
     /// A call node. See [`CallType`] for the flavours.
-    pub fn call(
-        ty: Type,
-        name: impl Into<String>,
-        call_type: CallType,
-        args: Vec<Expr>,
-    ) -> Expr {
+    pub fn call(ty: Type, name: impl Into<String>, call_type: CallType, args: Vec<Expr>) -> Expr {
         ExprNode::Call {
             ty,
             name: name.into(),
@@ -456,25 +464,41 @@ impl Expr {
 
     /// Square root (computed in the expression's float type, promoting integers to f32).
     pub fn sqrt(&self) -> Expr {
-        let t = if self.ty().is_float() { self.ty() } else { Type::f32() };
+        let t = if self.ty().is_float() {
+            self.ty()
+        } else {
+            Type::f32()
+        };
         Expr::intrinsic("sqrt", vec![self.cast(t)], t)
     }
 
     /// Natural exponential.
     pub fn exp(&self) -> Expr {
-        let t = if self.ty().is_float() { self.ty() } else { Type::f32() };
+        let t = if self.ty().is_float() {
+            self.ty()
+        } else {
+            Type::f32()
+        };
         Expr::intrinsic("exp", vec![self.cast(t)], t)
     }
 
     /// Natural logarithm.
     pub fn log(&self) -> Expr {
-        let t = if self.ty().is_float() { self.ty() } else { Type::f32() };
+        let t = if self.ty().is_float() {
+            self.ty()
+        } else {
+            Type::f32()
+        };
         Expr::intrinsic("log", vec![self.cast(t)], t)
     }
 
     /// `pow(self, e)`.
     pub fn pow(&self, e: Expr) -> Expr {
-        let t = if self.ty().is_float() { self.ty() } else { Type::f32() };
+        let t = if self.ty().is_float() {
+            self.ty()
+        } else {
+            Type::f32()
+        };
         Expr::intrinsic("pow", vec![self.cast(t), e.cast(t)], t)
     }
 
@@ -647,7 +671,11 @@ impl fmt::Display for Expr {
             ExprNode::Or { a, b } => write!(f, "({a} || {b})"),
             ExprNode::Not { a } => write!(f, "!({a})"),
             ExprNode::Select { cond, t, f: fv } => write!(f, "select({cond}, {t}, {fv})"),
-            ExprNode::Ramp { base, stride, lanes } => {
+            ExprNode::Ramp {
+                base,
+                stride,
+                lanes,
+            } => {
                 write!(f, "ramp({base}, {stride}, {lanes})")
             }
             ExprNode::Broadcast { value, lanes } => write!(f, "x{lanes}({value})"),

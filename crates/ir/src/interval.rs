@@ -189,9 +189,7 @@ pub fn bounds_of_expr_in_scope(e: &Expr, scope: &Scope<Interval>) -> Interval {
             Some(i) => i.clone(),
             None => Interval::single_point(e.clone()),
         },
-        ExprNode::Cast { ty, value } => {
-            bounds_of_expr_in_scope(value, scope).map(|b| b.cast(*ty))
-        }
+        ExprNode::Cast { ty, value } => bounds_of_expr_in_scope(value, scope).map(|b| b.cast(*ty)),
         ExprNode::Bin { op, a, b } => {
             let ia = bounds_of_expr_in_scope(a, scope);
             let ib = bounds_of_expr_in_scope(b, scope);
@@ -221,23 +219,27 @@ pub fn bounds_of_expr_in_scope(e: &Expr, scope: &Scope<Interval>) -> Interval {
                     }
                 }
                 BinOp::Mod => match b.as_const_int() {
-                    Some(m) if m > 0 => Interval::new(
-                        Expr::zero(e.ty()),
-                        Expr::imm_of(e.ty(), (m - 1) as f64),
-                    ),
+                    Some(m) if m > 0 => {
+                        Interval::new(Expr::zero(e.ty()), Expr::imm_of(e.ty(), (m - 1) as f64))
+                    }
                     _ => Interval::everything(),
                 },
                 BinOp::Min => minmax(BinOp::Min, &ia, &ib),
                 BinOp::Max => minmax(BinOp::Max, &ia, &ib),
             }
         }
-        ExprNode::Cmp { .. } | ExprNode::And { .. } | ExprNode::Or { .. } | ExprNode::Not { .. } => {
-            Interval::new(Expr::bool(false), Expr::bool(true))
-        }
+        ExprNode::Cmp { .. }
+        | ExprNode::And { .. }
+        | ExprNode::Or { .. }
+        | ExprNode::Not { .. } => Interval::new(Expr::bool(false), Expr::bool(true)),
         ExprNode::Select { t, f, .. } => {
             bounds_of_expr_in_scope(t, scope).union(&bounds_of_expr_in_scope(f, scope))
         }
-        ExprNode::Ramp { base, stride, lanes } => {
+        ExprNode::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
             let ib = bounds_of_expr_in_scope(base, scope);
             let spread = stride.clone() * Expr::int(*lanes as i32 - 1);
             let shifted = add(&ib, &bounds_of_expr_in_scope(&spread, scope));
@@ -257,9 +259,7 @@ pub fn bounds_of_expr_in_scope(e: &Expr, scope: &Scope<Interval>) -> Interval {
                 Interval {
                     min: Some(Expr::zero(*ty)),
                     max: match (&ia.min, &ia.max) {
-                        (Some(lo), Some(hi)) => {
-                            Some(Expr::max(lo.abs(), hi.abs()))
-                        }
+                        (Some(lo), Some(hi)) => Some(Expr::max(lo.abs(), hi.abs())),
                         _ => None,
                     },
                 }

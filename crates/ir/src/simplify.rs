@@ -86,6 +86,49 @@ fn fold_cmp_f64(op: CmpOp, a: f64, b: f64) -> bool {
 
 struct Simplifier;
 
+/// Splits `e` into `(base, c)` such that `e == base + c`, without building
+/// new nodes. Matches `Add`-of-constant (the canonical signed form) and, for
+/// signed types only, `Sub`-of-constant; unsigned subtraction is left alone
+/// because `x - c` may wrap at 0, so `x - c < x + c` does not hold there.
+fn split_add_const(e: &Expr) -> (&Expr, i64) {
+    if let ExprNode::Bin { op, a, b } = e.node() {
+        match op {
+            BinOp::Add => {
+                if let Some(c) = b.as_const_int() {
+                    return (a, c);
+                }
+                if let Some(c) = a.as_const_int() {
+                    return (b, c);
+                }
+            }
+            BinOp::Sub if matches!(e.ty().scalar(), crate::types::ScalarType::Int(_)) => {
+                if let Some(c) = b.as_const_int() {
+                    return (a, -c);
+                }
+            }
+            _ => {}
+        }
+    }
+    (e, 0)
+}
+
+/// Cheap structural constant difference: `Some(a - b)` when both operands are
+/// (constant offsets of) the same base expression. Unlike simplifying the
+/// tree `a - b`, this never recurses into the full simplifier, so it is safe
+/// to call at every min/max node without superlinear blowup.
+fn const_diff(a: &Expr, b: &Expr) -> Option<i64> {
+    if let (Some(ca), Some(cb)) = (a.as_const_int(), b.as_const_int()) {
+        return Some(ca - cb);
+    }
+    let (base_a, ca) = split_add_const(a);
+    let (base_b, cb) = split_add_const(b);
+    if base_a == base_b {
+        Some(ca - cb)
+    } else {
+        None
+    }
+}
+
 impl Simplifier {
     fn simplify_bin(&mut self, op: BinOp, a: Expr, b: Expr, original: &Expr) -> Expr {
         let ty = original.ty();
@@ -108,22 +151,36 @@ impl Simplifier {
                     return a;
                 }
                 // (x + c1) + c2 -> x + (c1 + c2); helps bounds expressions collapse.
-                if let (ExprNode::Bin { op: BinOp::Add, a: x, b: c1 }, Some(c2)) =
-                    (a.node(), b.as_const_int())
+                if let (
+                    ExprNode::Bin {
+                        op: BinOp::Add,
+                        a: x,
+                        b: c1,
+                    },
+                    Some(c2),
+                ) = (a.node(), b.as_const_int())
                 {
                     if let Some(c1v) = c1.as_const_int() {
                         if !ty.is_float() {
-                            return self.mutate_expr(&(x.clone() + Expr::imm_of(ty, (c1v + c2) as f64)));
+                            return self
+                                .mutate_expr(&(x.clone() + Expr::imm_of(ty, (c1v + c2) as f64)));
                         }
                     }
                 }
                 // (x - c1) + c2 -> x + (c2 - c1)
-                if let (ExprNode::Bin { op: BinOp::Sub, a: x, b: c1 }, Some(c2)) =
-                    (a.node(), b.as_const_int())
+                if let (
+                    ExprNode::Bin {
+                        op: BinOp::Sub,
+                        a: x,
+                        b: c1,
+                    },
+                    Some(c2),
+                ) = (a.node(), b.as_const_int())
                 {
                     if let Some(c1v) = c1.as_const_int() {
                         if !ty.is_float() {
-                            return self.mutate_expr(&(x.clone() + Expr::imm_of(ty, (c2 - c1v) as f64)));
+                            return self
+                                .mutate_expr(&(x.clone() + Expr::imm_of(ty, (c2 - c1v) as f64)));
                         }
                     }
                 }
@@ -140,17 +197,29 @@ impl Simplifier {
                     return Expr::zero(ty);
                 }
                 // (x + c1) - c2 -> x + (c1 - c2)
-                if let (ExprNode::Bin { op: BinOp::Add, a: x, b: c1 }, Some(c2)) =
-                    (a.node(), b.as_const_int())
+                if let (
+                    ExprNode::Bin {
+                        op: BinOp::Add,
+                        a: x,
+                        b: c1,
+                    },
+                    Some(c2),
+                ) = (a.node(), b.as_const_int())
                 {
                     if let Some(c1v) = c1.as_const_int() {
                         if !ty.is_float() {
-                            return self.mutate_expr(&(x.clone() + Expr::imm_of(ty, (c1v - c2) as f64)));
+                            return self
+                                .mutate_expr(&(x.clone() + Expr::imm_of(ty, (c1v - c2) as f64)));
                         }
                     }
                 }
                 // (x + y) - x -> y  and  (x + y) - y -> x
-                if let ExprNode::Bin { op: BinOp::Add, a: x, b: y } = a.node() {
+                if let ExprNode::Bin {
+                    op: BinOp::Add,
+                    a: x,
+                    b: y,
+                } = a.node()
+                {
                     if *x == b {
                         return y.clone();
                     }
@@ -170,8 +239,16 @@ impl Simplifier {
                     }
                     // (x + c1) - (y + c2) -> (x - y) + (c1 - c2)
                     if let (
-                        ExprNode::Bin { op: BinOp::Add, a: x, b: c1 },
-                        ExprNode::Bin { op: BinOp::Add, a: y, b: c2 },
+                        ExprNode::Bin {
+                            op: BinOp::Add,
+                            a: x,
+                            b: c1,
+                        },
+                        ExprNode::Bin {
+                            op: BinOp::Add,
+                            a: y,
+                            b: c2,
+                        },
                     ) = (a.node(), b.node())
                     {
                         if let (Some(c1v), Some(c2v)) = (c1.as_const_int(), c2.as_const_int()) {
@@ -181,7 +258,12 @@ impl Simplifier {
                         }
                     }
                     // x - (y + c) -> (x - y) - c
-                    if let ExprNode::Bin { op: BinOp::Add, a: y, b: c } = b.node() {
+                    if let ExprNode::Bin {
+                        op: BinOp::Add,
+                        a: y,
+                        b: c,
+                    } = b.node()
+                    {
                         if let Some(cv) = c.as_const_int() {
                             return self.mutate_expr(
                                 &((a.clone() - y.clone()) + Expr::imm_of(ty, -cv as f64)),
@@ -189,7 +271,12 @@ impl Simplifier {
                         }
                     }
                     // (x + c) - y -> (x - y) + c
-                    if let ExprNode::Bin { op: BinOp::Add, a: x, b: c } = a.node() {
+                    if let ExprNode::Bin {
+                        op: BinOp::Add,
+                        a: x,
+                        b: c,
+                    } = a.node()
+                    {
                         if let Some(cv) = c.as_const_int() {
                             return self.mutate_expr(
                                 &((x.clone() - b.clone()) + Expr::imm_of(ty, cv as f64)),
@@ -198,13 +285,20 @@ impl Simplifier {
                     }
                     // (x*c) - (y*c) -> (x - y)*c
                     if let (
-                        ExprNode::Bin { op: BinOp::Mul, a: x, b: c1 },
-                        ExprNode::Bin { op: BinOp::Mul, a: y, b: c2 },
+                        ExprNode::Bin {
+                            op: BinOp::Mul,
+                            a: x,
+                            b: c1,
+                        },
+                        ExprNode::Bin {
+                            op: BinOp::Mul,
+                            a: y,
+                            b: c2,
+                        },
                     ) = (a.node(), b.node())
                     {
                         if c1.as_const_int().is_some() && c1.as_const_int() == c2.as_const_int() {
-                            return self
-                                .mutate_expr(&((x.clone() - y.clone()) * c1.clone()));
+                            return self.mutate_expr(&((x.clone() - y.clone()) * c1.clone()));
                         }
                     }
                 }
@@ -243,26 +337,96 @@ impl Simplifier {
                 if a == b {
                     return a;
                 }
+                // Absorption: min(min(x, y), y) -> min(x, y), same for max.
+                // Bounds-inference unions routinely produce these duplicates.
+                if let ExprNode::Bin {
+                    op: inner,
+                    a: x,
+                    b: y,
+                } = a.node()
+                {
+                    if *inner == op && (*x == b || *y == b) {
+                        return a;
+                    }
+                }
+                if let ExprNode::Bin {
+                    op: inner,
+                    a: x,
+                    b: y,
+                } = b.node()
+                {
+                    if *inner == op && (*x == a || *y == a) {
+                        return b;
+                    }
+                }
                 // If the difference of the operands is a known constant the
                 // winner is known statically: min(v-1, v+1) -> v-1, etc.
                 // This is what collapses the unions produced by bounds
-                // inference over stencil footprints.
+                // inference over stencil footprints. The check is a cheap
+                // structural comparison (same base ± constant), deliberately
+                // not a recursive re-simplification of `a - b`, which made
+                // lowering superlinear on large bounds expressions.
                 if !ty.is_float() {
-                    let diff = self.mutate_expr(&(a.clone() - b.clone()));
-                    if let Some(d) = diff.as_const_int() {
+                    if let Some(d) = const_diff(&a, &b) {
                         let a_wins = (op == BinOp::Min) == (d <= 0);
                         return if a_wins { a } else { b };
                     }
                 }
+                // min(c1, max(x, c2)) -> c1 when c1 <= c2 (max(x, c2) >= c2),
+                // and dually max(c1, min(x, c2)) -> c1 when c1 >= c2. This is
+                // what collapses the `min(0, max(extent - factor, 0))` guards
+                // produced by the shift-inwards split strategy; without it,
+                // bounds expressions grow multiplicatively through chains of
+                // split stages (e.g. GPU-tiled pyramids).
+                if !ty.is_float() {
+                    let dual = if op == BinOp::Min {
+                        BinOp::Max
+                    } else {
+                        BinOp::Min
+                    };
+                    let dominated = |c1: Option<i64>, other: &Expr| -> bool {
+                        let (
+                            Some(c1),
+                            ExprNode::Bin {
+                                op: inner,
+                                a: ia,
+                                b: ib,
+                            },
+                        ) = (c1, other.node())
+                        else {
+                            return false;
+                        };
+                        if *inner != dual {
+                            return false;
+                        }
+                        let inner_const = ia.as_const_int().or_else(|| ib.as_const_int());
+                        matches!(inner_const, Some(c2) if (op == BinOp::Min && c1 <= c2)
+                            || (op == BinOp::Max && c1 >= c2))
+                    };
+                    if dominated(a.as_const_int(), &b) {
+                        return a;
+                    }
+                    if dominated(b.as_const_int(), &a) {
+                        return b;
+                    }
+                }
                 // min(min(x, c1), c2) -> min(x, min(c1, c2)); same for max.
                 if let (
-                    ExprNode::Bin { op: inner_op, a: x, b: c1 },
+                    ExprNode::Bin {
+                        op: inner_op,
+                        a: x,
+                        b: c1,
+                    },
                     Some(c2),
                 ) = (a.node(), b.as_const_int())
                 {
                     if *inner_op == op && !ty.is_float() {
                         if let Some(c1v) = c1.as_const_int() {
-                            let folded = if op == BinOp::Min { c1v.min(c2) } else { c1v.max(c2) };
+                            let folded = if op == BinOp::Min {
+                                c1v.min(c2)
+                            } else {
+                                c1v.max(c2)
+                            };
                             return ExprNode::Bin {
                                 op,
                                 a: x.clone(),
@@ -499,13 +663,22 @@ mod tests {
         assert_eq!(simplify(&c).as_const_int(), Some(0));
         let c2 = Expr::or(Expr::bool(true), Expr::lt(x, Expr::int(3)));
         assert_eq!(simplify(&c2).as_const_int(), Some(1));
-        assert_eq!(simplify(&Expr::not(Expr::bool(false))).as_const_int(), Some(1));
+        assert_eq!(
+            simplify(&Expr::not(Expr::bool(false))).as_const_int(),
+            Some(1)
+        );
     }
 
     #[test]
     fn cmp_folding() {
-        assert_eq!(simplify(&Expr::lt(Expr::int(1), Expr::int(2))).as_const_int(), Some(1));
-        assert_eq!(simplify(&Expr::ge(Expr::int(1), Expr::int(2))).as_const_int(), Some(0));
+        assert_eq!(
+            simplify(&Expr::lt(Expr::int(1), Expr::int(2))).as_const_int(),
+            Some(1)
+        );
+        assert_eq!(
+            simplify(&Expr::ge(Expr::int(1), Expr::int(2))).as_const_int(),
+            Some(0)
+        );
         let x = Expr::var_i32("x");
         assert_eq!(simplify(&Expr::le(x.clone(), x)).as_const_int(), Some(1));
     }
@@ -526,8 +699,15 @@ mod tests {
 
     #[test]
     fn stmt_simplification() {
-        let dead = Stmt::let_stmt("unused", Expr::var_i32("q") + 1, Stmt::evaluate(Expr::int(0)));
-        assert!(matches!(simplify_stmt(&dead).node(), StmtNode::Evaluate { .. }));
+        let dead = Stmt::let_stmt(
+            "unused",
+            Expr::var_i32("q") + 1,
+            Stmt::evaluate(Expr::int(0)),
+        );
+        assert!(matches!(
+            simplify_stmt(&dead).node(),
+            StmtNode::Evaluate { .. }
+        ));
 
         let zero_loop = Stmt::for_loop(
             "i",
@@ -547,6 +727,50 @@ mod tests {
             simplify_stmt(&branch).node(),
             StmtNode::Evaluate { value } if value.as_const_int() == Some(1)
         ));
+    }
+
+    #[test]
+    fn min_of_const_and_dominating_max_folds() {
+        // Regression: `min(0, max(e - f, 0))` is the guard the shift-inwards
+        // split strategy emits; it must fold to 0 or bounds expressions grow
+        // multiplicatively through chains of split stages.
+        let e = Expr::var_i32("e");
+        let guard = Expr::min(Expr::int(0), Expr::max(e.clone() - 16, Expr::int(0)));
+        assert_eq!(simplify(&guard).as_const_int(), Some(0));
+        // Operand order must not matter.
+        let guard = Expr::min(Expr::max(e.clone() - 16, Expr::int(0)), Expr::int(0));
+        assert_eq!(simplify(&guard).as_const_int(), Some(0));
+        // The dual: max(c1, min(x, c2)) -> c1 when c1 >= c2.
+        let dual = Expr::max(Expr::int(3), Expr::min(e.clone(), Expr::int(2)));
+        assert_eq!(simplify(&dual).as_const_int(), Some(3));
+        // Not dominated: stays symbolic.
+        let keep = Expr::min(Expr::int(5), Expr::max(e, Expr::int(2)));
+        assert!(simplify(&keep).as_const_int().is_none());
+    }
+
+    #[test]
+    fn min_of_const_offsets_folds_for_signed_not_unsigned() {
+        // Signed: min(x - 1, x + 1) -> x - 1 (non-wrapping arithmetic).
+        let x = Expr::var_i32("x");
+        let e = Expr::min(x.clone() - 1, x.clone() + 1);
+        assert_eq!(simplify(&e).to_string(), "(x - 1)");
+        // Unsigned: x - 1 wraps at 0, so the fold must NOT fire.
+        let u = Expr::var("u", Type::u32());
+        let one = Expr::imm_of(Type::u32(), 1.0);
+        let e = Expr::min(u.clone() - one.clone(), u + one);
+        assert!(simplify(&e).to_string().starts_with("min("));
+    }
+
+    #[test]
+    fn min_max_absorption() {
+        // Regression: bounds-inference unions produce `min(min(x, y), y)`
+        // shapes whose duplicates must be absorbed.
+        let x = Expr::var_i32("x");
+        let y = Expr::var_i32("y") * 2;
+        let nested = Expr::min(Expr::min(x.clone(), y.clone()), y.clone());
+        assert_eq!(simplify(&nested).to_string(), "min(x, (y*2))");
+        let nested = Expr::max(y.clone(), Expr::max(x.clone(), y.clone()));
+        assert_eq!(simplify(&nested).to_string(), "max(x, (y*2))");
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl ForKind {
 
     /// True if iterations may run concurrently (parallel, GPU).
     pub fn is_parallel(self) -> bool {
-        matches!(self, ForKind::Parallel | ForKind::GpuBlock | ForKind::GpuThread)
+        matches!(
+            self,
+            ForKind::Parallel | ForKind::GpuBlock | ForKind::GpuThread
+        )
     }
 }
 
@@ -79,7 +82,12 @@ impl Range {
 
 impl fmt::Display for Range {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}, {})", self.min, self.min.clone() + self.extent.clone())
+        write!(
+            f,
+            "[{}, {})",
+            self.min,
+            self.min.clone() + self.extent.clone()
+        )
     }
 }
 
@@ -88,13 +96,21 @@ impl fmt::Display for Range {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtNode {
     /// `let name = value` scoped over `body`.
-    LetStmt { name: String, value: Expr, body: Stmt },
+    LetStmt {
+        name: String,
+        value: Expr,
+        body: Stmt,
+    },
     /// Runtime check; the executor aborts the realization with an error when
     /// the condition is false.
     Assert { condition: Expr, message: String },
     /// Marks the production (or consumption) region of a func; used by later
     /// passes and by instrumentation to attribute work to stages.
-    Producer { name: String, is_produce: bool, body: Stmt },
+    Producer {
+        name: String,
+        is_produce: bool,
+        body: Stmt,
+    },
     /// A loop over `[min, min+extent)` with the given execution kind.
     For {
         name: String,
@@ -105,9 +121,17 @@ pub enum StmtNode {
     },
     /// Multi-dimensional store into func `name` at coordinates `args`
     /// (pre-flattening form).
-    Provide { name: String, value: Expr, args: Vec<Expr> },
+    Provide {
+        name: String,
+        value: Expr,
+        args: Vec<Expr>,
+    },
     /// One-dimensional store into buffer `name` (post-flattening form).
-    Store { name: String, value: Expr, index: Expr },
+    Store {
+        name: String,
+        value: Expr,
+        index: Expr,
+    },
     /// Allocates a multi-dimensional region for func `name` spanning `bounds`,
     /// live for the duration of `body` (pre-flattening form).
     Realize {
@@ -294,9 +318,7 @@ impl Stmt {
 
     /// Sequential composition of many statements, dropping no-ops.
     pub fn block_of(stmts: impl IntoIterator<Item = Stmt>) -> Stmt {
-        stmts
-            .into_iter()
-            .fold(Stmt::no_op(), Stmt::block)
+        stmts.into_iter().fold(Stmt::no_op(), Stmt::block)
     }
 
     /// Conditional statement.
@@ -335,9 +357,17 @@ fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
             indent(f, level)?;
             writeln!(f, "assert({condition}, \"{message}\")")
         }
-        StmtNode::Producer { name, is_produce, body } => {
+        StmtNode::Producer {
+            name,
+            is_produce,
+            body,
+        } => {
             indent(f, level)?;
-            writeln!(f, "{} {name} {{", if *is_produce { "produce" } else { "consume" })?;
+            writeln!(
+                f,
+                "{} {name} {{",
+                if *is_produce { "produce" } else { "consume" }
+            )?;
             fmt_stmt(body, f, level + 1)?;
             indent(f, level)?;
             writeln!(f, "}}")
@@ -370,7 +400,12 @@ fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
             indent(f, level)?;
             writeln!(f, "{name}[{index}] = {value}")
         }
-        StmtNode::Realize { name, ty, bounds, body } => {
+        StmtNode::Realize {
+            name,
+            ty,
+            bounds,
+            body,
+        } => {
             indent(f, level)?;
             write!(f, "realize {name} : {ty} over ")?;
             for (i, b) in bounds.iter().enumerate() {
@@ -384,7 +419,12 @@ fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
             indent(f, level)?;
             writeln!(f, "}}")
         }
-        StmtNode::Allocate { name, ty, size, body } => {
+        StmtNode::Allocate {
+            name,
+            ty,
+            size,
+            body,
+        } => {
             indent(f, level)?;
             writeln!(f, "allocate {name}[{ty} * {size}] {{")?;
             fmt_stmt(body, f, level + 1)?;
@@ -439,7 +479,10 @@ mod tests {
         let a = Stmt::evaluate(Expr::int(1));
         let b = Stmt::evaluate(Expr::int(2));
         let c = Stmt::evaluate(Expr::int(3));
-        let s = Stmt::block(Stmt::block(a.clone(), b.clone()), Stmt::block(Stmt::no_op(), c));
+        let s = Stmt::block(
+            Stmt::block(a.clone(), b.clone()),
+            Stmt::block(Stmt::no_op(), c),
+        );
         match s.node() {
             StmtNode::Block { stmts } => assert_eq!(stmts.len(), 3),
             other => panic!("expected Block, got {other:?}"),

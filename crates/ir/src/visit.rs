@@ -72,7 +72,9 @@ pub fn visit_stmt_children<V: IrVisitor + ?Sized>(v: &mut V, s: &Stmt) {
         }
         StmtNode::Assert { condition, .. } => v.visit_expr(condition),
         StmtNode::Producer { body, .. } => v.visit_stmt(body),
-        StmtNode::For { min, extent, body, .. } => {
+        StmtNode::For {
+            min, extent, body, ..
+        } => {
             v.visit_expr(min);
             v.visit_expr(extent);
             v.visit_stmt(body);
@@ -153,7 +155,12 @@ pub fn mutate_expr_children<M: IrMutator + ?Sized>(m: &mut M, e: &Expr) -> Expr 
             if na == *a && nb == *b {
                 e.clone()
             } else {
-                ExprNode::Bin { op: *op, a: na, b: nb }.into()
+                ExprNode::Bin {
+                    op: *op,
+                    a: na,
+                    b: nb,
+                }
+                .into()
             }
         }
         ExprNode::Cmp { op, a, b } => {
@@ -161,7 +168,12 @@ pub fn mutate_expr_children<M: IrMutator + ?Sized>(m: &mut M, e: &Expr) -> Expr 
             if na == *a && nb == *b {
                 e.clone()
             } else {
-                ExprNode::Cmp { op: *op, a: na, b: nb }.into()
+                ExprNode::Cmp {
+                    op: *op,
+                    a: na,
+                    b: nb,
+                }
+                .into()
             }
         }
         ExprNode::And { a, b } => {
@@ -193,15 +205,29 @@ pub fn mutate_expr_children<M: IrMutator + ?Sized>(m: &mut M, e: &Expr) -> Expr 
             if nc == *cond && nt == *t && nf == *f {
                 e.clone()
             } else {
-                ExprNode::Select { cond: nc, t: nt, f: nf }.into()
+                ExprNode::Select {
+                    cond: nc,
+                    t: nt,
+                    f: nf,
+                }
+                .into()
             }
         }
-        ExprNode::Ramp { base, stride, lanes } => {
+        ExprNode::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
             let (nb, ns) = (m.mutate_expr(base), m.mutate_expr(stride));
             if nb == *base && ns == *stride {
                 e.clone()
             } else {
-                ExprNode::Ramp { base: nb, stride: ns, lanes: *lanes }.into()
+                ExprNode::Ramp {
+                    base: nb,
+                    stride: ns,
+                    lanes: *lanes,
+                }
+                .into()
             }
         }
         ExprNode::Broadcast { value, lanes } => {
@@ -209,7 +235,11 @@ pub fn mutate_expr_children<M: IrMutator + ?Sized>(m: &mut M, e: &Expr) -> Expr 
             if nv == *value {
                 e.clone()
             } else {
-                ExprNode::Broadcast { value: nv, lanes: *lanes }.into()
+                ExprNode::Broadcast {
+                    value: nv,
+                    lanes: *lanes,
+                }
+                .into()
             }
         }
         ExprNode::Let { name, value, body } => {
@@ -288,7 +318,11 @@ pub fn mutate_stmt_children<M: IrMutator + ?Sized>(m: &mut M, s: &Stmt) -> Stmt 
                 .into()
             }
         }
-        StmtNode::Producer { name, is_produce, body } => {
+        StmtNode::Producer {
+            name,
+            is_produce,
+            body,
+        } => {
             let nb = m.mutate_stmt(body);
             if nb == *body {
                 s.clone()
@@ -308,7 +342,11 @@ pub fn mutate_stmt_children<M: IrMutator + ?Sized>(m: &mut M, s: &Stmt) -> Stmt 
             kind,
             body,
         } => {
-            let (nm, ne, nb) = (m.mutate_expr(min), m.mutate_expr(extent), m.mutate_stmt(body));
+            let (nm, ne, nb) = (
+                m.mutate_expr(min),
+                m.mutate_expr(extent),
+                m.mutate_stmt(body),
+            );
             if nm == *min && ne == *extent && nb == *body {
                 s.clone()
             } else {
@@ -349,7 +387,12 @@ pub fn mutate_stmt_children<M: IrMutator + ?Sized>(m: &mut M, s: &Stmt) -> Stmt 
                 .into()
             }
         }
-        StmtNode::Realize { name, ty, bounds, body } => {
+        StmtNode::Realize {
+            name,
+            ty,
+            bounds,
+            body,
+        } => {
             let nbounds: Vec<Range> = bounds
                 .iter()
                 .map(|r| Range::new(m.mutate_expr(&r.min), m.mutate_expr(&r.extent)))
@@ -367,7 +410,12 @@ pub fn mutate_stmt_children<M: IrMutator + ?Sized>(m: &mut M, s: &Stmt) -> Stmt 
                 .into()
             }
         }
-        StmtNode::Allocate { name, ty, size, body } => {
+        StmtNode::Allocate {
+            name,
+            ty,
+            size,
+            body,
+        } => {
             let (nsize, nb) = (m.mutate_expr(size), m.mutate_stmt(body));
             if nsize == *size && nb == *body {
                 s.clone()
@@ -557,7 +605,11 @@ mod tests {
 
     #[test]
     fn free_vars_respects_let_binding() {
-        let e = Expr::let_in("t", Expr::var_i32("x"), Expr::var_i32("t") + Expr::var_i32("y"));
+        let e = Expr::let_in(
+            "t",
+            Expr::var_i32("x"),
+            Expr::var_i32("t") + Expr::var_i32("y"),
+        );
         let fv = free_vars(&e);
         assert!(fv.contains("x"));
         assert!(fv.contains("y"));

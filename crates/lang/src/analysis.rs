@@ -46,7 +46,13 @@ fn calls_by_target(e: &Expr) -> BTreeMap<String, BTreeSet<String>> {
     }
     impl IrVisitor for Calls {
         fn visit_expr(&mut self, e: &Expr) {
-            if let ExprNode::Call { name, call_type, args, .. } = e.node() {
+            if let ExprNode::Call {
+                name,
+                call_type,
+                args,
+                ..
+            } = e.node()
+            {
                 if matches!(call_type, CallType::Halide | CallType::Image) {
                     let key = args
                         .iter()
@@ -78,7 +84,10 @@ fn has_data_dependent_access(e: &Expr) -> bool {
             if self.found {
                 return;
             }
-            if let ExprNode::Call { args, call_type, .. } = e.node() {
+            if let ExprNode::Call {
+                args, call_type, ..
+            } = e.node()
+            {
                 if matches!(call_type, CallType::Halide | CallType::Image) {
                     for a in args {
                         let inner = calls_by_target(a);
@@ -191,7 +200,10 @@ mod tests {
         let a = Func::new("analysis_point_a");
         a.define(&[x.clone(), y.clone()], Expr::f32(1.0));
         let b = Func::new("analysis_point_b");
-        b.define(&[x.clone(), y.clone()], a.at(vec![x.expr(), y.expr()]) * 2.0f32);
+        b.define(
+            &[x.clone(), y.clone()],
+            a.at(vec![x.expr(), y.expr()]) * 2.0f32,
+        );
         let stats = analyze(&Pipeline::new(&b));
         assert_eq!(stats.functions, 2);
         assert_eq!(stats.edges, 1);
@@ -207,14 +219,14 @@ mod tests {
         hist.define(&[i.clone()], Expr::int(0));
         let r = RDom::new(
             "r",
-            vec![
-                (Expr::int(0), Expr::int(16)),
-                (Expr::int(0), Expr::int(16)),
-            ],
+            vec![(Expr::int(0), Expr::int(16)), (Expr::int(0), Expr::int(16))],
         );
         hist.update(
             vec![input.at(vec![r.x().expr(), r.y().expr()]).cast(Type::i32())],
-            hist.at(vec![input.at(vec![r.x().expr(), r.y().expr()]).cast(Type::i32())]) + 1,
+            hist.at(vec![input
+                .at(vec![r.x().expr(), r.y().expr()])
+                .cast(Type::i32())])
+                + 1,
             Some(r),
         );
         let out = Func::new("analysis_dd_out");

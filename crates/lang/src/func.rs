@@ -219,11 +219,12 @@ impl Func {
     /// wrong.
     pub fn at(&self, coords: Vec<Expr>) -> Expr {
         let inner = self.lock();
-        let ty = inner
-            .value
-            .as_ref()
-            .map(|v| v.ty())
-            .unwrap_or_else(|| panic!("function {} must be defined before it is called", inner.name));
+        let ty = inner.value.as_ref().map(|v| v.ty()).unwrap_or_else(|| {
+            panic!(
+                "function {} must be defined before it is called",
+                inner.name
+            )
+        });
         assert_eq!(
             coords.len(),
             inner.args.len(),
@@ -261,7 +262,10 @@ impl Func {
         f(&mut self.lock().schedule)
     }
 
-    fn edit_schedule(&self, op: impl FnOnce(&mut FuncSchedule) -> halide_schedule::Result<()>) -> &Self {
+    fn edit_schedule(
+        &self,
+        op: impl FnOnce(&mut FuncSchedule) -> halide_schedule::Result<()>,
+    ) -> &Self {
         let mut inner = self.lock();
         let name = inner.name.clone();
         if let Err(e) = op(&mut inner.schedule) {
@@ -549,7 +553,10 @@ mod tests {
         f.define(&[x, y], Expr::f32(0.0));
         let g = f.clone();
         g.parallelize("y");
-        assert_eq!(f.schedule().dims[0].kind, halide_schedule::ForKind::Parallel);
+        assert_eq!(
+            f.schedule().dims[0].kind,
+            halide_schedule::ForKind::Parallel
+        );
         assert_eq!(f, g);
     }
 }

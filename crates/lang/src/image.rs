@@ -181,7 +181,12 @@ mod tests {
         let img = ImageParam::new("in", Type::u16(), 2);
         let e = img.at(vec![Expr::int(3), Expr::int(4)]);
         match e.node() {
-            ExprNode::Call { call_type, args, ty, .. } => {
+            ExprNode::Call {
+                call_type,
+                args,
+                ty,
+                ..
+            } => {
                 assert_eq!(*call_type, CallType::Image);
                 assert_eq!(args.len(), 2);
                 assert_eq!(*ty, Type::u16());

@@ -18,7 +18,10 @@ pub fn called_funcs(e: &Expr) -> BTreeSet<String> {
     }
     impl IrVisitor for Calls {
         fn visit_expr(&mut self, e: &Expr) {
-            if let ExprNode::Call { name, call_type, .. } = e.node() {
+            if let ExprNode::Call {
+                name, call_type, ..
+            } = e.node()
+            {
                 if *call_type == CallType::Halide {
                     self.found.insert(name.clone());
                 }
@@ -40,7 +43,10 @@ pub fn called_images(e: &Expr) -> BTreeSet<String> {
     }
     impl IrVisitor for Calls {
         fn visit_expr(&mut self, e: &Expr) {
-            if let ExprNode::Call { name, call_type, .. } = e.node() {
+            if let ExprNode::Call {
+                name, call_type, ..
+            } = e.node()
+            {
                 if *call_type == CallType::Image {
                     self.found.insert(name.clone());
                 }
@@ -218,9 +224,9 @@ impl Pipeline {
     pub fn validate_schedules(&self) -> halide_schedule::Result<()> {
         for name in self.realization_order() {
             let f = &self.env[&name];
-            f.schedule().validate().map_err(|e| {
-                halide_schedule::ScheduleError::new(format!("{}: {e}", f.name()))
-            })?;
+            f.schedule()
+                .validate()
+                .map_err(|e| halide_schedule::ScheduleError::new(format!("{}: {e}", f.name())))?;
         }
         Ok(())
     }
@@ -299,9 +305,15 @@ mod tests {
         let base = Func::new("pipe_test_diamond_base");
         base.define(&[x.clone(), y.clone()], Expr::f32(1.0));
         let left = Func::new("pipe_test_diamond_l");
-        left.define(&[x.clone(), y.clone()], base.at(vec![x.expr(), y.expr()]) * 2.0f32);
+        left.define(
+            &[x.clone(), y.clone()],
+            base.at(vec![x.expr(), y.expr()]) * 2.0f32,
+        );
         let right = Func::new("pipe_test_diamond_r");
-        right.define(&[x.clone(), y.clone()], base.at(vec![x.expr(), y.expr()]) + 1.0f32);
+        right.define(
+            &[x.clone(), y.clone()],
+            base.at(vec![x.expr(), y.expr()]) + 1.0f32,
+        );
         let top = Func::new("pipe_test_diamond_top");
         top.define(
             &[x.clone(), y.clone()],

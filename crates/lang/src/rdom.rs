@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn dimension_naming() {
-        let r = RDom::new(
-            "r",
-            (0..6).map(|_| (Expr::int(0), Expr::int(4))).collect(),
-        );
+        let r = RDom::new("r", (0..6).map(|_| (Expr::int(0), Expr::int(4))).collect());
         let names: Vec<&str> = r.dims().iter().map(|d| d.name()).collect();
         assert_eq!(names, vec!["r.x", "r.y", "r.z", "r.w", "r.d4", "r.d5"]);
     }

@@ -67,9 +67,7 @@ impl RegionBox {
     /// True if no call site contributed any bounds (the function is unused in
     /// the analyzed statement).
     pub fn is_empty(&self) -> bool {
-        self.dims
-            .iter()
-            .all(|i| i.min.is_none() && i.max.is_none())
+        self.dims.iter().all(|i| i.min.is_none() && i.max.is_none())
     }
 }
 
@@ -166,6 +164,10 @@ impl RegionWalker<'_> {
                 let imin = bounds_of_expr_in_scope(min, &self.scope);
                 let iextent = bounds_of_expr_in_scope(extent, &self.scope);
                 let interval = match (&imin.min, &imin.max, &iextent.max) {
+                    // Single-point loop min: no need to union both ends (the
+                    // duplicated copies of `lo` otherwise compound through
+                    // chained stages).
+                    (Some(lo), Some(hi), Some(ext_hi)) if lo == hi => loop_interval(lo, ext_hi),
                     (Some(lo), Some(hi), Some(ext_hi)) => {
                         loop_interval(lo, ext_hi).union(&loop_interval(hi, ext_hi))
                     }
@@ -313,7 +315,8 @@ mod tests {
 
     #[test]
     fn clamped_data_dependent_access_is_bounded() {
-        let idx = Expr::load(Type::i32(), "lut", Expr::var_i32("x")).clamp(Expr::int(0), Expr::int(7));
+        let idx =
+            Expr::load(Type::i32(), "lut", Expr::var_i32("x")).clamp(Expr::int(0), Expr::int(7));
         let body = Stmt::provide("out", call("g", vec![idx]), vec![Expr::var_i32("x")]);
         let s = Stmt::for_loop("x", Expr::int(0), Expr::int(4), ForKind::Serial, body);
         let ranges = region_required(&s, "g", 1).to_ranges("g").unwrap();

@@ -65,7 +65,12 @@ impl IrMutator for Flatten {
                 let args: Vec<Expr> = args.iter().map(|a| self.mutate_expr(a)).collect();
                 Stmt::store(name.clone(), value, flat_index(name, &args))
             }
-            StmtNode::Realize { name, ty, bounds, body } => {
+            StmtNode::Realize {
+                name,
+                ty,
+                bounds,
+                body,
+            } => {
                 self.known.insert(name.clone(), *ty);
                 let body = self.mutate_stmt(body);
                 // Allocation size: product of extents.

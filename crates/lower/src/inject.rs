@@ -199,11 +199,7 @@ pub fn output_region(func: &FuncDef) -> Vec<Range> {
 
 /// Rewrites the first `For` loop named `target`, replacing its body with
 /// `f(body)`. Returns the rewritten statement and whether the loop was found.
-fn transform_loop_body(
-    stmt: &Stmt,
-    target: &str,
-    f: &mut dyn FnMut(Stmt) -> Stmt,
-) -> (Stmt, bool) {
+fn transform_loop_body(stmt: &Stmt, target: &str, f: &mut dyn FnMut(Stmt) -> Stmt) -> (Stmt, bool) {
     struct Finder<'a> {
         target: &'a str,
         f: &'a mut dyn FnMut(Stmt) -> Stmt,
@@ -225,7 +221,13 @@ fn transform_loop_body(
                 if name == self.target {
                     self.found = true;
                     let new_body = (self.f)(body.clone());
-                    return Stmt::for_loop(name.clone(), min.clone(), extent.clone(), *kind, new_body);
+                    return Stmt::for_loop(
+                        name.clone(),
+                        min.clone(),
+                        extent.clone(),
+                        *kind,
+                        new_body,
+                    );
                 }
             }
             halide_ir::mutate_stmt_children(self, s)
@@ -262,7 +264,9 @@ fn level_loop_name(env: &BTreeMap<String, FuncDef>, level: &LoopLevel) -> Result
         )),
         LoopLevel::At { func, var } => {
             let consumer = env.get(func).ok_or_else(|| {
-                LowerError::new(format!("compute_at/store_at references unknown function {func:?}"))
+                LowerError::new(format!(
+                    "compute_at/store_at references unknown function {func:?}"
+                ))
             })?;
             if !consumer.schedule.has_dim(var) && !consumer.args.contains(var) {
                 return Err(LowerError::new(format!(
@@ -296,7 +300,10 @@ fn padded_bounds(func: &FuncDef, ranges: &[Range]) -> Vec<Range> {
             if pad == 0 {
                 r.clone()
             } else {
-                Range::new(r.min.clone(), simplify(&(r.extent.clone() + Expr::int(pad as i32))))
+                Range::new(
+                    r.min.clone(),
+                    simplify(&(r.extent.clone() + Expr::int(pad as i32))),
+                )
             }
         })
         .collect()
@@ -379,8 +386,17 @@ pub fn build_pipeline_stmt(
                 def.name, def.schedule.compute_level
             )));
         }
-        let compute_region = region_required(&compute_body, &def.name, def.args.len())
-            .to_ranges(&def.name)?;
+        let compute_region =
+            region_required(&compute_body, &def.name, def.args.len()).to_ranges(&def.name)?;
+        if std::env::var_os("HALIDE_LOWER_DEBUG").is_some() {
+            // Diagnostic for bounds-expression growth through deep stage
+            // chains (set HALIDE_LOWER_DEBUG=1 to trace).
+            let sz: usize = compute_region
+                .iter()
+                .map(|r| r.min.to_string().len() + r.extent.to_string().len())
+                .sum();
+            eprintln!("inject {}: compute region {} chars", def.name, sz);
+        }
 
         // Region required at the (equal or coarser) storage level.
         let store_body = match &store_loop {
@@ -411,7 +427,10 @@ pub fn build_pipeline_stmt(
             Some(l) => {
                 let (new_stmt, found) =
                     transform_loop_body(&stmt, l, &mut |body| Stmt::block(produce.clone(), body));
-                debug_assert!(found, "compute loop vanished between analysis and injection");
+                debug_assert!(
+                    found,
+                    "compute loop vanished between analysis and injection"
+                );
                 new_stmt
             }
         };

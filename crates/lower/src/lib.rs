@@ -129,12 +129,8 @@ pub fn lower_with_options(pipeline: &Pipeline, options: &LowerOptions) -> Result
     let stmt = inject::build_pipeline_stmt(&env, &order, &output)?;
 
     // 3. Sliding window + storage folding.
-    let (stmt, sliding_report) = sliding::sliding_and_folding(
-        &stmt,
-        &env,
-        options.sliding_window,
-        options.storage_folding,
-    );
+    let (stmt, sliding_report) =
+        sliding::sliding_and_folding(&stmt, &env, options.sliding_window, options.storage_folding);
     let stmt = simplify_stmt(&stmt);
 
     // 4. Flattening.

@@ -188,8 +188,8 @@ fn build_update_nest(
     // looped (the update touches a lower-dimensional slice).
     let regions = region_map(func, region);
     for (a, coord) in func.args.iter().zip(update.args.iter()) {
-        let uses_pure_var = halide_ir::expr_uses_var(coord, a)
-            || coord.as_var().map(|v| v == a).unwrap_or(false);
+        let uses_pure_var =
+            halide_ir::expr_uses_var(coord, a) || coord.as_var().map(|v| v == a).unwrap_or(false);
         if uses_pure_var {
             let (min, extent) = regions[a].clone();
             body = Stmt::for_loop(
@@ -235,7 +235,9 @@ mod tests {
     fn count_loops(s: &Stmt) -> Vec<(String, ForKind)> {
         fn walk(s: &Stmt, out: &mut Vec<(String, ForKind)>) {
             match s.node() {
-                StmtNode::For { name, kind, body, .. } => {
+                StmtNode::For {
+                    name, kind, body, ..
+                } => {
                     out.push((name.clone(), *kind));
                     walk(body, out);
                 }
@@ -244,7 +246,11 @@ mod tests {
                 | StmtNode::Producer { body, .. }
                 | StmtNode::Realize { body, .. }
                 | StmtNode::Allocate { body, .. } => walk(body, out),
-                StmtNode::IfThenElse { then_case, else_case, .. } => {
+                StmtNode::IfThenElse {
+                    then_case,
+                    else_case,
+                    ..
+                } => {
                     walk(then_case, out);
                     if let Some(e) = else_case {
                         walk(e, out);

@@ -37,14 +37,20 @@ pub struct SlidingReport {
 /// produce marker of `func`.
 fn directly_contains_produce(stmt: &Stmt, func: &str) -> bool {
     match stmt.node() {
-        StmtNode::Producer { name, is_produce, body } => {
-            (*is_produce && name == func) || directly_contains_produce(body, func)
-        }
+        StmtNode::Producer {
+            name,
+            is_produce,
+            body,
+        } => (*is_produce && name == func) || directly_contains_produce(body, func),
         StmtNode::Block { stmts } => stmts.iter().any(|s| directly_contains_produce(s, func)),
         StmtNode::LetStmt { body, .. }
         | StmtNode::Realize { body, .. }
         | StmtNode::Allocate { body, .. } => directly_contains_produce(body, func),
-        StmtNode::IfThenElse { then_case, else_case, .. } => {
+        StmtNode::IfThenElse {
+            then_case,
+            else_case,
+            ..
+        } => {
             directly_contains_produce(then_case, func)
                 || else_case
                     .as_ref()
@@ -78,7 +84,11 @@ struct ProduceLoopRewriter<'a> {
 impl IrMutator for ProduceLoopRewriter<'_> {
     fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
         match s.node() {
-            StmtNode::Producer { name, is_produce, body } if *is_produce && name == self.func => {
+            StmtNode::Producer {
+                name,
+                is_produce,
+                body,
+            } if *is_produce && name == self.func => {
                 let was = self.inside_produce;
                 self.inside_produce = true;
                 let nb = self.mutate_stmt(body);
@@ -103,12 +113,13 @@ impl IrMutator for ProduceLoopRewriter<'_> {
                         monotonic_step(&max, self.serial_var),
                     ) {
                         self.rewrote = true;
-                        let prev_max =
-                            substitute(&max, self.serial_var, &(Expr::var_i32(self.serial_var) - 1));
-                        let is_first = Expr::le(
-                            Expr::var_i32(self.serial_var),
-                            self.serial_min.clone(),
+                        let prev_max = substitute(
+                            &max,
+                            self.serial_var,
+                            &(Expr::var_i32(self.serial_var) - 1),
                         );
+                        let is_first =
+                            Expr::le(Expr::var_i32(self.serial_var), self.serial_min.clone());
                         let new_min = Expr::select(
                             is_first,
                             min.clone(),
@@ -211,10 +222,12 @@ impl SlidingPass<'_> {
                 | StmtNode::Producer { body, .. }
                 | StmtNode::Realize { body, .. }
                 | StmtNode::Allocate { body, .. } => find_serial_loop(body, func),
-                StmtNode::IfThenElse { then_case, else_case, .. } => {
-                    find_serial_loop(then_case, func)
-                        .or_else(|| else_case.as_ref().and_then(|e| find_serial_loop(e, func)))
-                }
+                StmtNode::IfThenElse {
+                    then_case,
+                    else_case,
+                    ..
+                } => find_serial_loop(then_case, func)
+                    .or_else(|| else_case.as_ref().and_then(|e| find_serial_loop(e, func))),
                 _ => None,
             }
         }
@@ -237,7 +250,11 @@ impl SlidingPass<'_> {
                     | StmtNode::Realize { body, .. }
                     | StmtNode::Allocate { body, .. } => body_of(body, target),
                     StmtNode::Block { stmts } => stmts.iter().find_map(|s| body_of(s, target)),
-                    StmtNode::IfThenElse { then_case, else_case, .. } => body_of(then_case, target)
+                    StmtNode::IfThenElse {
+                        then_case,
+                        else_case,
+                        ..
+                    } => body_of(then_case, target)
                         .or_else(|| else_case.as_ref().and_then(|e| body_of(e, target))),
                     _ => None,
                 }
@@ -280,7 +297,9 @@ impl SlidingPass<'_> {
                         }
                     }
                     // The window must march monotonically with the serial loop.
-                    let Some(min_expr) = &interval.min else { continue };
+                    let Some(min_expr) = &interval.min else {
+                        continue;
+                    };
                     if monotonic_step(min_expr, &serial_var).is_none() {
                         continue;
                     }
@@ -302,7 +321,13 @@ impl SlidingPass<'_> {
 
 impl IrMutator for SlidingPass<'_> {
     fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
-        if let StmtNode::Realize { name, ty, bounds, body } = s.node() {
+        if let StmtNode::Realize {
+            name,
+            ty,
+            bounds,
+            body,
+        } = s.node()
+        {
             let body = self.mutate_stmt(body); // handle nested realizations first
             if let Some(def) = self.env.get(name) {
                 let store_differs = def.schedule.store_level != def.schedule.compute_level;
@@ -411,7 +436,10 @@ mod tests {
         let input = ImageParam::new("slide_none_in", Type::f32(), 2);
         let (x, y) = (Var::new("x"), Var::new("y"));
         let f = Func::new("slide_none_f");
-        f.define(&[x.clone(), y.clone()], input.at_clamped(vec![x.expr(), y.expr()]));
+        f.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr(), y.expr()]),
+        );
         let g = Func::new("slide_none_g");
         g.define(
             &[x.clone(), y.clone()],

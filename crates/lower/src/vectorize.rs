@@ -11,7 +11,9 @@
 //! A loop scheduled `unrolled` with constant extent *n* is replaced by *n*
 //! copies of its body with the loop variable bound to `min + i`.
 
-use halide_ir::{const_int, simplify_stmt, substitute_in_stmt, Expr, ForKind, IrMutator, Stmt, StmtNode};
+use halide_ir::{
+    const_int, simplify_stmt, substitute_in_stmt, Expr, ForKind, IrMutator, Stmt, StmtNode,
+};
 
 use crate::error::{LowerError, Result};
 
@@ -174,7 +176,13 @@ mod tests {
     fn serial_loops_are_untouched() {
         let s = store_loop(ForKind::Serial, Expr::var_i32("n"));
         let out = vectorize_and_unroll(&s).unwrap();
-        assert!(matches!(out.node(), StmtNode::For { kind: ForKind::Serial, .. }));
+        assert!(matches!(
+            out.node(),
+            StmtNode::For {
+                kind: ForKind::Serial,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -184,7 +192,11 @@ mod tests {
             Expr::int(0),
             Expr::int(4),
             ForKind::Vectorized,
-            Stmt::store("buf", Expr::var_i32("xi") + Expr::var_i32("yi"), Expr::var_i32("xi")),
+            Stmt::store(
+                "buf",
+                Expr::var_i32("xi") + Expr::var_i32("yi"),
+                Expr::var_i32("xi"),
+            ),
         );
         let outer = Stmt::for_loop("yi", Expr::int(0), Expr::int(2), ForKind::Unrolled, inner);
         let out = vectorize_and_unroll(&outer).unwrap();

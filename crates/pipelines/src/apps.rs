@@ -164,7 +164,12 @@ impl AppKind {
 
     /// Runs the hand-written reference ("expert") implementation where one is
     /// provided, returning its wall-clock time.
-    pub fn reference_time(&self, width: i64, height: i64, threads: usize) -> Option<std::time::Duration> {
+    pub fn reference_time(
+        &self,
+        width: i64,
+        height: i64,
+        threads: usize,
+    ) -> Option<std::time::Duration> {
         let start = std::time::Instant::now();
         match self {
             AppKind::Blur => {

@@ -41,7 +41,10 @@ impl BilateralGridApp {
         // Construct the grid: each S_SIGMA x S_SIGMA block of pixels scatters
         // (value, 1) into the intensity bin of each pixel.
         let grid = Func::new("bg_grid");
-        grid.define(&[x.clone(), y.clone(), z.clone(), c.clone()], Expr::f32(0.0));
+        grid.define(
+            &[x.clone(), y.clone(), z.clone(), c.clone()],
+            Expr::f32(0.0),
+        );
         let r = RDom::new(
             "r",
             vec![
@@ -268,7 +271,13 @@ pub fn reference(input: &Buffer) -> Buffer {
                                 1 => sy += k,
                                 _ => sz += k,
                             }
-                            if sx < -off || sx >= gw - off || sy < -off || sy >= gh - off || sz < -off || sz >= gz - off {
+                            if sx < -off
+                                || sx >= gw - off
+                                || sy < -off
+                                || sy >= gh - off
+                                || sz < -off
+                                || sz >= gz - off
+                            {
                                 continue; // outside: grid value is zero
                             }
                             acc += wgt * src[idx(sx, sy, sz, c)];
@@ -298,7 +307,8 @@ pub fn reference(input: &Buffer) -> Buffer {
             let lerp = |a: f32, b: f32, w: f32| a + (b - a) * w;
             let mut interp = [0f32; 2];
             for (c, slot) in interp.iter_mut().enumerate() {
-                let g = |dx: i64, dy: i64, dz: i64| blury[idx(xi + dx, yi + dy, zint + dz, c as i64)];
+                let g =
+                    |dx: i64, dy: i64, dz: i64| blury[idx(xi + dx, yi + dy, zint + dz, c as i64)];
                 *slot = lerp(
                     lerp(
                         lerp(g(0, 0, 0), g(1, 0, 0), xf),
@@ -332,7 +342,10 @@ mod tests {
         let result = app.run(&module, &input, 2).unwrap();
         let expected = reference(&input);
         let diff = result.output.max_abs_diff(&expected);
-        assert!(diff < 1e-3, "bilateral grid diverges from reference by {diff}");
+        assert!(
+            diff < 1e-3,
+            "bilateral grid diverges from reference by {diff}"
+        );
     }
 
     #[test]

@@ -169,7 +169,9 @@ impl BlurSchedule {
                     .split_dim("xi", "xio", "xii", 8)
                     .vectorize_dim("xii");
                 app.blurx.compute_at(&app.out, "xo");
-                app.blurx.split_dim("x", "bxo", "bxi", 8).vectorize_dim("bxi");
+                app.blurx
+                    .split_dim("x", "bxo", "bxi", 8)
+                    .vectorize_dim("bxi");
             }
         }
     }
@@ -200,7 +202,10 @@ pub fn reference(input: &Buffer) -> Buffer {
             let a = input.at_f64(&[clamp(x - 1, 0, w - 1), y]);
             let b = input.at_f64(&[x, y]);
             let c = input.at_f64(&[clamp(x + 1, 0, w - 1), y]);
-            blurx.set_coords_f64(&[x, y], (a as f32 + b as f32 + c as f32) as f64 / 3.0f32 as f64);
+            blurx.set_coords_f64(
+                &[x, y],
+                (a as f32 + b as f32 + c as f32) as f64 / 3.0f32 as f64,
+            );
         }
     }
     let out = Buffer::with_extents(ScalarType::Float(32), &[w, h]);

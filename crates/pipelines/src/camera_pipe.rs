@@ -33,6 +33,8 @@ pub struct CameraPipeApp {
     pub corrected: Func,
     /// The tone curve lookup table.
     pub curve: Func,
+    /// Tone-mapped channels (read by the sharpening stencil in `out`).
+    pub curved: Func,
     /// 8-bit output (x, y, c).
     pub out: Func,
 }
@@ -54,7 +56,10 @@ impl CameraPipeApp {
             let s = raw(x.expr(), y.expr() + 2);
             let w = raw(x.expr() - 2, y.expr());
             let e = raw(x.expr() + 2, y.expr());
-            let hi = Expr::max(Expr::max(n.clone(), s.clone()), Expr::max(w.clone(), e.clone()));
+            let hi = Expr::max(
+                Expr::max(n.clone(), s.clone()),
+                Expr::max(w.clone(), e.clone()),
+            );
             let lo = Expr::min(Expr::min(n, s), Expr::min(w, e));
             denoised.define(&[x.clone(), y.clone()], center.clamp(lo, hi));
         }
@@ -140,7 +145,11 @@ impl CameraPipeApp {
                 Expr::select(
                     Expr::eq(c.expr(), Expr::int(0)),
                     channel(mat[0]),
-                    Expr::select(Expr::eq(c.expr(), Expr::int(1)), channel(mat[1]), channel(mat[2])),
+                    Expr::select(
+                        Expr::eq(c.expr(), Expr::int(1)),
+                        channel(mat[1]),
+                        channel(mat[2]),
+                    ),
                 )
                 .clamp(Expr::int(0), Expr::int(WHITE_LEVEL)),
             );
@@ -180,7 +189,9 @@ impl CameraPipeApp {
             let sharpened = center.clone() * 2 - blur;
             out.define(
                 &[x.clone(), y.clone(), c.clone()],
-                sharpened.clamp(Expr::int(0), Expr::int(255)).cast(Type::u8()),
+                sharpened
+                    .clamp(Expr::int(0), Expr::int(255))
+                    .cast(Type::u8()),
             );
         }
 
@@ -192,6 +203,7 @@ impl CameraPipeApp {
             blue,
             corrected,
             curve,
+            curved,
             out,
         }
     }
@@ -207,7 +219,14 @@ impl CameraPipeApp {
     pub fn schedule_good(&self) {
         self.curve.compute_root();
         self.out.split_dim("y", "yo", "yi", 16).parallelize("yo");
-        for f in [&self.denoised, &self.green, &self.red, &self.blue, &self.corrected] {
+        for f in [
+            &self.denoised,
+            &self.green,
+            &self.red,
+            &self.blue,
+            &self.corrected,
+            &self.curved,
+        ] {
             f.compute_at(&self.out, "yo");
         }
     }
@@ -265,7 +284,10 @@ mod tests {
         // all values are valid u8 and the red channel increases left to right
         let left_r = result.output.at_f64(&[8, 24, 0]);
         let right_r = result.output.at_f64(&[56, 24, 0]);
-        assert!(right_r > left_r + 10.0, "red should increase: {left_r} -> {right_r}");
+        assert!(
+            right_r > left_r + 10.0,
+            "red should increase: {left_r} -> {right_r}"
+        );
         for v in result.output.to_f64_vec() {
             assert!((0.0..=255.0).contains(&v));
         }
@@ -291,6 +313,9 @@ mod tests {
         let stats = halide_lang::analyze(&app.pipeline());
         assert!(stats.functions >= 8);
         assert!(stats.stencils >= 4);
-        assert!(stats.data_dependent >= 1, "the LUT gather is data-dependent");
+        assert!(
+            stats.data_dependent >= 1,
+            "the LUT gather is data-dependent"
+        );
     }
 }

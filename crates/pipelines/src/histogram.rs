@@ -62,11 +62,13 @@ impl HistogramApp {
 
         let out = Func::new("histeq_out");
         let total = Expr::int(width) * Expr::int(height);
-        let remapped = cdf.at(vec![bucket_of(input.at(vec![x.expr(), y.expr()]))]) * (BINS - 1)
-            / total;
+        let remapped =
+            cdf.at(vec![bucket_of(input.at(vec![x.expr(), y.expr()]))]) * (BINS - 1) / total;
         out.define(
             &[x.clone(), y.clone()],
-            remapped.clamp(Expr::int(0), Expr::int(BINS - 1)).cast(Type::u8()),
+            remapped
+                .clamp(Expr::int(0), Expr::int(BINS - 1))
+                .cast(Type::u8()),
         );
 
         HistogramApp {

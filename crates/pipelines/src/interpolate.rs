@@ -34,7 +34,10 @@ impl InterpolateApp {
     /// (the paper's implementation uses ~10 for multi-megapixel inputs;
     /// tests use fewer).
     pub fn new(levels: usize) -> InterpolateApp {
-        assert!(levels >= 2, "interpolation needs at least two pyramid levels");
+        assert!(
+            levels >= 2,
+            "interpolation needs at least two pyramid levels"
+        );
         let input = ImageParam::new("interp_input", Type::f32(), 3);
         let (x, y, c) = (Var::new("x"), Var::new("y"), Var::new("c"));
 
@@ -44,12 +47,20 @@ impl InterpolateApp {
         let value = input.at_clamped(vec![x.expr(), y.expr(), Expr::int(0)]);
         base.define(
             &[x.clone(), y.clone(), c.clone()],
-            Expr::select(Expr::eq(c.expr(), Expr::int(0)), value * alpha.clone(), alpha),
+            Expr::select(
+                Expr::eq(c.expr(), Expr::int(0)),
+                value * alpha.clone(),
+                alpha,
+            ),
         );
 
         let mut downsampled = vec![base.clone()];
         for l in 1..levels {
-            let d = downsample(&format!("interp_down_{l}"), &downsampled[l - 1], &[c.clone()]);
+            let d = downsample(
+                &format!("interp_down_{l}"),
+                &downsampled[l - 1],
+                &[c.clone()],
+            );
             downsampled.push(d);
         }
 
@@ -60,7 +71,9 @@ impl InterpolateApp {
         for l in (0..levels - 1).rev() {
             let up = upsample(
                 &format!("interp_up_{l}"),
-                interpolated[l + 1].as_ref().expect("built in previous iteration"),
+                interpolated[l + 1]
+                    .as_ref()
+                    .expect("built in previous iteration"),
                 &[c.clone()],
             );
             let f = Func::new(format!("interp_level_{l}"));
@@ -73,7 +86,10 @@ impl InterpolateApp {
             );
             interpolated[l] = Some(f);
         }
-        let interpolated: Vec<Func> = interpolated.into_iter().map(|f| f.expect("filled")).collect();
+        let interpolated: Vec<Func> = interpolated
+            .into_iter()
+            .map(|f| f.expect("filled"))
+            .collect();
 
         let out = Func::new("interp_out");
         let num = interpolated[0].at(vec![x.expr(), y.expr(), Expr::int(0)]);
@@ -211,9 +227,29 @@ mod tests {
             for x in 0..48 {
                 let v = result.output.at_f64(&[x, y]);
                 assert!(v.is_finite());
-                assert!(v > 0.05 && v < 1.0, "({x},{y}) value {v} outside plausible range");
+                assert!(
+                    v > 0.05 && v < 1.0,
+                    "({x},{y}) value {v} outside plausible range"
+                );
             }
         }
+    }
+
+    #[test]
+    fn gpu_lowering_stays_compact() {
+        // Regression: GPU-tiled pyramid chains used to make bounds
+        // expressions grow multiplicatively per level (the
+        // `min(0, max(e - f, 0))` split guards never folded), hanging
+        // lowering. Three levels must lower quickly to a reasonably sized
+        // module.
+        let app = InterpolateApp::new(3);
+        app.schedule_gpu();
+        let module = app.compile().unwrap();
+        assert!(
+            module.pretty().len() < 200_000,
+            "lowered text blew up to {} bytes",
+            module.pretty().len()
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl LocalLaplacianApp {
             let diff = g.clone() - level.clone();
             // smooth detail remapping: beta scales the base difference, alpha
             // adds a sigmoid-ish detail boost
-            let detail = diff.clone() * (Expr::f32(1.0) - diff.clone() * diff.clone()).clamp(Expr::f32(0.0), Expr::f32(1.0));
+            let detail = diff.clone()
+                * (Expr::f32(1.0) - diff.clone() * diff.clone())
+                    .clamp(Expr::f32(0.0), Expr::f32(1.0));
             remapped.define(
                 &[x.clone(), y.clone(), kv.clone()],
                 level + diff * beta + detail * alpha,
@@ -74,13 +76,21 @@ impl LocalLaplacianApp {
         // Gaussian pyramid of the remapped family (3-D: x, y, k).
         let mut g_pyramid = vec![remapped.clone()];
         for j in 1..levels {
-            g_pyramid.push(downsample(&format!("llf_gpyr_{j}"), &g_pyramid[j - 1], &[kv.clone()]));
+            g_pyramid.push(downsample(
+                &format!("llf_gpyr_{j}"),
+                &g_pyramid[j - 1],
+                &[kv.clone()],
+            ));
         }
         // Laplacian pyramid: difference between a level and the upsampled
         // next-coarser level; the coarsest level is the Gaussian level itself.
         let mut l_pyramid = Vec::with_capacity(levels);
         for j in 0..levels - 1 {
-            let up = upsample(&format!("llf_lpyr_up_{j}"), &g_pyramid[j + 1], &[kv.clone()]);
+            let up = upsample(
+                &format!("llf_lpyr_up_{j}"),
+                &g_pyramid[j + 1],
+                &[kv.clone()],
+            );
             let l = Func::new(format!("llf_lpyr_{j}"));
             l.define(
                 &[x.clone(), y.clone(), kv.clone()],
@@ -131,7 +141,9 @@ impl LocalLaplacianApp {
         for j in (0..levels - 1).rev() {
             let up = upsample(
                 &format!("llf_collapse_up_{j}"),
-                out_g_pyramid[j + 1].as_ref().expect("built in previous iteration"),
+                out_g_pyramid[j + 1]
+                    .as_ref()
+                    .expect("built in previous iteration"),
                 &[],
             );
             let f = Func::new(format!("llf_outgpyr_{j}"));
@@ -141,7 +153,10 @@ impl LocalLaplacianApp {
             );
             out_g_pyramid[j] = Some(f);
         }
-        let out_g_pyramid: Vec<Func> = out_g_pyramid.into_iter().map(|f| f.expect("filled")).collect();
+        let out_g_pyramid: Vec<Func> = out_g_pyramid
+            .into_iter()
+            .map(|f| f.expect("filled"))
+            .collect();
 
         let out = Func::new("llf_out");
         out.define(
@@ -240,7 +255,10 @@ mod tests {
         let module = app.compile().unwrap();
         let result = app.run(&module, &input, 2).unwrap();
         let diff = result.output.max_abs_diff(&input);
-        assert!(diff < 0.02, "identity filter should reproduce the input, diff {diff}");
+        assert!(
+            diff < 0.02,
+            "identity filter should reproduce the input, diff {diff}"
+        );
     }
 
     #[test]
@@ -248,7 +266,9 @@ mod tests {
         let input = make_input(32, 32);
         let identity = LocalLaplacianApp::new(3, 4, 0.0, 1.0);
         identity.schedule_good();
-        let id_out = identity.run(&identity.compile().unwrap(), &input, 2).unwrap();
+        let id_out = identity
+            .run(&identity.compile().unwrap(), &input, 2)
+            .unwrap();
 
         let boost = LocalLaplacianApp::new(3, 4, 2.0, 1.0);
         boost.schedule_good();

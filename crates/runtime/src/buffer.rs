@@ -158,7 +158,10 @@ impl Buffer {
         let dims: Vec<BufferDim> = dims
             .iter()
             .map(|&(min, extent)| {
-                assert!(extent >= 0, "buffer extent must be non-negative, got {extent}");
+                assert!(
+                    extent >= 0,
+                    "buffer extent must be non-negative, got {extent}"
+                );
                 len = len
                     .checked_mul(extent as usize)
                     .expect("buffer size overflow");
@@ -179,7 +182,12 @@ impl Buffer {
     }
 
     /// Creates a 2-D buffer filled from a closure of `(x, y)`.
-    pub fn from_fn_2d(ty: ScalarType, width: i64, height: i64, f: impl Fn(i64, i64) -> f64) -> Buffer {
+    pub fn from_fn_2d(
+        ty: ScalarType,
+        width: i64,
+        height: i64,
+        f: impl Fn(i64, i64) -> f64,
+    ) -> Buffer {
         let buf = Buffer::with_extents(ty, &[width, height]);
         for y in 0..height {
             for x in 0..width {

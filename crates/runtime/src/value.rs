@@ -129,9 +129,12 @@ impl Value {
     /// floats toward zero when converting to integers.
     pub fn cast_to(&self, ty: ScalarType) -> Value {
         match ty {
-            ScalarType::Float(32) => {
-                Value::Float(self.to_f64_lanes().iter().map(|v| *v as f32 as f64).collect())
-            }
+            ScalarType::Float(32) => Value::Float(
+                self.to_f64_lanes()
+                    .iter()
+                    .map(|v| *v as f32 as f64)
+                    .collect(),
+            ),
             ScalarType::Float(_) => Value::Float(self.to_f64_lanes()),
             ScalarType::UInt(1) => Value::Int(
                 self.to_f64_lanes()
@@ -141,19 +144,20 @@ impl Value {
             ),
             ScalarType::UInt(bits) => {
                 let mask: i64 = if bits >= 63 { -1 } else { (1i64 << bits) - 1 };
-                Value::Int(
-                    self.to_int_lanes_trunc()
-                        .iter()
-                        .map(|v| v & mask)
-                        .collect(),
-                )
+                Value::Int(self.to_int_lanes_trunc().iter().map(|v| v & mask).collect())
             }
             ScalarType::Int(bits) => {
                 let shift = 64 - bits as u32;
                 Value::Int(
                     self.to_int_lanes_trunc()
                         .iter()
-                        .map(|v| if shift == 0 { *v } else { (v << shift) >> shift })
+                        .map(|v| {
+                            if shift == 0 {
+                                *v
+                            } else {
+                                (v << shift) >> shift
+                            }
+                        })
                         .collect(),
                 )
             }
@@ -237,7 +241,10 @@ pub fn compare_op(op: CmpOp, a: &Value, b: &Value) -> Value {
     } else {
         let av = a.broadcast(lanes).to_int_lanes();
         let bv = b.broadcast(lanes).to_int_lanes();
-        av.iter().zip(bv.iter()).map(|(x, y)| test(x.cmp(y)) as i64).collect()
+        av.iter()
+            .zip(bv.iter())
+            .map(|(x, y)| test(x.cmp(y)) as i64)
+            .collect()
     };
     Value::Int(lanes_out)
 }
@@ -294,7 +301,10 @@ mod tests {
         let a = Value::int(3);
         let b = Value::float(0.5);
         assert_eq!(binary_op(BinOp::Add, &a, &b), Value::Float(vec![3.5]));
-        assert_eq!(binary_op(BinOp::Div, &a, &Value::int(2)), Value::Int(vec![1]));
+        assert_eq!(
+            binary_op(BinOp::Div, &a, &Value::int(2)),
+            Value::Int(vec![1])
+        );
         assert_eq!(
             binary_op(BinOp::Div, &Value::int(-3), &Value::int(2)),
             Value::Int(vec![-2]),
@@ -317,7 +327,10 @@ mod tests {
     #[test]
     fn casts_wrap_and_truncate() {
         let v = Value::Int(vec![300, -1, 255]);
-        assert_eq!(v.cast_to(ScalarType::UInt(8)), Value::Int(vec![44, 255, 255]));
+        assert_eq!(
+            v.cast_to(ScalarType::UInt(8)),
+            Value::Int(vec![44, 255, 255])
+        );
         assert_eq!(
             Value::float(3.9).cast_to(ScalarType::Int(32)),
             Value::Int(vec![3])

@@ -583,8 +583,14 @@ mod tests {
     fn duplicate_dims_rejected() {
         let s = FuncSchedule {
             dims: vec![
-                Dim { name: "x".into(), kind: ForKind::Serial },
-                Dim { name: "x".into(), kind: ForKind::Serial },
+                Dim {
+                    name: "x".into(),
+                    kind: ForKind::Serial,
+                },
+                Dim {
+                    name: "x".into(),
+                    kind: ForKind::Serial,
+                },
             ],
             ..Default::default()
         };

@@ -38,7 +38,10 @@ fn main() {
         ..Default::default()
     });
     let result = tuner.tune(&pipeline, evaluator);
-    println!("evaluated {} candidates, rejected {}", result.evaluated, result.rejected);
+    println!(
+        "evaluated {} candidates, rejected {}",
+        result.evaluated, result.rejected
+    );
     for stat in &result.history {
         println!(
             "generation {:>2}: best {:.2} ms",

@@ -7,14 +7,21 @@ fn main() {
 
     let cpu = BilateralGridApp::new();
     cpu.schedule_good();
-    let cpu_result = cpu.run(&cpu.compile().expect("lowers"), &input, 4).expect("runs");
+    let cpu_result = cpu
+        .run(&cpu.compile().expect("lowers"), &input, 4)
+        .expect("runs");
 
     let gpu = BilateralGridApp::new();
     gpu.schedule_gpu();
-    let gpu_result = gpu.run(&gpu.compile().expect("lowers"), &input, 4).expect("runs");
+    let gpu_result = gpu
+        .run(&gpu.compile().expect("lowers"), &input, 4)
+        .expect("runs");
 
     assert!(cpu_result.output.max_abs_diff(&gpu_result.output) < 1e-4);
-    println!("CPU schedule: {:.1} ms", cpu_result.wall_time.as_secs_f64() * 1e3);
+    println!(
+        "CPU schedule: {:.1} ms",
+        cpu_result.wall_time.as_secs_f64() * 1e3
+    );
     println!(
         "GPU schedule: {:.1} ms, {} kernel launches, {} host<->device copies ({} bytes)",
         gpu_result.wall_time.as_secs_f64() * 1e3,

@@ -20,6 +20,9 @@ fn main() {
     };
     println!("input  intensity range: {:?}", range(&input));
     println!("output intensity range: {:?}", range(&result.output));
-    println!("ran in {:.2} ms ({} arithmetic ops)",
-        result.wall_time.as_secs_f64() * 1e3, result.counters.arith_ops);
+    println!(
+        "ran in {:.2} ms ({} arithmetic ops)",
+        result.wall_time.as_secs_f64() * 1e3,
+        result.counters.arith_ops
+    );
 }

@@ -9,7 +9,10 @@ fn main() {
     let stats = analyze(&app.pipeline());
     println!(
         "local Laplacian: {} functions, {} stencil edges, depth {}, structure {}",
-        stats.functions, stats.stencils, stats.depth, stats.structure()
+        stats.functions,
+        stats.stencils,
+        stats.depth,
+        stats.structure()
     );
 
     app.schedule_good();

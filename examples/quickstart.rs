@@ -15,7 +15,10 @@ fn main() {
         let app = BlurApp::new();
         let module = app.compile(schedule).expect("schedule lowers");
         let result = app.run(&module, &input, 4, true).expect("schedule runs");
-        assert!(result.output.max_abs_diff(&expected) < 1e-4, "results never change");
+        assert!(
+            result.output.max_abs_diff(&expected) < 1e-4,
+            "results never change"
+        );
         println!(
             "{:<28} {:>8.2} ms   {:>12} arith ops   peak live {:>9} B",
             schedule.label(),

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so this shim implements the
+//! harness subset the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `measurement_time` /
+//! `warm_up_time` / `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up for `warm_up_time`, then
+//! timed in batches until `measurement_time` elapses or `sample_size`
+//! samples are collected, and the median / mean / min per-iteration times
+//! are printed. No plots, no statistics beyond that — the point is that
+//! `cargo bench` compiles and produces stable, comparable numbers offline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter label.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made from a parameter label alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Runs the closure under test and records per-iteration timings.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting one sample per call until the sample
+    /// budget or the measurement window is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let measure_deadline = Instant::now() + self.measurement;
+        while self.samples.len() < self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_deadline && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &samples);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Runs one benchmark that borrows a shared input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. Accepted for API compatibility; reporting is
+    /// incremental so there is nothing left to flush.
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{group}/{id}: median {median:?}  mean {mean:?}  min {min:?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; this harness has no
+            // CLI, so arguments are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u32;
+        group.bench_function(BenchmarkId::new("count", "up"), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this shim implements the
+//! API subset the workspace's property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_recursive` / `boxed`, range and tuple
+//! strategies, [`strategy::Just`], [`arbitrary::any`], and the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros.
+//!
+//! Differences from real proptest, by design:
+//! * **deterministic** — every test function draws its cases from a fixed
+//!   seed, so CI runs are exactly reproducible (no flaky property tests);
+//! * **no shrinking** — a failing case reports the panic directly; the
+//!   failing inputs are printed via the case counter and seed instead.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Macro runtime support; not part of the public API.
+    pub use rand;
+}
+
+/// Strategy combinators: how random values of each type are produced.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of an output type.
+    ///
+    /// This mirrors `proptest::strategy::Strategy`, minus shrinking: a
+    /// strategy is just a cloneable generator from an RNG to a value.
+    pub trait Strategy: Clone {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps the produced value through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf case and `f`
+        /// wraps an inner strategy into a branch case. `depth` bounds the
+        /// recursion; the size/branch hints are accepted for API
+        /// compatibility but unused.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // Mix the leaf back in at every level so generated values
+                // cover all depths up to `depth`, not only the deepest.
+                let branch = f(strat).boxed();
+                strat = Union::new(vec![leaf.clone(), branch]).boxed();
+            }
+            strat
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy {
+                gen: Rc::new(move |rng| this.generate(rng)),
+            }
+        }
+    }
+
+    /// A type-erased, cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut StdRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + Clone,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies of the same value type.
+    /// Built by the [`prop_oneof!`](crate::prop_oneof) macro.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+/// `any::<T>()` support for types with a canonical uniform strategy.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::marker::PhantomData;
+
+    /// Strategy returned by [`any`], producing uniform values of `T`.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.gen::<T>()
+        }
+    }
+
+    /// Returns the canonical strategy for `T` (uniform over the type).
+    pub fn any<T: rand::Standard>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::Config`: how many cases to run per
+    /// property, plus the (fixed) RNG seed that makes runs deterministic.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+        /// Seed for the deterministic case generator.
+        pub seed: u64,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Fixed seed: property tests must not flake in CI. Change the
+            // seed here (or set `seed` in a custom config) to explore a
+            // different deterministic case stream.
+            ProptestConfig {
+                cases: 256,
+                seed: 0x5eed_cafe_f00d_d00d,
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests. Mirrors `proptest::proptest!`:
+/// an optional `#![proptest_config(..)]` header followed by `fn` items whose
+/// arguments are drawn from strategies via `pat in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = <$crate::__rt::rand::rngs::StdRng as $crate::__rt::rand::SeedableRng>::seed_from_u64(config.seed);
+                let strategies = ( $( $strat, )+ );
+                for case in 0..config.cases {
+                    let ( $($pat,)+ ) = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed (seed {:#x})",
+                            case + 1, config.cases, config.seed,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategy arms; mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(a in -5i32..5, b in 0u8..3, flip in any::<bool>()) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 3);
+            let _ = flip;
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1i64), Just(2), 10i64..20]) {
+            prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursion_terminates(n in (0i32..4).prop_recursive(3, 24, 3, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a.saturating_add(b).min(100))
+        })) {
+            prop_assert!(n <= 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = (0i64..1_000_000).prop_map(|v| v * 2);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+}

@@ -36,7 +36,8 @@ fn facade_quickstart_roundtrip() {
     let gradient = Func::new("e2e_gradient");
     gradient.define(
         &[x.clone(), y.clone()],
-        input.at_clamped(vec![x.expr() + 1, y.expr()]) - input.at_clamped(vec![x.expr() - 1, y.expr()]),
+        input.at_clamped(vec![x.expr() + 1, y.expr()])
+            - input.at_clamped(vec![x.expr() - 1, y.expr()]),
     );
     let magnitude = Func::new("e2e_magnitude");
     magnitude.define(
@@ -44,9 +45,7 @@ fn facade_quickstart_roundtrip() {
         gradient.at(vec![x.expr(), y.expr()]).abs(),
     );
 
-    magnitude
-        .split_dim("y", "yo", "yi", 8)
-        .parallelize("yo");
+    magnitude.split_dim("y", "yo", "yi", 8).parallelize("yo");
     gradient.compute_at(&magnitude, "yo");
 
     let module = lower(&Pipeline::new(&magnitude)).unwrap();

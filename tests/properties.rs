@@ -29,7 +29,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| x * y),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::min(x, y)),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::max(x, y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::select(Expr::lt(x.clone(), y.clone()), x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::select(
+                Expr::lt(x.clone(), y.clone()),
+                x,
+                y
+            )),
             (inner.clone(), (1i32..8)).prop_map(|(x, d)| x / d),
             (inner, (1i32..8)).prop_map(|(x, d)| x % d),
         ]
@@ -41,7 +45,9 @@ fn eval_with(e: &Expr, a: i64, b: i64) -> i64 {
     let mut frame = Frame::default();
     frame.env.push("a", Value::int(a));
     frame.env.push("b", Value::int(b));
-    eval_expr(e, &frame, &ctx).expect("closed integer expression evaluates").as_int()
+    eval_expr(e, &frame, &ctx)
+        .expect("closed integer expression evaluates")
+        .as_int()
 }
 
 proptest! {

@@ -279,6 +279,53 @@ pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
     }
 }
 
+/// True if evaluating `e` would read a buffer; such expressions must not be
+/// hoisted across statements that may write the buffer.
+fn expr_has_load(e: &Expr) -> bool {
+    use halide_ir::IrVisitor;
+    struct Finder {
+        found: bool,
+    }
+    impl IrVisitor for Finder {
+        fn visit_expr(&mut self, e: &Expr) {
+            if self.found {
+                return;
+            }
+            if matches!(e.node(), ExprNode::Load { .. }) {
+                self.found = true;
+                return;
+            }
+            halide_ir::visit_expr_children(self, e);
+        }
+    }
+    let mut f = Finder { found: false };
+    f.visit_expr(e);
+    f.found
+}
+
+/// Splits a loop body into its leading chain of `LetStmt`s whose values are
+/// invariant in `loop_var` (and load from no buffer), plus the remaining
+/// inner statement.
+///
+/// The let-dense statements produced by bounds inference put a realization's
+/// `<func>.<dim>.min/.extent` bindings directly inside the enclosing loops;
+/// evaluating the invariant ones once per loop *entry* instead of once per
+/// iteration keeps the interpreter's per-iteration cost flat. Peeling stops
+/// at the first dependent let so hoisted values can never observe the loop
+/// variable (directly or through an un-hoisted predecessor).
+fn peel_invariant_lets<'a>(body: &'a Stmt, loop_var: &str) -> (Vec<(&'a str, &'a Expr)>, &'a Stmt) {
+    let mut hoisted = Vec::new();
+    let mut cur = body;
+    while let StmtNode::LetStmt { name, value, body } = cur.node() {
+        if name == loop_var || halide_ir::expr_uses_var(value, loop_var) || expr_has_load(value) {
+            break;
+        }
+        hoisted.push((name.as_str(), &*value));
+        cur = body;
+    }
+    (hoisted, cur)
+}
+
 /// Names of buffers loaded from (reads) and stored to (writes) in a statement.
 fn buffers_touched(stmt: &Stmt) -> (Vec<String>, Vec<String>) {
     use halide_ir::IrVisitor;
@@ -343,31 +390,48 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
         } => {
             let min_v = eval_expr(min, frame, ctx)?.as_int();
             let extent_v = eval_expr(extent, frame, ctx)?.as_int();
+            // Evaluate the loop body's leading invariant lets once per loop
+            // entry rather than once per iteration.
+            let (hoisted, inner) = peel_invariant_lets(body, name);
             match kind {
                 ForKind::Serial | ForKind::Vectorized | ForKind::Unrolled => {
                     // Vectorized/unrolled loops only reach the executor when
                     // the corresponding pass was disabled; run them serially.
+                    for (n, v) in &hoisted {
+                        let value = eval_expr(v, frame, ctx)?;
+                        frame.env.push(n.to_string(), value);
+                    }
                     frame.env.push(name.clone(), Value::int(0));
                     for i in min_v..min_v + extent_v {
                         *frame.env.get_mut(name).expect("loop variable just pushed") =
                             Value::int(i);
-                        eval_stmt(body, frame, ctx)?;
+                        eval_stmt(inner, frame, ctx)?;
                         if ctx.has_failed() {
                             break;
                         }
                     }
                     frame.env.pop(name);
+                    for (n, _) in hoisted.iter().rev() {
+                        frame.env.pop(n);
+                    }
                     Ok(())
                 }
                 ForKind::Parallel => {
-                    let base = frame.clone();
+                    // Each hoisted value is evaluated against the frame
+                    // extended so far, so later lets can reference earlier
+                    // ones (and rebindings shadow correctly).
+                    let mut base = frame.clone();
+                    for (n, v) in &hoisted {
+                        let value = eval_expr(v, &base, ctx)?;
+                        base.env.push(n.to_string(), value);
+                    }
                     ctx.pool.parallel_for(min_v, extent_v, &ctx.counters, |i| {
                         if ctx.has_failed() {
                             return;
                         }
                         let mut f = base.clone();
                         f.env.push(name.clone(), Value::int(i));
-                        if let Err(e) = eval_stmt(body, &mut f, ctx) {
+                        if let Err(e) = eval_stmt(inner, &mut f, ctx) {
                             ctx.record_error(e);
                         }
                     });
@@ -490,10 +554,19 @@ fn self_gpu_launch(
     }
     let _ = launching;
 
+    // Hoist the body's leading invariant (and load-free) lets: computed once
+    // per launch, visible to every block/thread.
+    let (hoisted, inner) = peel_invariant_lets(body, name);
     let base = {
         let mut f = frame.clone();
         if is_outer_block {
             f.env.push("__in_gpu_kernel", Value::bool(true));
+        }
+        // Evaluate against the frame extended so far, so chained hoisted
+        // lets (a later value referencing an earlier name) resolve.
+        for (n, v) in &hoisted {
+            let value = eval_expr(v, &f, ctx)?;
+            f.env.push(n.to_string(), value);
         }
         f
     };
@@ -506,7 +579,7 @@ fn self_gpu_launch(
             }
             let mut f = base.clone();
             f.env.push(name.to_string(), Value::int(i));
-            if let Err(e) = eval_stmt(body, &mut f, ctx) {
+            if let Err(e) = eval_stmt(inner, &mut f, ctx) {
                 ctx.record_error(e);
             }
         });
@@ -519,7 +592,7 @@ fn self_gpu_launch(
         f.env.push(name.to_string(), Value::int(0));
         for i in min_v..min_v + extent_v {
             *f.env.get_mut(name).expect("loop variable just pushed") = Value::int(i);
-            eval_stmt(body, &mut f, ctx)?;
+            eval_stmt(inner, &mut f, ctx)?;
         }
         Ok(())
     }
@@ -588,6 +661,36 @@ mod tests {
         let buf = f.buffers["buf"].clone();
         assert!((0..100).all(|i| buf.get_flat_f64(i as usize) == i as f64));
         assert!(c.counters.snapshot().parallel_tasks >= 100);
+    }
+
+    #[test]
+    fn hoisted_let_chains_resolve_in_parallel_loops() {
+        // Regression: a parallel loop body starting with a chain of
+        // invariant lets (`let a = 5; let b = a + 1; ...`) must evaluate
+        // each hoisted value against the frame extended so far, including
+        // shadowing of an outer binding of the same name.
+        let c = ctx();
+        let mut f = frame_with_buffer("buf", 16);
+        f.env.push("a", Value::int(1000)); // shadowed by the loop body's let
+        let body = Stmt::let_stmt(
+            "a",
+            Expr::int(5),
+            Stmt::let_stmt(
+                "b",
+                Expr::var_i32("a") + 1,
+                Stmt::store(
+                    "buf",
+                    Expr::var_i32("b").cast(Type::f32()),
+                    Expr::var_i32("i"),
+                ),
+            ),
+        );
+        let s = Stmt::for_loop("i", Expr::int(0), Expr::int(16), ForKind::Parallel, body);
+        eval_stmt(&s, &mut f, &c).unwrap();
+        assert_eq!(f.buffers["buf"].get_flat_f64(7), 6.0);
+        // The hoisted bindings are popped with the loop: the outer `a`
+        // binding is intact afterwards.
+        assert_eq!(f.env.get("a").unwrap().as_int(), 1000);
     }
 
     #[test]

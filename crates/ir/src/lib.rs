@@ -13,7 +13,8 @@
 //!   realizations/allocations, provides/stores, producer-consumer markers);
 //! * [`IrVisitor`] / [`IrMutator`] — traversal traits used to write passes;
 //! * [`Scope`] — lexical name bindings;
-//! * [`simplify`] — constant folding and algebraic simplification;
+//! * [`simplify()`] — constant folding and algebraic simplification
+//!   (scope-carrying for statements, see [`simplify_stmt`]);
 //! * [`interval`] — the interval analysis that powers bounds inference.
 //!
 //! # Example
@@ -47,9 +48,11 @@ pub use interval::Interval;
 pub use scope::Scope;
 pub use simplify::{const_int, simplify, simplify_stmt};
 pub use stmt::{ForKind, Range, Stmt, StmtNode};
-pub use substitute::{substitute, substitute_in_stmt, substitute_map, substitute_map_in_stmt};
+pub use substitute::{
+    substitute, substitute_in_stmt, substitute_map, substitute_map_in_stmt, LetResolver,
+};
 pub use types::{promote, ScalarType, Type};
 pub use visit::{
-    expr_uses_var, free_vars, mutate_expr_children, mutate_stmt_children, stmt_uses_var,
-    visit_expr_children, visit_stmt_children, IrMutator, IrVisitor,
+    expr_node_count, expr_uses_var, free_vars, mutate_expr_children, mutate_stmt_children,
+    stmt_uses_var, visit_expr_children, visit_stmt_children, IrMutator, IrVisitor,
 };

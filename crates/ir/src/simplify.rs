@@ -5,10 +5,27 @@
 //! standard constant-folding pass that also cleans up the patterns produced by
 //! bounds inference). The rules below are deliberately conservative: every
 //! rewrite preserves the value of the expression for all variable assignments.
+//!
+//! # Scope-carrying simplification
+//!
+//! Statement simplification carries a lexical scope of enclosing `let`
+//! bindings. Since bounds inference names every realization's bounds
+//! (`f.x.min`, `f.x.extent`) instead of substituting interval expressions
+//! through consumer chains, min/max terms routinely compare *different*
+//! let-bound names whose values are constant offsets of one another —
+//! `min(f.x.min + 4, g.x.min)` where `g.x.min = f.x.min - 1`. The
+//! scope-carrying pass resolves both operands through the visible lets,
+//! decides the winner, and keeps the compact *name* form in the output.
+//! Resolution respects shadowing: an inner rebinding of `f.x.min`
+//! supersedes (and, when its value is too large to track, suppresses) the
+//! outer binding for the extent of its body.
 
 use crate::expr::{BinOp, CmpOp, Expr, ExprNode};
 use crate::stmt::{Stmt, StmtNode};
-use crate::visit::{mutate_expr_children, mutate_stmt_children, stmt_uses_var, IrMutator};
+use crate::substitute::{substitute_in_stmt, LetResolver};
+use crate::visit::{
+    mutate_expr_children, mutate_stmt_children, stmt_uses_var, IrMutator, IrVisitor,
+};
 
 /// Integer division rounding toward negative infinity, matching Halide's
 /// semantics (so that `(x / 2) * 2 <= x` holds for negative `x` too).
@@ -84,7 +101,25 @@ fn fold_cmp_f64(op: CmpOp, a: f64, b: f64) -> bool {
     }
 }
 
-struct Simplifier;
+/// The largest expression (in nodes) the scope-carrying simplifier will
+/// resolve through let bindings. Larger terms are left alone: resolving them
+/// would cost more than the fold could save, and the blowup the resolution
+/// guards against only produces small name-plus-offset terms anyway.
+const LET_RESOLVE_BUDGET: usize = 64;
+
+struct Simplifier {
+    /// The `let` bindings enclosing the current node (shadowing- and
+    /// budget-aware; see [`LetResolver`]).
+    lets: LetResolver,
+}
+
+impl Default for Simplifier {
+    fn default() -> Self {
+        Simplifier {
+            lets: LetResolver::new(LET_RESOLVE_BUDGET),
+        }
+    }
+}
 
 /// Splits `e` into `(base, c)` such that `e == base + c`, without building
 /// new nodes. Matches `Add`-of-constant (the canonical signed form) and, for
@@ -130,6 +165,30 @@ fn const_diff(a: &Expr, b: &Expr) -> Option<i64> {
 }
 
 impl Simplifier {
+    /// Runs `f` with `name` bound to (already simplified) `value` in the let
+    /// scope, restoring the previous binding state afterwards.
+    fn with_let<R>(&mut self, name: &str, value: &Expr, f: impl FnOnce(&mut Self) -> R) -> R {
+        let saved = self.lets.enter(name, value);
+        let out = f(self);
+        self.lets.exit(name, saved);
+        out
+    }
+
+    /// `Some(a - b)` when resolving both operands through the visible let
+    /// bindings exposes a constant difference that the purely structural
+    /// [`const_diff`] could not see.
+    fn let_resolved_const_diff(&self, a: &Expr, b: &Expr) -> Option<i64> {
+        if self.lets.is_empty() {
+            return None;
+        }
+        let ra = self.lets.resolve(a);
+        let rb = self.lets.resolve(b);
+        if ra == *a && rb == *b {
+            return None; // neither side referenced a tracked let
+        }
+        const_diff(&ra, &rb)
+    }
+
     fn simplify_bin(&mut self, op: BinOp, a: Expr, b: Expr, original: &Expr) -> Expr {
         let ty = original.ty();
         // Constant folding.
@@ -371,6 +430,14 @@ impl Simplifier {
                         let a_wins = (op == BinOp::Min) == (d <= 0);
                         return if a_wins { a } else { b };
                     }
+                    // Same check through the let scope: `min(f.x.min + 4,
+                    // g.x.min)` folds when the visible lets reveal the two
+                    // names are constant offsets of one base. The *name* form
+                    // is returned, keeping the statement compact.
+                    if let Some(d) = self.let_resolved_const_diff(&a, &b) {
+                        let a_wins = (op == BinOp::Min) == (d <= 0);
+                        return if a_wins { a } else { b };
+                    }
                 }
                 // min(c1, max(x, c2)) -> c1 when c1 <= c2 (max(x, c2) >= c2),
                 // and dually max(c1, min(x, c2)) -> c1 when c1 >= c2. This is
@@ -443,8 +510,76 @@ impl Simplifier {
     }
 }
 
+/// Finds let (statement- or expression-level) rebindings of one name;
+/// inlining a variable-valued let whose variable is later rebound would
+/// capture the wrong binding, so the inline rules check this first.
+struct RebindFinder<'a> {
+    name: &'a str,
+    found: bool,
+}
+
+impl IrVisitor for RebindFinder<'_> {
+    fn visit_expr(&mut self, e: &Expr) {
+        if self.found {
+            return;
+        }
+        if let ExprNode::Let { name, .. } = e.node() {
+            if name == self.name {
+                self.found = true;
+                return;
+            }
+        }
+        crate::visit::visit_expr_children(self, e);
+    }
+    fn visit_stmt(&mut self, s: &Stmt) {
+        if self.found {
+            return;
+        }
+        if let StmtNode::LetStmt { name, .. } = s.node() {
+            if name == self.name {
+                self.found = true;
+                return;
+            }
+        }
+        crate::visit::visit_stmt_children(self, s);
+    }
+}
+
+fn stmt_rebinds(s: &Stmt, name: &str) -> bool {
+    let mut f = RebindFinder { name, found: false };
+    f.visit_stmt(s);
+    f.found
+}
+
+fn expr_rebinds(e: &Expr, name: &str) -> bool {
+    let mut f = RebindFinder { name, found: false };
+    f.visit_expr(e);
+    f.found
+}
+
 impl IrMutator for Simplifier {
     fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        // Lets are handled before generic recursion so the binding is in
+        // scope while the body is simplified.
+        if let ExprNode::Let { name, value, body } = e.node() {
+            let nv = self.mutate_expr(value);
+            let nb = self.with_let(name, &nv, |s| s.mutate_expr(body));
+            // Inline lets whose value is an immediate or a variable; they
+            // cost nothing and unlock further folding. A variable value must
+            // not be rebound inside the body (capture).
+            let inlinable = match nv.node() {
+                ExprNode::IntImm { .. } | ExprNode::UIntImm { .. } | ExprNode::FloatImm { .. } => {
+                    true
+                }
+                ExprNode::Var { name: v, .. } => !expr_rebinds(&nb, v),
+                _ => false,
+            };
+            if inlinable {
+                let inlined = crate::substitute::substitute(&nb, name, &nv);
+                return self.mutate_expr(&inlined);
+            }
+            return Expr::let_in(name.clone(), nv, nb);
+        }
         let e = mutate_expr_children(self, e);
         match e.node() {
             ExprNode::Bin { op, a, b } => self.simplify_bin(*op, a.clone(), b.clone(), &e),
@@ -510,25 +645,34 @@ impl IrMutator for Simplifier {
                 }
                 e
             }
-            ExprNode::Let { name, value, body } => {
-                // Inline lets whose value is an immediate or a variable; they
-                // cost nothing and unlock further folding.
-                match value.node() {
-                    ExprNode::IntImm { .. }
-                    | ExprNode::UIntImm { .. }
-                    | ExprNode::FloatImm { .. }
-                    | ExprNode::Var { .. } => {
-                        let inlined = crate::substitute::substitute(body, name, value);
-                        self.mutate_expr(&inlined)
-                    }
-                    _ => e,
-                }
-            }
             _ => e,
         }
     }
 
     fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        // Lets are handled before generic recursion so the binding is in
+        // scope while the body is simplified.
+        if let StmtNode::LetStmt { name, value, body } = s.node() {
+            let nv = self.mutate_expr(value);
+            let nb = self.with_let(name, &nv, |sim| sim.mutate_stmt(body));
+            // Drop dead lets; inline trivial ones (immediates always,
+            // variables unless the body rebinds the variable).
+            if !stmt_uses_var(&nb, name) {
+                return nb;
+            }
+            let inlinable = match nv.node() {
+                ExprNode::IntImm { .. } | ExprNode::UIntImm { .. } | ExprNode::FloatImm { .. } => {
+                    true
+                }
+                ExprNode::Var { name: v, .. } => !stmt_rebinds(&nb, v),
+                _ => false,
+            };
+            if inlinable {
+                let inlined = substitute_in_stmt(&nb, name, &nv);
+                return self.mutate_stmt(&inlined);
+            }
+            return Stmt::let_stmt(name.clone(), nv, nb);
+        }
         let s = mutate_stmt_children(self, s);
         match s.node() {
             StmtNode::IfThenElse {
@@ -545,21 +689,6 @@ impl IrMutator for Simplifier {
                     Stmt::no_op()
                 } else {
                     s.clone()
-                }
-            }
-            StmtNode::LetStmt { name, value, body } => {
-                // Drop dead lets; inline trivial ones.
-                if !stmt_uses_var(body, name) {
-                    return body.clone();
-                }
-                match value.node() {
-                    ExprNode::IntImm { .. }
-                    | ExprNode::UIntImm { .. }
-                    | ExprNode::FloatImm { .. } => {
-                        let inlined = crate::substitute::substitute_in_stmt(body, name, value);
-                        self.mutate_stmt(&inlined)
-                    }
-                    _ => s.clone(),
                 }
             }
             StmtNode::Assert { condition, .. } => {
@@ -585,12 +714,18 @@ impl IrMutator for Simplifier {
 /// assert_eq!(simplify(&e).to_string(), "(x + 5)");
 /// ```
 pub fn simplify(e: &Expr) -> Expr {
-    Simplifier.mutate_expr(e)
+    Simplifier::default().mutate_expr(e)
 }
 
 /// Simplifies a statement (also folds expressions nested inside it).
+///
+/// Statement simplification is *scope-carrying*: while simplifying the body
+/// of a `let`, the binding's (resolved) value is visible, so min/max terms
+/// over let-bound bounds names — `min(f.x.min + 4, g.x.min)` — fold to the
+/// winning name whenever the bindings reveal a constant difference. Dead
+/// lets are dropped and immediate- or variable-valued lets are inlined.
 pub fn simplify_stmt(s: &Stmt) -> Stmt {
-    Simplifier.mutate_stmt(s)
+    Simplifier::default().mutate_stmt(s)
 }
 
 /// Convenience: simplify, then require a constant integer result.
@@ -771,6 +906,107 @@ mod tests {
         assert_eq!(simplify(&nested).to_string(), "min(x, (y*2))");
         let nested = Expr::max(y.clone(), Expr::max(x.clone(), y.clone()));
         assert_eq!(simplify(&nested).to_string(), "max(x, (y*2))");
+    }
+
+    #[test]
+    fn let_scoped_min_max_folds_across_bound_names() {
+        // `g.x.min` is let-bound to `f.x.min - 1`, so
+        // `min(f.x.min + 4, g.x.min)` must fold to `g.x.min` (difference 5)
+        // while keeping the compact name form in the output.
+        let fmin = Expr::var_i32("f.x.min");
+        let gmin = Expr::var_i32("g.x.min");
+        let s = Stmt::let_stmt(
+            "g.x.min",
+            fmin.clone() - 1,
+            Stmt::store(
+                "buf",
+                Expr::int(0),
+                Expr::min(fmin.clone() + 4, gmin.clone()),
+            ),
+        );
+        let out = simplify_stmt(&s).to_string();
+        assert!(out.contains("buf[g.x.min] = 0"), "got:\n{out}");
+        // The dual max picks the larger side.
+        let s = Stmt::let_stmt(
+            "g.x.min",
+            fmin.clone() - 1,
+            Stmt::store("buf", Expr::int(0), Expr::max(fmin.clone() + 4, gmin)),
+        );
+        let out = simplify_stmt(&s).to_string();
+        assert!(out.contains("buf[(f.x.min + 4)] = 0"), "got:\n{out}");
+    }
+
+    #[test]
+    fn let_scoped_fold_resolves_through_chained_lets() {
+        // h.x.min = g.x.min + 2 = (f.x.min - 1) + 2: resolution is transitive
+        // because each value is resolved against the bindings enclosing it.
+        let fmin = Expr::var_i32("f.x.min");
+        let s = Stmt::let_stmt(
+            "g.x.min",
+            fmin.clone() - 1,
+            Stmt::let_stmt(
+                "h.x.min",
+                Expr::var_i32("g.x.min") + 2,
+                Stmt::store(
+                    "buf",
+                    Expr::int(0),
+                    Expr::min(Expr::var_i32("h.x.min"), fmin.clone() + 9),
+                ),
+            ),
+        );
+        let out = simplify_stmt(&s).to_string();
+        assert!(out.contains("buf[h.x.min] = 0"), "got:\n{out}");
+    }
+
+    #[test]
+    fn let_scoped_fold_respects_shadowing() {
+        // The inner rebinding of g.x.min moves it far ABOVE f.x.min + 4; a
+        // simplifier that kept using the outer binding would fold the min the
+        // wrong way.
+        let fmin = Expr::var_i32("f.x.min");
+        let gmin = Expr::var_i32("g.x.min");
+        let s = Stmt::let_stmt(
+            "g.x.min",
+            fmin.clone() - 1,
+            Stmt::let_stmt(
+                "g.x.min",
+                fmin.clone() + 100,
+                Stmt::store(
+                    "buf",
+                    Expr::int(0),
+                    Expr::min(fmin.clone() + 4, gmin.clone()),
+                ),
+            ),
+        );
+        let out = simplify_stmt(&s).to_string();
+        assert!(out.contains("buf[(f.x.min + 4)] = 0"), "got:\n{out}");
+    }
+
+    #[test]
+    fn unresolvable_let_min_stays_symbolic() {
+        // The two names have no constant difference (different bases).
+        let s = Stmt::let_stmt(
+            "g.x.min",
+            Expr::var_i32("other") * 2,
+            Stmt::store(
+                "buf",
+                Expr::int(0),
+                Expr::min(Expr::var_i32("f.x.min"), Expr::var_i32("g.x.min")),
+            ),
+        );
+        let out = simplify_stmt(&s).to_string();
+        assert!(out.contains("min(f.x.min, g.x.min)"), "got:\n{out}");
+    }
+
+    #[test]
+    fn variable_valued_stmt_lets_are_inlined() {
+        let s = Stmt::let_stmt(
+            "alias",
+            Expr::var_i32("src"),
+            Stmt::store("buf", Expr::int(1), Expr::var_i32("alias")),
+        );
+        let out = simplify_stmt(&s).to_string();
+        assert!(out.contains("buf[src] = 1"), "got:\n{out}");
     }
 
     #[test]

@@ -500,6 +500,24 @@ pub fn free_vars(e: &Expr) -> std::collections::HashSet<String> {
     c.found
 }
 
+/// Counts the nodes of an expression tree. Used by the scope-carrying
+/// simplifier to bound the cost of resolving let-bound variables, and by
+/// tests asserting that lowering keeps bounds expressions compact.
+pub fn expr_node_count(e: &Expr) -> usize {
+    struct Counter {
+        n: usize,
+    }
+    impl IrVisitor for Counter {
+        fn visit_expr(&mut self, e: &Expr) {
+            self.n += 1;
+            visit_expr_children(self, e);
+        }
+    }
+    let mut c = Counter { n: 0 };
+    c.visit_expr(e);
+    c.n
+}
+
 /// True if the expression references the variable `name` (ignoring shadowing
 /// by inner lets — adequate for the unique names the lowering pass generates).
 pub fn expr_uses_var(e: &Expr, name: &str) -> bool {

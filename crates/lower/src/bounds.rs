@@ -6,6 +6,19 @@
 //! the loops *enclosing* the point where the producer will be realized.
 //! Loops *inside* that point are eliminated by substituting their whole
 //! iteration interval.
+//!
+//! # Interaction with let-bound bounds
+//!
+//! Injection ([`crate::inject`]) names every realization's bounds with
+//! `LetStmt`s (`<func>.<dim>.min` / `<func>.<dim>.extent`) and the loop
+//! nests reference those *names*, so the statement this pass analyzes is
+//! let-dense. The region walker is let-aware: each `LetStmt` (and
+//! expression-level `Let`) pushes the interval of its value onto the scope
+//! for the duration of its body, with shadowing handled by the stack
+//! structure of [`Scope`]. A region returned by [`region_required`] is
+//! therefore always expressed in symbols bound *outside* the analyzed
+//! statement — lets bound inside it have been resolved away — which is what
+//! makes the result evaluatable right at the realization point.
 
 use halide_ir::interval::{bounds_of_expr_in_scope, loop_interval, Interval};
 use halide_ir::{CallType, Expr, ExprNode, Range, Scope, Stmt, StmtNode};
@@ -45,21 +58,29 @@ impl RegionBox {
 
     /// Converts the box into `Range`s (min, extent).
     ///
+    /// `dims` supplies the producer's pure argument names so diagnostics can
+    /// name the offending dimension, not just its index.
+    ///
     /// # Errors
     ///
-    /// Fails if any dimension is unbounded, naming the function for
-    /// diagnosis — the fix is usually a `clamp` in the algorithm, exactly as
-    /// in the paper.
-    pub fn to_ranges(&self, func: &str) -> Result<Vec<Range>> {
+    /// Fails if any dimension is unbounded, naming the function *and* the
+    /// dimension for diagnosis — the fix is usually a `clamp` in the
+    /// algorithm, exactly as in the paper.
+    pub fn to_ranges(&self, func: &str, dims: &[String]) -> Result<Vec<Range>> {
         self.dims
             .iter()
             .enumerate()
             .map(|(d, i)| match (&i.min, i.extent()) {
                 (Some(min), Some(extent)) => Ok(Range::new(min.clone(), extent)),
-                _ => Err(LowerError::new(format!(
-                    "cannot infer bounds for dimension {d} of {func:?}; \
-                     an access is unbounded (consider clamping the coordinate)"
-                ))),
+                _ => {
+                    let dim_name = dims.get(d).map(String::as_str).unwrap_or("?");
+                    Err(LowerError::new(format!(
+                        "cannot infer bounds for dimension {d} ({dim_name:?}) of {func:?}; \
+                         an access is unbounded (consider clamping the coordinate)"
+                    ))
+                    .in_func(func)
+                    .in_dim(dim_name))
+                }
             })
             .collect()
     }
@@ -76,7 +97,6 @@ struct RegionWalker<'a> {
     ndims: usize,
     scope: Scope<Interval>,
     region: RegionBox,
-    calls_seen: usize,
 }
 
 impl RegionWalker<'_> {
@@ -89,7 +109,6 @@ impl RegionWalker<'_> {
         } = e.node()
         {
             if name == self.func && matches!(call_type, CallType::Halide | CallType::Image) {
-                self.calls_seen += 1;
                 for (d, a) in args.iter().enumerate().take(self.ndims) {
                     let b = bounds_of_expr_in_scope(a, &self.scope);
                     self.region.union_in_place(d, &b);
@@ -233,7 +252,6 @@ pub fn region_required(stmt: &Stmt, func: &str, ndims: usize) -> RegionBox {
         ndims,
         scope: Scope::new(),
         region: RegionBox::empty(ndims),
-        calls_seen: 0,
     };
     w.visit_stmt(stmt);
     w.region
@@ -241,16 +259,31 @@ pub fn region_required(stmt: &Stmt, func: &str, ndims: usize) -> RegionBox {
 
 /// Counts call sites of `func` in `stmt` (used to verify that a `compute_at`
 /// level encloses every consumer).
+///
+/// This is a plain syntactic count — no interval analysis — so it is cheap
+/// to run over the whole (let-dense) pipeline statement.
 pub fn count_calls(stmt: &Stmt, func: &str) -> usize {
-    let mut w = RegionWalker {
-        func,
-        ndims: 0,
-        scope: Scope::new(),
-        region: RegionBox::empty(0),
-        calls_seen: 0,
-    };
-    w.visit_stmt(stmt);
-    w.calls_seen
+    use halide_ir::IrVisitor;
+    struct Counter<'a> {
+        func: &'a str,
+        n: usize,
+    }
+    impl IrVisitor for Counter<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprNode::Call {
+                name, call_type, ..
+            } = e.node()
+            {
+                if name == self.func && matches!(call_type, CallType::Halide | CallType::Image) {
+                    self.n += 1;
+                }
+            }
+            halide_ir::visit_expr_children(self, e);
+        }
+    }
+    let mut c = Counter { func, n: 0 };
+    c.visit_stmt(stmt);
+    c.n
 }
 
 #[cfg(test)]
@@ -260,6 +293,10 @@ mod tests {
 
     fn call(name: &str, args: Vec<Expr>) -> Expr {
         Expr::call(Type::f32(), name, CallType::Halide, args)
+    }
+
+    fn dims(names: &[&str]) -> Vec<String> {
+        names.iter().map(|n| n.to_string()).collect()
     }
 
     #[test]
@@ -279,7 +316,7 @@ mod tests {
             Stmt::for_loop("x", Expr::int(0), Expr::int(16), ForKind::Serial, body),
         );
         let r = region_required(&s, "g", 2);
-        let ranges = r.to_ranges("g").unwrap();
+        let ranges = r.to_ranges("g", &dims(&["x", "y"])).unwrap();
         assert_eq!(ranges[0].min.as_const_int(), Some(-1));
         assert_eq!(ranges[0].extent.as_const_int(), Some(18));
         assert_eq!(ranges[1].min.as_const_int(), Some(2));
@@ -297,7 +334,7 @@ mod tests {
         );
         let inner = Stmt::for_loop("x", Expr::int(0), Expr::int(4), ForKind::Serial, body);
         let r = region_required(&inner, "g", 2);
-        let ranges = r.to_ranges("g").unwrap();
+        let ranges = r.to_ranges("g", &dims(&["x", "y"])).unwrap();
         assert_eq!(ranges[0].min.as_const_int(), Some(0));
         assert_eq!(ranges[0].extent.as_const_int(), Some(4));
         assert_eq!(ranges[1].min.to_string(), "(y - 1)");
@@ -310,7 +347,12 @@ mod tests {
         let body = Stmt::provide("out", call("g", vec![idx]), vec![Expr::var_i32("x")]);
         let s = Stmt::for_loop("x", Expr::int(0), Expr::int(4), ForKind::Serial, body);
         let r = region_required(&s, "g", 1);
-        assert!(r.to_ranges("g").is_err());
+        let err = r.to_ranges("g", &dims(&["x"])).unwrap_err();
+        // The diagnostic names both the function and the dimension.
+        assert_eq!(err.func(), Some("g"));
+        assert_eq!(err.dim(), Some("x"));
+        assert!(err.to_string().contains("\"x\""));
+        assert!(err.to_string().contains("\"g\""));
     }
 
     #[test]
@@ -319,7 +361,9 @@ mod tests {
             Expr::load(Type::i32(), "lut", Expr::var_i32("x")).clamp(Expr::int(0), Expr::int(7));
         let body = Stmt::provide("out", call("g", vec![idx]), vec![Expr::var_i32("x")]);
         let s = Stmt::for_loop("x", Expr::int(0), Expr::int(4), ForKind::Serial, body);
-        let ranges = region_required(&s, "g", 1).to_ranges("g").unwrap();
+        let ranges = region_required(&s, "g", 1)
+            .to_ranges("g", &dims(&["x"]))
+            .unwrap();
         assert_eq!(ranges[0].min.as_const_int(), Some(0));
         assert_eq!(ranges[0].extent.as_const_int(), Some(8));
     }
@@ -343,7 +387,9 @@ mod tests {
             ),
         );
         let s = Stmt::for_loop("x", Expr::int(0), Expr::int(5), ForKind::Serial, body);
-        let ranges = region_required(&s, "g", 1).to_ranges("g").unwrap();
+        let ranges = region_required(&s, "g", 1)
+            .to_ranges("g", &dims(&["x"]))
+            .unwrap();
         assert_eq!(ranges[0].min.as_const_int(), Some(0));
         assert_eq!(ranges[0].extent.as_const_int(), Some(9));
     }

@@ -9,9 +9,15 @@ use std::fmt;
 /// that names a non-existent loop level, or that makes bounds inference
 /// impossible, fails here rather than producing wrong code (the compiler is
 /// "safe by construction", Sec. 4).
+///
+/// Errors carry the offending function and dimension when the failing pass
+/// knows them, so a message about an unbounded access points at the exact
+/// coordinate to clamp rather than just the pipeline stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LowerError {
     message: String,
+    func: Option<String>,
+    dim: Option<String>,
 }
 
 impl LowerError {
@@ -19,13 +25,43 @@ impl LowerError {
     pub fn new(message: impl Into<String>) -> Self {
         LowerError {
             message: message.into(),
+            func: None,
+            dim: None,
         }
+    }
+
+    /// Attaches the function the error is about.
+    pub fn in_func(mut self, func: impl Into<String>) -> Self {
+        self.func = Some(func.into());
+        self
+    }
+
+    /// Attaches the dimension (pure argument name) the error is about.
+    pub fn in_dim(mut self, dim: impl Into<String>) -> Self {
+        self.dim = Some(dim.into());
+        self
+    }
+
+    /// The function this error is about, if known.
+    pub fn func(&self) -> Option<&str> {
+        self.func.as_deref()
+    }
+
+    /// The dimension this error is about, if known.
+    pub fn dim(&self) -> Option<&str> {
+        self.dim.as_deref()
     }
 }
 
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lowering failed: {}", self.message)
+        write!(f, "lowering failed: {}", self.message)?;
+        match (&self.func, &self.dim) {
+            (Some(func), Some(dim)) => write!(f, " [func {func:?}, dimension {dim:?}]"),
+            (Some(func), None) => write!(f, " [func {func:?}]"),
+            (None, Some(dim)) => write!(f, " [dimension {dim:?}]"),
+            (None, None) => Ok(()),
+        }
     }
 }
 
@@ -39,3 +75,20 @@ impl From<halide_schedule::ScheduleError> for LowerError {
 
 /// Result alias for lowering.
 pub type Result<T> = std::result::Result<T, LowerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_func_and_dim_context() {
+        let e = LowerError::new("cannot infer bounds")
+            .in_func("blurx")
+            .in_dim("y");
+        let text = e.to_string();
+        assert!(text.contains("blurx"));
+        assert!(text.contains("\"y\""));
+        assert_eq!(e.func(), Some("blurx"));
+        assert_eq!(e.dim(), Some("y"));
+    }
+}

@@ -1,8 +1,32 @@
 //! Lowering driver: snapshotting the pipeline, inlining, and injecting the
 //! storage and computation of every producer at the loop levels chosen by its
-//! call schedule (Sec. 4.1), with bounds inference (Sec. 4.2) integrated so
-//! that every loop bound and allocation size is a concrete expression of
-//! outer loop variables and buffer sizes.
+//! call schedule (Sec. 4.1), with bounds inference (Sec. 4.2) integrated.
+//!
+//! # Let-bound bounds
+//!
+//! Each realization's inferred bounds are bound to *names* rather than
+//! substituted through consumer chains: injection emits
+//! `let <func>.<dim>.min = …` / `let <func>.<dim>.extent = …` at the
+//! realization level, and the producer's loop nest, its `Realize` bounds,
+//! and every later pass reference those names. This is what the paper's
+//! compiler does, and it is what keeps the lowered statement *linear* in
+//! pipeline depth: a loop min is always a small name-plus-offset term, so
+//! the region required of the next producer up the chain — computed by the
+//! let-aware walker in [`crate::bounds`] — never embeds whole interval
+//! expressions of the stages below it.
+//!
+//! When a function's storage lives at a coarser loop level than its
+//! computation (`store_at` ≠ `compute_at`), two sets of bindings with the
+//! *same names* are emitted: one at the storage level (sized for the whole
+//! intervening loop, referenced by the `Realize`) and one at the compute
+//! level (the per-iteration region, referenced by the produce loops). The
+//! inner bindings lexically shadow the outer ones; every consumer of these
+//! names — the simplifier, substitution, the region walker, the executor's
+//! scope — handles that shadowing.
+//!
+//! The output function needs no lets: its `<out>.<dim>.min/.extent` symbols
+//! are bound by the executor from the output buffer supplied at realization
+//! time, which is why producers and the output can share one naming scheme.
 
 use std::collections::BTreeMap;
 
@@ -14,7 +38,7 @@ use halide_schedule::{FuncSchedule, LoopLevel};
 
 use crate::bounds::{count_calls, region_required};
 use crate::error::{LowerError, Result};
-use crate::nest::{build_produce_nest, loop_var};
+use crate::nest::{build_produce_nest, loop_var, validate_splits};
 
 /// A plain snapshot of one reduction-domain dimension.
 #[derive(Debug, Clone)]
@@ -183,18 +207,75 @@ pub fn inline_all(
 
 // ---- injection --------------------------------------------------------------
 
-/// The symbolic range the output function is realized over: its bounds come
-/// from the output buffer supplied at realization time.
-pub fn output_region(func: &FuncDef) -> Vec<Range> {
+/// The name of the let-bound minimum of dimension `dim` of `func`
+/// (`<func>.<dim>.min`).
+pub fn bound_min_var(func: &str, dim: &str) -> String {
+    format!("{func}.{dim}.min")
+}
+
+/// The name of the let-bound extent of dimension `dim` of `func`
+/// (`<func>.<dim>.extent`).
+pub fn bound_extent_var(func: &str, dim: &str) -> String {
+    format!("{func}.{dim}.extent")
+}
+
+/// The symbolic region a function is realized over: one [`Range`] per pure
+/// dimension, referencing the `<func>.<dim>.min` / `<func>.<dim>.extent`
+/// names. For the output function those symbols are bound by the executor
+/// from the output buffer supplied at realization time; for every other
+/// function, injection emits `LetStmt`s binding them to the inferred region.
+pub fn symbolic_region(func: &FuncDef) -> Vec<Range> {
     func.args
         .iter()
         .map(|a| {
             Range::new(
-                Expr::var_i32(format!("{}.{a}.min", func.name)),
-                Expr::var_i32(format!("{}.{a}.extent", func.name)),
+                Expr::var_i32(bound_min_var(&func.name, a)),
+                Expr::var_i32(bound_extent_var(&func.name, a)),
             )
         })
         .collect()
+}
+
+/// Wraps `body` in `LetStmt`s binding `func`'s `<func>.<dim>.min` /
+/// `<func>.<dim>.extent` names to the given concrete region.
+fn bind_region_lets(func: &FuncDef, region: &[Range], body: Stmt) -> Stmt {
+    let mut s = body;
+    for (arg, r) in func.args.iter().zip(region.iter()).rev() {
+        s = Stmt::let_stmt(
+            bound_extent_var(&func.name, arg),
+            simplify(&r.extent),
+            Stmt::let_stmt(bound_min_var(&func.name, arg), simplify(&r.min), s),
+        );
+    }
+    s
+}
+
+/// Splits a statement into its leading chain of `LetStmt`s and the rest.
+///
+/// At every injection site the leading lets are the bounds bindings of
+/// already-injected (consumer-side) realizations. A new producer's bounds
+/// are inferred over the *rest only*, so those names stay symbolic in the
+/// result — each stage's bounds reference the next stage's names instead of
+/// re-embedding its whole interval expressions, which is what keeps both
+/// the lowered statement and inference time linear in pipeline depth. The
+/// new realization is then spliced *inside* the peeled chain (see
+/// [`rewrap_lets`]) so every name its bounds mention is in scope.
+fn peel_leading_lets(s: &Stmt) -> (Vec<(String, Expr)>, Stmt) {
+    let mut lets = Vec::new();
+    let mut cur = s.clone();
+    while let StmtNode::LetStmt { name, value, body } = cur.node() {
+        lets.push((name.clone(), value.clone()));
+        let next = body.clone();
+        cur = next;
+    }
+    (lets, cur)
+}
+
+/// Re-nests `body` under a let chain produced by [`peel_leading_lets`].
+fn rewrap_lets(lets: &[(String, Expr)], body: Stmt) -> Stmt {
+    lets.iter()
+        .rev()
+        .fold(body, |b, (n, v)| Stmt::let_stmt(n.clone(), v.clone(), b))
 }
 
 /// Rewrites the first `For` loop named `target`, replacing its body with
@@ -278,16 +359,15 @@ fn level_loop_name(env: &BTreeMap<String, FuncDef>, level: &LoopLevel) -> Result
     }
 }
 
-/// Pads allocation extents so the shift-inwards tail strategy of split loops
-/// can never store outside the allocation even when a required extent is
-/// smaller than a split factor.
-fn padded_bounds(func: &FuncDef, ranges: &[Range]) -> Vec<Range> {
-    ranges
+/// Per-dimension allocation padding for the shift-inwards tail strategy of
+/// split loops: the sum of factors of splits rooted (transitively) at each
+/// pure argument. Padding the allocation by this much guarantees the shifted
+/// tail iterations can never store outside it, even when a required extent
+/// is smaller than a split factor.
+fn split_padding(func: &FuncDef) -> Vec<i64> {
+    func.args
         .iter()
-        .enumerate()
-        .map(|(d, r)| {
-            let arg = &func.args[d];
-            // Sum of factors of splits rooted (transitively) at this argument.
+        .map(|arg| {
             let mut involved: Vec<&str> = vec![arg.as_str()];
             let mut pad: i64 = 0;
             for s in &func.schedule.splits {
@@ -297,22 +377,16 @@ fn padded_bounds(func: &FuncDef, ranges: &[Range]) -> Vec<Range> {
                     involved.push(s.inner.as_str());
                 }
             }
-            if pad == 0 {
-                r.clone()
-            } else {
-                Range::new(
-                    r.min.clone(),
-                    simplify(&(r.extent.clone() + Expr::int(pad as i32))),
-                )
-            }
+            pad
         })
         .collect()
 }
 
 /// Builds the complete (pre-flattening) statement for a pipeline: the output
 /// function's loop nest with every producer's storage and computation
-/// injected at its scheduled loop levels, and all bounds resolved to concrete
-/// expressions.
+/// injected at its scheduled loop levels, and every realization's bounds
+/// bound to `<func>.<dim>.min` / `<func>.<dim>.extent` lets that the loop
+/// nests and `Realize` nodes reference by name.
 ///
 /// # Errors
 ///
@@ -327,7 +401,7 @@ pub fn build_pipeline_stmt(
     let out_def = env
         .get(output)
         .ok_or_else(|| LowerError::new(format!("unknown output function {output:?}")))?;
-    let mut stmt = build_produce_nest(out_def, &output_region(out_def))?;
+    let mut stmt = build_produce_nest(out_def, &symbolic_region(out_def))?;
 
     // The output buffer is supplied by the caller and cannot be padded, so
     // the shift-inwards tail strategy requires each split dimension of the
@@ -364,7 +438,10 @@ pub fn build_pipeline_stmt(
         let compute_loop = level_loop_name(env, &def.schedule.compute_level)?;
         let store_loop = level_loop_name(env, &def.schedule.store_level)?;
 
-        // Region required at the compute level.
+        // Region required at the compute level. The leading lets of the
+        // compute body — bounds bindings of already-injected realizations —
+        // are peeled off before analysis so their names stay symbolic in the
+        // inferred region.
         let compute_body = match &compute_loop {
             None => stmt.clone(),
             Some(l) => loop_body(&stmt, l).ok_or_else(|| {
@@ -372,8 +449,10 @@ pub fn build_pipeline_stmt(
                     "{}: compute_at loop {l:?} does not exist in the current loop nest",
                     def.name
                 ))
+                .in_func(&def.name)
             })?,
         };
+        let (_, compute_body) = peel_leading_lets(&compute_body);
         let total_calls = count_calls(&stmt, &def.name);
         if total_calls == 0 {
             // Dead stage: every consumer was inlined away or it is never used.
@@ -384,10 +463,12 @@ pub fn build_pipeline_stmt(
             return Err(LowerError::new(format!(
                 "{}: compute level {} does not enclose all of its consumers",
                 def.name, def.schedule.compute_level
-            )));
+            ))
+            .in_func(&def.name));
         }
-        let compute_region =
-            region_required(&compute_body, &def.name, def.args.len()).to_ranges(&def.name)?;
+        let compute_region = region_required(&compute_body, &def.name, def.args.len())
+            .to_ranges(&def.name, &def.args)?;
+        validate_splits(def, &compute_region)?;
         if std::env::var_os("HALIDE_LOWER_DEBUG").is_some() {
             // Diagnostic for bounds-expression growth through deep stage
             // chains (set HALIDE_LOWER_DEBUG=1 to trace).
@@ -398,35 +479,66 @@ pub fn build_pipeline_stmt(
             eprintln!("inject {}: compute region {} chars", def.name, sz);
         }
 
-        // Region required at the (equal or coarser) storage level.
-        let store_body = match &store_loop {
-            None => stmt.clone(),
-            Some(l) => loop_body(&stmt, l).ok_or_else(|| {
-                LowerError::new(format!(
-                    "{}: store_at loop {l:?} does not exist in the current loop nest",
-                    def.name
+        // Region required at the (equal or coarser) storage level. When the
+        // two levels coincide, it is the compute region.
+        let same_level = store_loop == compute_loop;
+        let store_region = if same_level {
+            compute_region.clone()
+        } else {
+            let store_body = match &store_loop {
+                None => stmt.clone(),
+                Some(l) => loop_body(&stmt, l).ok_or_else(|| {
+                    LowerError::new(format!(
+                        "{}: store_at loop {l:?} does not exist in the current loop nest",
+                        def.name
+                    ))
+                    .in_func(&def.name)
+                })?,
+            };
+            let (_, store_body) = peel_leading_lets(&store_body);
+            let calls_in_store = count_calls(&store_body, &def.name);
+            if calls_in_store < total_calls {
+                return Err(LowerError::new(format!(
+                    "{}: store level {} does not enclose all of its consumers",
+                    def.name, def.schedule.store_level
                 ))
-            })?,
+                .in_func(&def.name));
+            }
+            region_required(&store_body, &def.name, def.args.len())
+                .to_ranges(&def.name, &def.args)?
         };
-        let calls_in_store = count_calls(&store_body, &def.name);
-        if calls_in_store < total_calls {
-            return Err(LowerError::new(format!(
-                "{}: store level {} does not enclose all of its consumers",
-                def.name, def.schedule.store_level
-            )));
-        }
-        let store_region =
-            region_required(&store_body, &def.name, def.args.len()).to_ranges(&def.name)?;
-        let store_bounds = padded_bounds(def, &store_region);
 
-        // Build the producer nest over the compute region and inject it at
-        // the compute level.
-        let produce = build_produce_nest(def, &compute_region)?;
+        // The Realize covers the symbolic region, padded per dimension so
+        // shifted split tails can never store outside the allocation.
+        let sym_region = symbolic_region(def);
+        let realize_bounds: Vec<Range> = sym_region
+            .iter()
+            .zip(split_padding(def))
+            .map(|(r, pad)| {
+                if pad == 0 {
+                    r.clone()
+                } else {
+                    Range::new(r.min.clone(), r.extent.clone() + Expr::int(pad as i32))
+                }
+            })
+            .collect();
+
+        // Build the producer nest over the symbolic region and inject it at
+        // the compute level. When the compute level is strictly inside the
+        // storage level, the per-iteration compute region is bound right
+        // there, shadowing the storage-level bindings of the same names.
+        let mut produce = build_produce_nest(def, &sym_region)?;
+        if !same_level {
+            produce = bind_region_lets(def, &compute_region, produce);
+        }
+        let inject_produce = &mut |body: Stmt| {
+            let (lets, rest) = peel_leading_lets(&body);
+            rewrap_lets(&lets, Stmt::block(produce.clone(), rest))
+        };
         stmt = match &compute_loop {
-            None => Stmt::block(produce, stmt),
+            None => inject_produce(stmt),
             Some(l) => {
-                let (new_stmt, found) =
-                    transform_loop_body(&stmt, l, &mut |body| Stmt::block(produce.clone(), body));
+                let (new_stmt, found) = transform_loop_body(&stmt, l, inject_produce);
                 debug_assert!(
                     found,
                     "compute loop vanished between analysis and injection"
@@ -435,16 +547,28 @@ pub fn build_pipeline_stmt(
             }
         };
 
-        // Wrap the storage level in a Realize.
+        // Wrap the storage level in a Realize, itself wrapped in the lets
+        // binding the storage region to the names the Realize references.
+        // Both are spliced *inside* the level's existing leading lets, so
+        // this realization's bounds may reference the bound names of every
+        // realization injected before it (its consumers).
         let ty = def.ty;
         let fname = def.name.clone();
+        let wrap_realize = &mut |body: Stmt| {
+            let (lets, rest) = peel_leading_lets(&body);
+            rewrap_lets(
+                &lets,
+                bind_region_lets(
+                    def,
+                    &store_region,
+                    Stmt::realize(fname.clone(), ty, realize_bounds.clone(), rest),
+                ),
+            )
+        };
         stmt = match &store_loop {
-            None => Stmt::realize(fname, ty, store_bounds, stmt),
+            None => wrap_realize(stmt),
             Some(l) => {
-                let bounds = store_bounds.clone();
-                let (new_stmt, found) = transform_loop_body(&stmt, l, &mut |body| {
-                    Stmt::realize(fname.clone(), ty, bounds.clone(), body)
-                });
+                let (new_stmt, found) = transform_loop_body(&stmt, l, wrap_realize);
                 debug_assert!(found, "store loop vanished between analysis and injection");
                 new_stmt
             }

@@ -9,14 +9,31 @@
 //!
 //! 1. lowering & loop synthesis ([`nest`], [`inject`]),
 //! 2. bounds inference by interval analysis ([`bounds`], integrated into
-//!    injection so all bounds are concrete expressions),
-//! 3. sliding window optimization and storage folding ([`sliding`]),
-//! 4. flattening ([`flatten`]),
-//! 5. vectorization and unrolling ([`vectorize`]),
-//! 6. simplification (throughout).
+//!    injection; each realization's bounds are bound to
+//!    `<func>.<dim>.min` / `<func>.<dim>.extent` `let`s that every loop
+//!    nest and `Realize` references by name — see [`inject`] for why this
+//!    keeps lowered size linear in pipeline depth),
+//! 3. sliding window optimization and storage folding ([`sliding`];
+//!    let-aware: bounds are resolved through the visible bindings before
+//!    monotonicity is tested),
+//! 4. flattening ([`flatten`]; buffer layout symbols are `let`s referencing
+//!    the bounds names),
+//! 5. vectorization and unrolling ([`vectorize`]; extents resolve through
+//!    the visible bindings, so a let-bound constant extent still counts as
+//!    constant),
+//! 6. simplification (throughout; the statement simplifier is
+//!    scope-carrying, folding min/max terms over let-bound bounds names).
+//!
+//! Each pass assumes the previous ones ran: sliding/folding pattern-match
+//! the `Realize`/`Producer` structure injection emits, flattening assumes
+//! bounds are already named (its layout lets just alias them), and
+//! vectorization assumes storage is flat (it rewrites `Load`/`Store`
+//! indices, not `Call`/`Provide` coordinates).
 //!
 //! The result is a [`Module`]: a single statement plus metadata, ready for
-//! the backend (`halide-exec`) to compile to closures and run.
+//! the backend (`halide-exec`) to compile to closures and run. A pass-by-
+//! pass walkthrough with the actual IR at each stage lives in
+//! `docs/lowering.md` at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -280,6 +297,35 @@ mod tests {
         .unwrap();
         assert!(module.sliding_report.slid.is_empty());
         assert!(module.sliding_report.folded.is_empty());
+    }
+
+    #[test]
+    fn unbounded_access_error_names_func_and_dimension() {
+        // `g` is consumed at a data-dependent, unclamped y coordinate, so
+        // bounds inference cannot bound dimension "y" of g. The error must
+        // name both the function and the dimension — the diagnostic points
+        // at the exact coordinate to clamp.
+        let input = ImageParam::new("lower_errdim_in", Type::f32(), 2);
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let g = Func::new("lower_errdim_g");
+        g.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr(), y.expr()]),
+        );
+        let out = Func::new("lower_errdim_out");
+        out.define(
+            &[x.clone(), y.clone()],
+            g.at(vec![
+                x.expr(),
+                input.at(vec![x.expr(), y.expr()]).cast(Type::i32()),
+            ]),
+        );
+        let err = lower(&Pipeline::new(&out)).unwrap_err();
+        assert_eq!(err.func(), Some("lower_errdim_g"));
+        assert_eq!(err.dim(), Some("y"));
+        let text = err.to_string();
+        assert!(text.contains("lower_errdim_g"), "got: {text}");
+        assert!(text.contains("\"y\""), "got: {text}");
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Loop synthesis (Sec. 4.1): building the loop nest that produces one
 //! function over a required region, according to its schedule's domain order.
+//!
+//! The region handed to [`build_produce_nest`] is normally *symbolic* — one
+//! `<func>.<dim>.min` / `<func>.<dim>.extent` variable pair per dimension
+//! (see [`crate::inject::symbolic_region`]) — so the synthesized loops stay
+//! compact regardless of how large the inferred bounds expressions are; the
+//! concrete values are bound by `LetStmt`s at the realization level. Checks
+//! that need the concrete region (e.g. [`validate_splits`]) are therefore
+//! separate entry points taking the inferred region directly.
 
 use std::collections::HashMap;
 
@@ -41,8 +49,13 @@ pub fn build_produce_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
             func.name,
             func.args.len(),
             region.len()
-        )));
+        ))
+        .in_func(&func.name));
     }
+
+    // With a symbolic region this only checks split/dimension wiring; with
+    // a concrete region it also rejects factors exceeding constant extents.
+    validate_splits(func, region)?;
 
     let pure = build_pure_nest(func, region)?;
     let mut stages = vec![pure];
@@ -59,6 +72,56 @@ fn region_map(func: &FuncDef, region: &[Range]) -> HashMap<String, (Expr, Expr)>
         .cloned()
         .zip(region.iter().map(|r| (r.min.clone(), r.extent.clone())))
         .collect()
+}
+
+/// Checks every split of `func`'s schedule against the *concrete* inferred
+/// region: a split whose factor exceeds a known-constant extent would make
+/// the shift-inwards tail strategy traverse more than the required region,
+/// so it is rejected here (with the offending function and dimension named)
+/// rather than silently over-computing.
+///
+/// The loop nest itself is built over symbolic bounds names, so this check
+/// must run where the concrete region is still at hand — injection calls it
+/// right after bounds inference.
+///
+/// # Errors
+///
+/// Fails if a split factor exceeds the constant extent of the dimension it
+/// splits, or if a split references a dimension the function does not have.
+pub fn validate_splits(func: &FuncDef, region: &[Range]) -> Result<()> {
+    // Tracks the (constant, when known) extent of every dimension as splits
+    // rewrite them, mirroring the bookkeeping in `build_pure_nest`.
+    let mut extents: HashMap<String, Option<i64>> = func
+        .args
+        .iter()
+        .cloned()
+        .zip(region.iter().map(|r| r.extent.as_const_int()))
+        .collect();
+    for split in &func.schedule.splits {
+        let old = extents.remove(&split.old).ok_or_else(|| {
+            LowerError::new(format!(
+                "split of unknown dimension {:?} in {}",
+                split.old, func.name
+            ))
+            .in_func(&func.name)
+            .in_dim(&split.old)
+        })?;
+        if let Some(e) = old {
+            if e < split.factor {
+                return Err(LowerError::new(format!(
+                    "split of {:?} in {} by {} exceeds its constant extent {e}; \
+                     the traversed region would overrun the required region",
+                    split.old, func.name, split.factor
+                ))
+                .in_func(&func.name)
+                .in_dim(&split.old));
+            }
+        }
+        let outer = old.map(|e| (e + split.factor - 1) / split.factor);
+        extents.insert(split.outer.clone(), outer);
+        extents.insert(split.inner.clone(), Some(split.factor));
+    }
+    Ok(())
 }
 
 fn build_pure_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
@@ -85,21 +148,16 @@ fn build_pure_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
     let mut split_defs: Vec<(String, Expr)> = Vec::new();
 
     for split in &schedule.splits {
+        // Split existence and constant-extent legality were already checked
+        // by `validate_splits`; this lookup cannot fail after it passes.
         let (old_min, old_extent) = bounds.remove(&split.old).ok_or_else(|| {
             LowerError::new(format!(
                 "split of unknown dimension {:?} in {}",
                 split.old, func.name
             ))
+            .in_func(&func.name)
+            .in_dim(&split.old)
         })?;
-        if let Some(e) = old_extent.as_const_int() {
-            if e < split.factor {
-                return Err(LowerError::new(format!(
-                    "split of {:?} in {} by {} exceeds its constant extent {e}; \
-                     the traversed region would overrun the required region",
-                    split.old, func.name, split.factor
-                )));
-            }
-        }
         let factor = Expr::int(split.factor as i32);
         let outer_extent =
             halide_ir::simplify(&((old_extent.clone() + (factor.clone() - 1)) / factor.clone()));
@@ -130,6 +188,8 @@ fn build_pure_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
                 "schedule of {} has dimension {:?} with no bounds (was it split away?)",
                 func.name, dim.name
             ))
+            .in_func(&func.name)
+            .in_dim(&dim.name)
         })?;
         body = Stmt::for_loop(loop_var(&func.name, &dim.name), min, extent, dim.kind, body);
     }

@@ -11,16 +11,31 @@
 //!   iteration only touches a bounded, monotonically advancing window of it
 //!   (e.g. keeping just 3 scanlines of `blurx` live instead of the whole
 //!   image).
+//!
+//! Both optimizations pattern-match on how bounds *move* with the serial
+//! loop variable. Since injection binds bounds to `<func>.<dim>.min` /
+//! `<func>.<dim>.extent` names, a produce loop's min is usually just a
+//! variable; the pass therefore carries an environment of the visible let
+//! bindings and resolves loop bounds through it before testing
+//! monotonicity. Only the loops it actually rewrites get concrete
+//! expressions back — everything else keeps the compact name form.
 
 use std::collections::BTreeMap;
 
 use halide_ir::{
-    simplify, substitute, CallType, Expr, ExprNode, ForKind, IrMutator, Range, Stmt, StmtNode,
+    simplify, substitute, CallType, Expr, ExprNode, ForKind, IrMutator, LetResolver, Range, Stmt,
+    StmtNode,
 };
 
 use crate::bounds::region_required;
 use crate::inject::FuncDef;
 use crate::nest::loop_var;
+
+/// The largest expression (in nodes) worth resolving through the let
+/// bindings: resolution beyond this cannot expose the small
+/// name-plus-offset patterns this pass matches on, and an uncapped
+/// transitive resolution would blow up on deep pipelines.
+const LET_RESOLVE_BUDGET: usize = 256;
 
 /// Statistics describing what the pass did — used by tests and by the
 /// ablation benchmarks.
@@ -77,6 +92,11 @@ struct ProduceLoopRewriter<'a> {
     func: &'a str,
     serial_var: &'a str,
     serial_min: Expr,
+    /// Let bindings visible at the current walk position, seeded with the
+    /// bindings enclosing the realization being optimized. Loop bounds are
+    /// resolved through it so a min that is just `<func>.<dim>.min` still
+    /// reveals its dependence on the serial loop variable.
+    lets: LetResolver,
     inside_produce: bool,
     rewrote: bool,
 }
@@ -84,6 +104,16 @@ struct ProduceLoopRewriter<'a> {
 impl IrMutator for ProduceLoopRewriter<'_> {
     fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
         match s.node() {
+            StmtNode::LetStmt { name, value, body } => {
+                let saved = self.lets.enter(name, value);
+                let nb = self.mutate_stmt(body);
+                self.lets.exit(name, saved);
+                if nb == *body {
+                    s.clone()
+                } else {
+                    Stmt::let_stmt(name.clone(), value.clone(), nb)
+                }
+            }
             StmtNode::Producer {
                 name,
                 is_produce,
@@ -105,16 +135,17 @@ impl IrMutator for ProduceLoopRewriter<'_> {
                 && !self.rewrote
                 && name.starts_with(&format!("{}.", self.func)) =>
             {
-                let max = simplify(&(min.clone() + extent.clone() - 1));
-                let depends = halide_ir::expr_uses_var(min, self.serial_var);
+                let rmin = self.lets.resolve(min);
+                let rmax = simplify(&(rmin.clone() + self.lets.resolve(extent) - 1));
+                let depends = halide_ir::expr_uses_var(&rmin, self.serial_var);
                 if depends {
                     if let (Some(_), Some(_)) = (
-                        monotonic_step(min, self.serial_var),
-                        monotonic_step(&max, self.serial_var),
+                        monotonic_step(&rmin, self.serial_var),
+                        monotonic_step(&rmax, self.serial_var),
                     ) {
                         self.rewrote = true;
                         let prev_max = substitute(
-                            &max,
+                            &rmax,
                             self.serial_var,
                             &(Expr::var_i32(self.serial_var) - 1),
                         );
@@ -122,10 +153,10 @@ impl IrMutator for ProduceLoopRewriter<'_> {
                             Expr::le(Expr::var_i32(self.serial_var), self.serial_min.clone());
                         let new_min = Expr::select(
                             is_first,
-                            min.clone(),
-                            Expr::max(min.clone(), prev_max + 1),
+                            rmin.clone(),
+                            Expr::max(rmin.clone(), prev_max + 1),
                         );
-                        let new_extent = simplify(&(max - new_min.clone() + 1));
+                        let new_extent = simplify(&(rmax - new_min.clone() + 1));
                         return Stmt::for_loop(
                             name.clone(),
                             simplify(&new_min),
@@ -184,6 +215,9 @@ struct SlidingPass<'a> {
     env: &'a BTreeMap<String, FuncDef>,
     enable_sliding: bool,
     enable_folding: bool,
+    /// Let bindings enclosing the current walk position — in particular the
+    /// `<func>.<dim>.min/.extent` bindings wrapping each `Realize`.
+    lets: LetResolver,
     report: SlidingReport,
 }
 
@@ -269,6 +303,7 @@ impl SlidingPass<'_> {
                 func: &func.name,
                 serial_var: &serial_var,
                 serial_min: serial_min.clone(),
+                lets: self.lets.clone(),
                 inside_produce: false,
                 rewrote: false,
             };
@@ -284,7 +319,10 @@ impl SlidingPass<'_> {
                 let footprint = region_required(&lb, &func.name, func.args.len());
                 for (d, interval) in footprint.dims.iter().enumerate() {
                     let per_iter_extent = interval.extent().and_then(|e| e.as_const_int());
-                    let realize_extent = bounds[d].extent.as_const_int();
+                    // The realize extent is usually a `<func>.<dim>.extent`
+                    // name; resolve it through the enclosing lets so the
+                    // shrink check still sees constants.
+                    let realize_extent = self.lets.resolve(&bounds[d].extent).as_const_int();
                     let Some(c) = per_iter_extent else { continue };
                     if c <= 0 {
                         continue;
@@ -321,23 +359,34 @@ impl SlidingPass<'_> {
 
 impl IrMutator for SlidingPass<'_> {
     fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
-        if let StmtNode::Realize {
-            name,
-            ty,
-            bounds,
-            body,
-        } = s.node()
-        {
-            let body = self.mutate_stmt(body); // handle nested realizations first
-            if let Some(def) = self.env.get(name) {
-                let store_differs = def.schedule.store_level != def.schedule.compute_level;
-                if store_differs {
-                    return self.optimize_realize(def, *ty, bounds, &body);
+        match s.node() {
+            StmtNode::LetStmt { name, value, body } => {
+                let saved = self.lets.enter(name, value);
+                let nb = self.mutate_stmt(body);
+                self.lets.exit(name, saved);
+                if nb == *body {
+                    s.clone()
+                } else {
+                    Stmt::let_stmt(name.clone(), value.clone(), nb)
                 }
             }
-            return Stmt::realize(name.clone(), *ty, bounds.clone(), body);
+            StmtNode::Realize {
+                name,
+                ty,
+                bounds,
+                body,
+            } => {
+                let body = self.mutate_stmt(body); // handle nested realizations first
+                if let Some(def) = self.env.get(name) {
+                    let store_differs = def.schedule.store_level != def.schedule.compute_level;
+                    if store_differs {
+                        return self.optimize_realize(def, *ty, bounds, &body);
+                    }
+                }
+                Stmt::realize(name.clone(), *ty, bounds.clone(), body)
+            }
+            _ => halide_ir::mutate_stmt_children(self, s),
         }
-        halide_ir::mutate_stmt_children(self, s)
     }
 }
 
@@ -353,6 +402,7 @@ pub fn sliding_and_folding(
         env,
         enable_sliding,
         enable_folding,
+        lets: LetResolver::new(LET_RESOLVE_BUDGET),
         report: SlidingReport::default(),
     };
     let out = pass.mutate_stmt(stmt);

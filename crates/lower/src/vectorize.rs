@@ -12,7 +12,8 @@
 //! copies of its body with the loop variable bound to `min + i`.
 
 use halide_ir::{
-    const_int, simplify_stmt, substitute_in_stmt, Expr, ForKind, IrMutator, Stmt, StmtNode,
+    const_int, simplify_stmt, substitute_in_stmt, Expr, ForKind, IrMutator, LetResolver, Stmt,
+    StmtNode,
 };
 
 use crate::error::{LowerError, Result};
@@ -27,12 +28,35 @@ pub const MAX_UNROLL: i64 = 64;
 
 struct VectorizeUnroll {
     error: Option<LowerError>,
+    /// Let bindings enclosing the current node (shadowing- and
+    /// budget-aware, see [`LetResolver`]). A vectorized/unrolled loop
+    /// extent that is a `<func>.<dim>.extent` name resolves through this to
+    /// the constant the schedule promised.
+    lets: LetResolver,
+}
+
+impl VectorizeUnroll {
+    /// The constant value of `extent`, if it is constant either structurally
+    /// or after resolving let-bound names.
+    fn extent_const(&self, extent: &Expr) -> Option<i64> {
+        const_int(extent).or_else(|| const_int(&self.lets.resolve(extent)))
+    }
 }
 
 impl IrMutator for VectorizeUnroll {
     fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
         if self.error.is_some() {
             return s.clone();
+        }
+        if let StmtNode::LetStmt { name, value, body } = s.node() {
+            let saved = self.lets.enter(name, value);
+            let nb = self.mutate_stmt(body);
+            self.lets.exit(name, saved);
+            return if nb == *body {
+                s.clone()
+            } else {
+                Stmt::let_stmt(name.clone(), value.clone(), nb)
+            };
         }
         if let StmtNode::For {
             name,
@@ -44,7 +68,7 @@ impl IrMutator for VectorizeUnroll {
         {
             match kind {
                 ForKind::Vectorized => {
-                    let Some(n) = const_int(extent) else {
+                    let Some(n) = self.extent_const(extent) else {
                         self.error = Some(LowerError::new(format!(
                             "vectorized loop {name:?} must have a constant extent, got {extent}"
                         )));
@@ -66,7 +90,7 @@ impl IrMutator for VectorizeUnroll {
                     return self.mutate_stmt(&body);
                 }
                 ForKind::Unrolled => {
-                    let Some(n) = const_int(extent) else {
+                    let Some(n) = self.extent_const(extent) else {
                         self.error = Some(LowerError::new(format!(
                             "unrolled loop {name:?} must have a constant extent, got {extent}"
                         )));
@@ -102,7 +126,10 @@ impl IrMutator for VectorizeUnroll {
 /// Fails if a vectorized or unrolled loop has a non-constant or unreasonable
 /// extent (the schedule should split by a constant factor first).
 pub fn vectorize_and_unroll(stmt: &Stmt) -> Result<Stmt> {
-    let mut pass = VectorizeUnroll { error: None };
+    let mut pass = VectorizeUnroll {
+        error: None,
+        lets: LetResolver::new(256),
+    };
     let out = pass.mutate_stmt(stmt);
     match pass.error {
         Some(e) => Err(e),

@@ -238,17 +238,35 @@ mod tests {
     #[test]
     fn gpu_lowering_stays_compact() {
         // Regression: GPU-tiled pyramid chains used to make bounds
-        // expressions grow multiplicatively per level (the
-        // `min(0, max(e - f, 0))` split guards never folded), hanging
-        // lowering. Three levels must lower quickly to a reasonably sized
-        // module.
-        let app = InterpolateApp::new(3);
-        app.schedule_gpu();
-        let module = app.compile().unwrap();
+        // expressions grow multiplicatively per level — first because the
+        // `min(0, max(e - f, 0))` split guards never folded, then because
+        // bounds inference substituted whole interval expressions through
+        // consumer chains. With let-bound bounds variables
+        // (`<func>.<dim>.min/.extent` emitted per realization level), the
+        // lowered statement must grow *linearly* with pyramid depth: a
+        // 5-level pyramid lowers to roughly a 3-level one plus two more
+        // levels' worth of stages, not 16x the size.
+        let lowered_len = |levels: usize| {
+            let app = InterpolateApp::new(levels);
+            app.schedule_gpu();
+            app.compile().unwrap().pretty().len()
+        };
+        let len3 = lowered_len(3);
+        let len4 = lowered_len(4);
+        let len5 = lowered_len(5);
+        assert!(len3 < 100_000, "3-level pyramid blew up to {len3} bytes");
+        // Per-level increments must be roughly constant (linear growth).
+        // Exponential growth makes the second increment ~4x the first.
+        let grow4 = len4.saturating_sub(len3);
+        let grow5 = len5.saturating_sub(len4);
         assert!(
-            module.pretty().len() < 200_000,
-            "lowered text blew up to {} bytes",
-            module.pretty().len()
+            grow4 > 0 && grow5 > 0,
+            "deeper pyramids must lower to larger statements ({len3}, {len4}, {len5})"
+        );
+        assert!(
+            grow5 < 2 * grow4,
+            "lowered-size growth is superlinear: 3->4 added {grow4} bytes, \
+             4->5 added {grow5} bytes ({len3}, {len4}, {len5})"
         );
     }
 

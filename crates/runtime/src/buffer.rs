@@ -7,7 +7,7 @@
 //!
 //! # Concurrency
 //!
-//! Buffers support shared-reference stores ([`Buffer::set_flat`]) because the
+//! Buffers support shared-reference stores ([`Buffer::set_flat_lane`]) because the
 //! generated code writes to them from many threads at once. This is sound for
 //! the same reason Halide's generated code is sound: the compiler only
 //! parallelizes loops whose iterations write disjoint elements (data

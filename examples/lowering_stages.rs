@@ -1,0 +1,114 @@
+//! Prints the Sec. 3.1 two-stage blur after each lowering pass.
+//!
+//! This is the companion program to `docs/lowering.md`: every IR snippet in
+//! that walkthrough was produced by this example, so re-running it shows how
+//! the current compiler's output compares to the documented one.
+//!
+//! ```sh
+//! cargo run --release --example lowering_stages
+//! ```
+
+use halide::ir::Type;
+use halide::lower_crate::{flatten, inject, sliding, vectorize};
+use halide::{Func, ImageParam, Pipeline, Var};
+
+fn main() {
+    // The two-stage blur of Sec. 3.1, with the paper's Fig. 1 schedule:
+    // the output tiled, the horizontal pass computed per row of tiles.
+    let input = ImageParam::new("input", Type::f32(), 2);
+    let (x, y) = (Var::new("x"), Var::new("y"));
+    let blurx = Func::new("blurx");
+    blurx.define(
+        &[x.clone(), y.clone()],
+        (input.at_clamped(vec![x.expr() - 1, y.expr()])
+            + input.at_clamped(vec![x.expr(), y.expr()])
+            + input.at_clamped(vec![x.expr() + 1, y.expr()]))
+            / 3.0f32,
+    );
+    let out = Func::new("blury");
+    out.define(
+        &[x.clone(), y.clone()],
+        (blurx.at(vec![x.expr(), y.expr() - 1])
+            + blurx.at(vec![x.expr(), y.expr()])
+            + blurx.at(vec![x.expr(), y.expr() + 1]))
+            / 3.0f32,
+    );
+    out.split_dim("y", "yo", "yi", 8)
+        .parallelize("yo")
+        .split_dim("x", "xo", "xi", 8)
+        .vectorize_dim("xi");
+    blurx.compute_at(&out, "yo");
+
+    let pipeline = Pipeline::new(&out);
+    pipeline.validate_schedules().unwrap();
+    let mut env = inject::snapshot_pipeline(&pipeline);
+    let order = pipeline.realization_order();
+    let output = pipeline.output().name();
+
+    inject::inline_all(&mut env, &order, &output).unwrap();
+
+    banner("1. loop synthesis + bounds inference (let-bound bounds)");
+    let stmt = inject::build_pipeline_stmt(&env, &order, &output).unwrap();
+    println!("{stmt}");
+
+    banner("2. sliding window + storage folding");
+    let (stmt, report) = sliding::sliding_and_folding(&stmt, &env, true, true);
+    let stmt = halide::ir::simplify_stmt(&stmt);
+    println!("{stmt}");
+    println!("// slid: {:?}, folded: {:?}", report.slid, report.folded);
+
+    banner("3. flattening");
+    let stmt = flatten::flatten(&stmt);
+    println!("{stmt}");
+
+    banner("4. vectorization / unrolling + final simplification");
+    let stmt = vectorize::vectorize_and_unroll(&stmt).unwrap();
+    let stmt = halide::ir::simplify_stmt(&stmt);
+    println!("{stmt}");
+
+    // A second schedule for the sliding-window pass: computing blurx one row
+    // at a time while storing it at the root makes consecutive rows of blury
+    // reuse two of the three blurx rows each needs.
+    let input = ImageParam::new("sin", Type::f32(), 2);
+    let blurx = Func::new("sblurx");
+    blurx.define(
+        &[x.clone(), y.clone()],
+        (input.at_clamped(vec![x.expr() - 1, y.expr()])
+            + input.at_clamped(vec![x.expr(), y.expr()])
+            + input.at_clamped(vec![x.expr() + 1, y.expr()]))
+            / 3.0f32,
+    );
+    let out = Func::new("sblury");
+    out.define(
+        &[x.clone(), y.clone()],
+        (blurx.at(vec![x.expr(), y.expr() - 1])
+            + blurx.at(vec![x.expr(), y.expr()])
+            + blurx.at(vec![x.expr(), y.expr() + 1]))
+            / 3.0f32,
+    );
+    blurx.compute_at(&out, "y");
+    blurx.store_root();
+
+    let pipeline = Pipeline::new(&out);
+    pipeline.validate_schedules().unwrap();
+    let mut env = inject::snapshot_pipeline(&pipeline);
+    let order = pipeline.realization_order();
+    let output = pipeline.output().name();
+    inject::inline_all(&mut env, &order, &output).unwrap();
+
+    banner("appendix: store_root + compute_at(y), before sliding");
+    let stmt = inject::build_pipeline_stmt(&env, &order, &output).unwrap();
+    println!("{stmt}");
+
+    banner("appendix: after sliding window + storage folding");
+    let (stmt, report) = sliding::sliding_and_folding(&stmt, &env, true, true);
+    let stmt = halide::ir::simplify_stmt(&stmt);
+    println!("{stmt}");
+    println!("// slid: {:?}, folded: {:?}", report.slid, report.folded);
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("== {title}");
+    println!("{}\n", "=".repeat(72));
+}

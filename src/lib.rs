@@ -52,6 +52,10 @@
 //!     .realize(&[64, 64])
 //!     .unwrap();
 //! assert_eq!(result.output.dims()[0].extent, 64);
+//! // Blurring a linear ramp reproduces it away from the borders: the 3x3
+//! // average of (x + y) is (x + y).
+//! assert!((result.output.at_f64(&[10, 10]) - 20.0).abs() < 1e-4);
+//! assert!((result.output.at_f64(&[31, 17]) - 48.0).abs() < 1e-4);
 //! ```
 
 #![warn(missing_docs)]

@@ -1,0 +1,137 @@
+//! Execution-engine benchmark: runs every app on both backends (the
+//! compiled register machine and the reference tree-walking interpreter)
+//! and emits `BENCH_exec.json` — the perf-trajectory artifact checked into
+//! the repository root.
+//!
+//! ```text
+//! cargo run --release -p halide-bench --bin bench_exec -- --quick
+//! cargo run --release -p halide-bench --bin bench_exec -- --quick --out BENCH_exec.json
+//! ```
+//!
+//! Per (app, schedule) the wall time of each backend is the best of
+//! several runs (instrumentation off); the JSON carries per-row and
+//! per-app speedups plus the headline `blur_speedup`.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use halide_bench::HarnessConfig;
+use halide_exec::Backend;
+use halide_pipelines::{apps::ScheduleChoice, AppKind};
+
+/// Timing repetitions per (app, schedule, backend): the best run is
+/// reported, which is the standard way to suppress scheduling noise.
+const REPS: usize = 3;
+
+struct Row {
+    app: &'static str,
+    schedule: &'static str,
+    interp: Duration,
+    compiled: Duration,
+}
+
+fn best_time(
+    app: AppKind,
+    cfg: &HarnessConfig,
+    schedule: ScheduleChoice,
+    backend: Backend,
+) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let (result, _) = app
+            .run_with_backend(cfg.width, cfg.height, schedule, cfg.threads, backend)
+            .expect("benchmark schedule lowers");
+        let r = result.expect("benchmark schedule runs");
+        best = best.min(r.wall_time);
+    }
+    best
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_exec.json".to_string());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for app in AppKind::ALL {
+        for (schedule, label) in [
+            (ScheduleChoice::Naive, "naive"),
+            (ScheduleChoice::Tuned, "tuned"),
+        ] {
+            let interp = best_time(app, &cfg, schedule, Backend::Interp);
+            let compiled = best_time(app, &cfg, schedule, Backend::Compiled);
+            eprintln!(
+                "{:<20} {:<6} interp {:>10.2?}ms  compiled {:>10.2?}ms  speedup {:.2}x",
+                app.name(),
+                label,
+                interp.as_secs_f64() * 1e3,
+                compiled.as_secs_f64() * 1e3,
+                interp.as_secs_f64() / compiled.as_secs_f64().max(1e-12),
+            );
+            rows.push(Row {
+                app: app.name(),
+                schedule: label,
+                interp,
+                compiled,
+            });
+        }
+    }
+
+    // Per-app aggregate: total interpreter time over total compiled time for
+    // the app's schedules (the time to run that app's benchmark set on each
+    // backend).
+    let app_speedup = |name: &str| -> f64 {
+        let (i, c) = rows
+            .iter()
+            .filter(|r| r.app == name)
+            .fold((0.0f64, 0.0f64), |(i, c), r| {
+                (i + r.interp.as_secs_f64(), c + r.compiled.as_secs_f64())
+            });
+        i / c.max(1e-12)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"width\": {}, \"height\": {}, \"threads\": {}, \"reps\": {} }},",
+        cfg.width, cfg.height, cfg.threads, REPS
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"app\": \"{}\", \"schedule\": \"{}\", \"interp_ms\": {:.3}, \"compiled_ms\": {:.3}, \"speedup\": {:.2} }}",
+            r.app,
+            r.schedule,
+            r.interp.as_secs_f64() * 1e3,
+            r.compiled.as_secs_f64() * 1e3,
+            r.interp.as_secs_f64() / r.compiled.as_secs_f64().max(1e-12),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"app_speedups\": {\n");
+    let apps: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
+    for (i, name) in apps.iter().enumerate() {
+        let _ = write!(json, "    \"{}\": {:.2}", name, app_speedup(name));
+        json.push_str(if i + 1 < apps.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"blur_speedup\": {:.2}", app_speedup("Blur"));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("writing the benchmark artifact");
+    println!("wrote {out_path}");
+    let blur = app_speedup("Blur");
+    println!("blur speedup (compiled over interp): {blur:.2}x");
+    assert!(
+        blur >= 5.0,
+        "the compiled backend must be at least 5x faster than the interpreter on blur, got {blur:.2}x"
+    );
+}

@@ -16,7 +16,7 @@ fn main() {
         "Work ampl.".into(),
         "Time (ms)".into(),
     ]);
-    for r in blur_strategy_table(cfg.width, cfg.height, cfg.threads) {
+    for r in blur_strategy_table(cfg.width, cfg.height, cfg.threads, cfg.backend) {
         print_row(&[
             r.strategy,
             r.span.to_string(),

@@ -5,7 +5,7 @@ use halide_bench::{blur_strategy_table, ms, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let rows = blur_strategy_table(cfg.width, cfg.height, cfg.threads);
+    let rows = blur_strategy_table(cfg.width, cfg.height, cfg.threads, cfg.backend);
     let bf = rows.iter().find(|r| r.strategy == "Breadth-first").unwrap();
     let best = rows
         .iter()

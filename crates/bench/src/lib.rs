@@ -14,7 +14,7 @@
 
 use std::time::Duration;
 
-use halide_exec::Realizer;
+use halide_exec::{Backend, Realizer};
 use halide_lang::analyze;
 use halide_pipelines::blur::{BlurApp, BlurSchedule};
 use halide_pipelines::{apps::ScheduleChoice, AppKind};
@@ -33,10 +33,19 @@ pub struct HarnessConfig {
     pub generations: usize,
     /// Autotuner population (where applicable).
     pub population: usize,
+    /// Execution engine every harness runs pipelines on
+    /// (`--backend compiled|interp`, default compiled).
+    pub backend: Backend,
 }
 
 impl HarnessConfig {
-    /// Parses `--quick` / `--full` / `--threads N` from the process args.
+    /// Parses `--quick` / `--full` / `--threads N` / `--backend NAME` from
+    /// the process args.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown `--backend` name (the harnesses are CLI tools;
+    /// failing loudly is the right diagnostic).
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let full = args.iter().any(|a| a == "--full");
@@ -46,6 +55,15 @@ impl HarnessConfig {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(halide_runtime::num_threads_default);
+        let backend = args
+            .iter()
+            .position(|a| a == "--backend")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                Backend::from_name(v)
+                    .unwrap_or_else(|| panic!("unknown backend {v:?}; use compiled or interp"))
+            })
+            .unwrap_or_default();
         if full {
             HarnessConfig {
                 width: 1536,
@@ -53,6 +71,7 @@ impl HarnessConfig {
                 threads,
                 generations: 25,
                 population: 32,
+                backend,
             }
         } else {
             HarnessConfig {
@@ -61,6 +80,7 @@ impl HarnessConfig {
                 threads,
                 generations: 4,
                 population: 10,
+                backend,
             }
         }
     }
@@ -88,7 +108,12 @@ pub struct BlurStrategyRow {
 
 /// Reproduces the measurements behind Fig. 3: runs every blur schedule on the
 /// same input and reports span, locality, work amplification, and time.
-pub fn blur_strategy_table(width: i64, height: i64, threads: usize) -> Vec<BlurStrategyRow> {
+pub fn blur_strategy_table(
+    width: i64,
+    height: i64,
+    threads: usize,
+    backend: Backend,
+) -> Vec<BlurStrategyRow> {
     let input = halide_pipelines::blur::make_input(width, height);
     let mut rows = Vec::new();
     let mut baseline_ops: Option<u64> = None;
@@ -96,7 +121,7 @@ pub fn blur_strategy_table(width: i64, height: i64, threads: usize) -> Vec<BlurS
         let app = BlurApp::new();
         let module = app.compile(schedule).expect("built-in schedule lowers");
         let result = app
-            .run(&module, &input, threads, true)
+            .run_on(&module, &input, threads, true, backend)
             .expect("built-in schedule runs");
         let ops = result.counters.arith_ops;
         let baseline = *baseline_ops.get_or_insert(ops);
@@ -183,11 +208,17 @@ pub fn app_performance_table(cfg: &HarnessConfig) -> Vec<AppPerformanceRow> {
     let mut rows = Vec::new();
     for app in AppKind::PAPER_APPS {
         let (naive, _) = app
-            .run(cfg.width, cfg.height, ScheduleChoice::Naive, 1)
+            .run_with_backend(cfg.width, cfg.height, ScheduleChoice::Naive, 1, cfg.backend)
             .expect("naive schedule lowers");
         let naive = naive.expect("naive schedule runs");
         let (tuned, _) = app
-            .run(cfg.width, cfg.height, ScheduleChoice::Tuned, cfg.threads)
+            .run_with_backend(
+                cfg.width,
+                cfg.height,
+                ScheduleChoice::Tuned,
+                cfg.threads,
+                cfg.backend,
+            )
             .expect("tuned schedule lowers");
         let tuned = tuned.expect("tuned schedule runs");
         let reference = app.reference_time(cfg.width, cfg.height, cfg.threads);
@@ -223,11 +254,23 @@ pub fn gpu_table(cfg: &HarnessConfig) -> Vec<GpuRow> {
     let mut rows = Vec::new();
     for app in AppKind::ALL.iter().filter(|a| a.has_gpu_schedule()) {
         let (cpu, _) = app
-            .run(cfg.width, cfg.height, ScheduleChoice::Tuned, cfg.threads)
+            .run_with_backend(
+                cfg.width,
+                cfg.height,
+                ScheduleChoice::Tuned,
+                cfg.threads,
+                cfg.backend,
+            )
             .expect("cpu schedule lowers");
         let cpu = cpu.expect("cpu schedule runs");
         let (gpu, _) = app
-            .run(cfg.width, cfg.height, ScheduleChoice::Gpu, cfg.threads)
+            .run_with_backend(
+                cfg.width,
+                cfg.height,
+                ScheduleChoice::Gpu,
+                cfg.threads,
+                cfg.backend,
+            )
             .expect("gpu schedule lowers");
         let gpu = gpu.expect("gpu schedule runs");
         rows.push(GpuRow {
@@ -374,7 +417,7 @@ mod tests {
 
     #[test]
     fn blur_strategy_table_has_expected_shape() {
-        let rows = blur_strategy_table(96, 64, 2);
+        let rows = blur_strategy_table(96, 64, 2, Backend::Compiled);
         assert_eq!(rows.len(), BlurSchedule::ALL.len());
         // breadth-first is the work baseline
         assert!((rows[0].work_amplification - 1.0).abs() < 1e-9);

@@ -7,7 +7,6 @@
 //! statement and faithfully executed here, so schedule-to-schedule
 //! comparisons exercise exactly the tradeoffs the paper studies.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -52,7 +51,7 @@ impl Context {
         }
     }
 
-    fn record_error(&self, e: ExecError) {
+    pub(crate) fn record_error(&self, e: ExecError) {
         self.failed.store(true, Ordering::Relaxed);
         let mut slot = self.error.lock();
         if slot.is_none() {
@@ -65,22 +64,75 @@ impl Context {
         self.error.lock().take()
     }
 
-    fn has_failed(&self) -> bool {
+    pub(crate) fn has_failed(&self) -> bool {
         self.failed.load(Ordering::Relaxed)
+    }
+
+    /// True once a GPU kernel has launched in this context (loads/stores
+    /// then consult the simulated device's residency map).
+    pub(crate) fn gpu_in_use(&self) -> bool {
+        self.gpu_used.load(Ordering::Relaxed)
+    }
+
+    /// Marks the GPU as used; returns whether it already was.
+    pub(crate) fn mark_gpu_used(&self) -> bool {
+        self.gpu_used.swap(true, Ordering::Relaxed)
     }
 }
 
+/// The buffers visible in a scope: a persistent (structure-shared)
+/// association list. The innermost binding of a name wins, so allocations
+/// shadow naturally; cloning is a single `Arc` bump. The interpreter clones
+/// a [`Frame`] for every parallel task, so this interning is what keeps the
+/// reference backend usable for differential tests at full sizes (it used
+/// to deep-clone a `HashMap<String, Arc<Buffer>>` per iteration).
+#[derive(Clone, Default)]
+struct BufferChain {
+    head: Option<Arc<BufNode>>,
+}
+
+struct BufNode {
+    name: String,
+    buf: Arc<Buffer>,
+    rest: Option<Arc<BufNode>>,
+}
+
+impl BufferChain {
+    fn get(&self, name: &str) -> Option<&Arc<Buffer>> {
+        let mut cur = self.head.as_ref();
+        while let Some(node) = cur {
+            if node.name == name {
+                return Some(&node.buf);
+            }
+            cur = node.rest.as_ref();
+        }
+        None
+    }
+
+    fn push(&mut self, name: String, buf: Arc<Buffer>) {
+        self.head = Some(Arc::new(BufNode {
+            name,
+            buf,
+            rest: self.head.take(),
+        }));
+    }
+}
+
+/// A saved buffer-scope position; restoring it undoes pushes made since.
+pub struct BufferMark(Option<Arc<BufNode>>);
+
 /// Per-thread evaluation state: scalar bindings plus the buffers visible in
-/// the current scope. Cloning is cheap (buffers are `Arc`s) and gives each
-/// parallel iteration its own scope, so allocations made inside a parallel
-/// loop body stay private to that iteration.
+/// the current scope. Cloning is cheap (the buffer list is structure-shared
+/// and buffers are `Arc`s) and gives each parallel iteration its own scope,
+/// so allocations made inside a parallel loop body stay private to that
+/// iteration.
 #[derive(Clone, Default)]
 pub struct Frame {
     /// Scalar variable bindings (loop indices, lets, buffer layout symbols,
     /// parameters).
     pub env: Scope<Value>,
-    /// Buffers visible in this scope, by name.
-    pub buffers: HashMap<String, Arc<Buffer>>,
+    /// Buffers visible in this scope, innermost binding first.
+    buffers: BufferChain,
 }
 
 impl Frame {
@@ -89,12 +141,41 @@ impl Frame {
             .get(name)
             .ok_or_else(|| ExecError::new(format!("no buffer named {name:?} is in scope")))
     }
+
+    /// Makes a buffer visible in this scope, shadowing any previous binding
+    /// of the same name.
+    pub fn insert_buffer(&mut self, name: impl Into<String>, buf: Arc<Buffer>) {
+        self.buffers.push(name.into(), buf);
+    }
+
+    /// The innermost buffer bound to `name`, if any.
+    pub fn buffer_named(&self, name: &str) -> Option<&Arc<Buffer>> {
+        self.buffers.get(name)
+    }
+
+    /// Saves the current buffer-scope position (see [`Frame::restore_buffers`]).
+    pub fn mark_buffers(&self) -> BufferMark {
+        BufferMark(self.buffers.head.clone())
+    }
+
+    /// Restores a position saved by [`Frame::mark_buffers`], removing
+    /// buffers inserted since.
+    pub fn restore_buffers(&mut self, mark: BufferMark) {
+        self.buffers.head = mark.0;
+    }
 }
 
-fn eval_intrinsic(name: &str, args: &[Value]) -> Result<Value> {
+pub(crate) fn eval_intrinsic(name: &str, args: &[Value]) -> Result<Value> {
     let unary = |f: fn(f64) -> f64| -> Result<Value> {
         Ok(Value::Float(
             args[0].to_f64_lanes().iter().map(|v| f(*v)).collect(),
+        ))
+    };
+    let binary = |f: fn(f64, f64) -> f64| -> Result<Value> {
+        let a = args[0].to_f64_lanes();
+        let b = args[1].broadcast(args[0].lanes()).to_f64_lanes();
+        Ok(Value::Float(
+            a.iter().zip(b.iter()).map(|(x, y)| f(*x, *y)).collect(),
         ))
     };
     match name {
@@ -110,13 +191,13 @@ fn eval_intrinsic(name: &str, args: &[Value]) -> Result<Value> {
         "floor" => unary(f64::floor),
         "ceil" => unary(f64::ceil),
         "round" => unary(f64::round),
-        "pow" => {
-            let a = args[0].to_f64_lanes();
-            let b = args[1].broadcast(args[0].lanes()).to_f64_lanes();
-            Ok(Value::Float(
-                a.iter().zip(b.iter()).map(|(x, y)| x.powf(*y)).collect(),
-            ))
-        }
+        "tanh" => unary(f64::tanh),
+        "pow" => binary(|x, y| x.powf(y)),
+        "atan2" => binary(f64::atan2),
+        // min/max as intrinsics: identical semantics to the binary operator
+        // (kind-preserving, broadcasting the scalar side).
+        "min" => Ok(binary_op(halide_ir::BinOp::Min, &args[0], &args[1])),
+        "max" => Ok(binary_op(halide_ir::BinOp::Max, &args[0], &args[1])),
         other => Err(ExecError::new(format!("unknown intrinsic {other:?}"))),
     }
 }
@@ -281,7 +362,7 @@ pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
 
 /// True if evaluating `e` would read a buffer; such expressions must not be
 /// hoisted across statements that may write the buffer.
-fn expr_has_load(e: &Expr) -> bool {
+pub(crate) fn expr_has_load(e: &Expr) -> bool {
     use halide_ir::IrVisitor;
     struct Finder {
         found: bool,
@@ -313,7 +394,10 @@ fn expr_has_load(e: &Expr) -> bool {
 /// iteration keeps the interpreter's per-iteration cost flat. Peeling stops
 /// at the first dependent let so hoisted values can never observe the loop
 /// variable (directly or through an un-hoisted predecessor).
-fn peel_invariant_lets<'a>(body: &'a Stmt, loop_var: &str) -> (Vec<(&'a str, &'a Expr)>, &'a Stmt) {
+pub(crate) fn peel_invariant_lets<'a>(
+    body: &'a Stmt,
+    loop_var: &str,
+) -> (Vec<(&'a str, &'a Expr)>, &'a Stmt) {
     let mut hoisted = Vec::new();
     let mut cur = body;
     while let StmtNode::LetStmt { name, value, body } = cur.node() {
@@ -327,7 +411,7 @@ fn peel_invariant_lets<'a>(body: &'a Stmt, loop_var: &str) -> (Vec<(&'a str, &'a
 }
 
 /// Names of buffers loaded from (reads) and stored to (writes) in a statement.
-fn buffers_touched(stmt: &Stmt) -> (Vec<String>, Vec<String>) {
+pub(crate) fn buffers_touched(stmt: &Stmt) -> (Vec<String>, Vec<String>) {
     use halide_ir::IrVisitor;
     struct Touch {
         reads: Vec<String>,
@@ -484,9 +568,10 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
             let buf = Arc::new(Buffer::with_extents(ty.scalar(), &[n]));
             let bytes = buf.size_bytes() as u64;
             ctx.counters.add_allocation(bytes);
-            frame.buffers.insert(name.clone(), buf);
+            let mark = frame.mark_buffers();
+            frame.insert_buffer(name.clone(), buf);
             let r = eval_stmt(body, frame, ctx);
-            frame.buffers.remove(name);
+            frame.restore_buffers(mark);
             ctx.counters.add_free(bytes);
             r
         }
@@ -609,7 +694,7 @@ mod tests {
 
     fn frame_with_buffer(name: &str, len: i64) -> Frame {
         let mut f = Frame::default();
-        f.buffers.insert(
+        f.insert_buffer(
             name.to_string(),
             Arc::new(Buffer::with_extents(ScalarType::Float(32), &[len])),
         );
@@ -642,7 +727,7 @@ mod tests {
             ),
         );
         eval_stmt(&s, &mut f, &c).unwrap();
-        let buf = f.buffers["buf"].clone();
+        let buf = f.buffer_named("buf").unwrap().clone();
         assert_eq!(buf.get_flat_f64(3), 6.0);
         assert_eq!(c.counters.snapshot().stores, 10);
     }
@@ -658,7 +743,7 @@ mod tests {
         );
         let s = Stmt::for_loop("i", Expr::int(0), Expr::int(100), ForKind::Parallel, body);
         eval_stmt(&s, &mut f, &c).unwrap();
-        let buf = f.buffers["buf"].clone();
+        let buf = f.buffer_named("buf").unwrap().clone();
         assert!((0..100).all(|i| buf.get_flat_f64(i as usize) == i as f64));
         assert!(c.counters.snapshot().parallel_tasks >= 100);
     }
@@ -687,7 +772,7 @@ mod tests {
         );
         let s = Stmt::for_loop("i", Expr::int(0), Expr::int(16), ForKind::Parallel, body);
         eval_stmt(&s, &mut f, &c).unwrap();
-        assert_eq!(f.buffers["buf"].get_flat_f64(7), 6.0);
+        assert_eq!(f.buffer_named("buf").unwrap().get_flat_f64(7), 6.0);
         // The hoisted bindings are popped with the loop: the outer `a`
         // binding is intact afterwards.
         assert_eq!(f.env.get("a").unwrap().as_int(), 1000);
@@ -719,7 +804,7 @@ mod tests {
         let body = Stmt::store("tmp", Expr::f32(3.0), Expr::int(0));
         let s = Stmt::allocate("tmp", Type::f32(), Expr::int(16), body);
         eval_stmt(&s, &mut f, &c).unwrap();
-        assert!(!f.buffers.contains_key("tmp"));
+        assert!(f.buffer_named("tmp").is_none());
         let snap = c.counters.snapshot();
         assert_eq!(snap.allocations, 1);
         assert_eq!(snap.bytes_allocated, 64);
@@ -730,9 +815,9 @@ mod tests {
         let c = ctx();
         let mut f = frame_with_buffer("src", 8);
         for i in 0..8 {
-            f.buffers["src"].set_flat_f64(i, i as f64);
+            f.buffer_named("src").unwrap().set_flat_f64(i, i as f64);
         }
-        f.buffers.insert(
+        f.insert_buffer(
             "dst".to_string(),
             Arc::new(Buffer::with_extents(ScalarType::Float(32), &[8])),
         );
@@ -744,7 +829,7 @@ mod tests {
             idx,
         );
         eval_stmt(&s, &mut f, &c).unwrap();
-        assert_eq!(f.buffers["dst"].get_flat_f64(7), 14.0);
+        assert_eq!(f.buffer_named("dst").unwrap().get_flat_f64(7), 14.0);
         let snap = c.counters.snapshot();
         // one vector load + one vector store
         assert_eq!(snap.loads, 1);
@@ -787,13 +872,44 @@ mod tests {
             &c
         )
         .is_err());
+        // The intrinsics added for upcoming pipelines: min/max, atan2, tanh.
+        assert_eq!(
+            eval_expr(
+                &Expr::intrinsic("min", vec![Expr::int(3), Expr::int(-5)], Type::i32()),
+                &f,
+                &c
+            )
+            .unwrap()
+            .as_int(),
+            -5
+        );
+        assert_eq!(
+            eval_expr(
+                &Expr::intrinsic("max", vec![Expr::f32(1.5), Expr::f32(2.5)], Type::f32()),
+                &f,
+                &c
+            )
+            .unwrap()
+            .as_f64(),
+            2.5
+        );
+        assert_eq!(
+            eval_expr(&Expr::f32(0.0).tanh(), &f, &c).unwrap().as_f64(),
+            0.0
+        );
+        assert_eq!(
+            eval_expr(&Expr::f32(1.0).atan2(Expr::f32(1.0)), &f, &c)
+                .unwrap()
+                .as_f64(),
+            std::f64::consts::FRAC_PI_4
+        );
     }
 
     #[test]
     fn gpu_loops_count_launches_and_copies() {
         let c = ctx();
         let mut f = frame_with_buffer("src", 16);
-        f.buffers.insert(
+        f.insert_buffer(
             "dst".to_string(),
             Arc::new(Buffer::with_extents(ScalarType::Float(32), &[16])),
         );

@@ -1,15 +1,19 @@
 //! # halide-exec
 //!
 //! The backend of the halide-rs reproduction. Where the paper's compiler
-//! emits machine code through LLVM (Sec. 4.6), this crate executes the fully
-//! lowered statement directly against the runtime: loops (serial, parallel,
-//! GPU-simulated), vector values, buffer allocation and indexing, and
-//! instrumentation counters.
+//! emits machine code through LLVM (Sec. 4.6), this crate **compiles** the
+//! fully lowered statement into a register-machine [`Program`] — variable
+//! names resolved to frame slots, buffers to indices, intrinsics to function
+//! pointers, scalars unboxed — and executes it against the runtime: loops
+//! (serial, parallel, GPU-simulated), vector values, buffer allocation and
+//! indexing, and instrumentation counters.
 //!
-//! The substitution is documented in `DESIGN.md`: every scheduling decision
-//! survives into execution, so the relative performance of schedules — the
-//! quantity the paper's evaluation is about — is preserved, while absolute
-//! times are those of a (fast-ish) interpreter rather than native code.
+//! A tree-walking interpreter ([`eval`]) is kept as the executable reference
+//! semantics; [`Realizer::backend`] selects between the two and differential
+//! tests assert they agree bit-for-bit. Every scheduling decision survives
+//! into execution on both engines, so the relative performance of schedules
+//! — the quantity the paper's evaluation is about — is preserved. The
+//! engines are documented in `docs/execution.md` at the repository root.
 //!
 //! The typical entry point is [`Realizer`]:
 //!
@@ -38,10 +42,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compile;
 pub mod error;
 pub mod eval;
+pub mod machine;
 pub mod realize;
 
+pub use compile::Program;
 pub use error::{ExecError, Result};
 pub use eval::{eval_expr, eval_stmt, Context, Frame};
-pub use realize::{Realization, Realizer};
+pub use realize::{Backend, Realization, Realizer};

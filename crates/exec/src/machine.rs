@@ -1,0 +1,1209 @@
+//! The register machine: executes a compiled [`Program`].
+//!
+//! A `Machine` is the per-thread execution state: a flat register file of
+//! `CValue`s (unboxed scalars, boxed vectors) indexed by the slots the
+//! compile pass assigned, plus a buffer table of `Arc<Buffer>`s indexed the
+//! same way. Parallel loops clone the machine **once per chunk of
+//! iterations** (not once per iteration): every binder writes its slot
+//! before the slot is read, so a machine can be reused serially across
+//! iterations — only concurrent use needs a copy.
+//!
+//! Every operation is defined to match the interpreter in
+//! [`crate::eval`] bit-for-bit — same value promotion, same short-circuit
+//! and taken-branch evaluation, same instrumentation counters — so the two
+//! backends are interchangeable and differential-testable. The wall-clock
+//! difference comes purely from resolution work moved to compile time,
+//! unboxed scalar arithmetic, and the dense vector load/store paths that
+//! skip index-vector materialization.
+
+use std::sync::Arc;
+
+use halide_ir::ForKind;
+use halide_runtime::{
+    binary_op, binary_op_owned, cast_owned, compare_op, scalar_binary_op, scalar_compare_op,
+    select_op, Buffer, Scalar, Value,
+};
+
+use crate::compile::{CExpr, CIntrinsic, CStmt, Program};
+use crate::error::{ExecError, Result};
+use crate::eval::Context;
+
+/// A register value: an unboxed scalar on the hot path, a boxed vector only
+/// inside vectorized regions. Boxing the vector variant keeps the enum small,
+/// so moving scalars through evaluation never touches the heap.
+///
+/// The `R` variant is a **symbolic integer ramp** `[base, base + stride, …)`:
+/// the affine index vectors vectorization emits stay unmaterialized through
+/// `let` bindings and through `+`/`-`/`*`-by-scalar arithmetic (exact in the
+/// mod-2⁶⁴ integer ring, so the eventual lanes are bit-identical to the
+/// interpreter's), and a unit-stride ramp index turns a vector load/store
+/// into one dense, bounds-checked-once memory operation.
+#[derive(Debug, Clone)]
+pub(crate) enum CValue {
+    /// One unboxed lane.
+    S(Scalar),
+    /// A symbolic integer affine vector (never materialized until needed).
+    R { base: i64, stride: i64, lanes: u16 },
+    /// Multiple lanes (or a one-lane vector produced by vector ops).
+    V(Box<Value>),
+}
+
+/// Wraps a vector result.
+#[inline]
+fn vv(v: Value) -> CValue {
+    CValue::V(Box::new(v))
+}
+
+impl CValue {
+    #[inline]
+    fn lanes(&self) -> usize {
+        match self {
+            CValue::S(_) => 1,
+            CValue::R { lanes, .. } => *lanes as usize,
+            CValue::V(v) => v.lanes(),
+        }
+    }
+
+    /// Converts to the interpreter's boxed representation, consuming self
+    /// (no clone for the vector variant; ramps materialize with the same
+    /// `base + stride * i` lane formula as the interpreter).
+    #[inline]
+    fn into_value(self) -> Value {
+        match self {
+            CValue::S(s) => s.to_value(),
+            CValue::R {
+                base,
+                stride,
+                lanes,
+            } => Value::Int((0..lanes as i64).map(|i| base + stride * i).collect()),
+            CValue::V(v) => *v,
+        }
+    }
+
+    /// The value as a boolean, matching `Value::as_bool` (panics there, an
+    /// error here).
+    #[inline]
+    fn as_bool(&self) -> Result<bool> {
+        match self {
+            CValue::S(s) => Ok(s.as_bool()),
+            CValue::R { base, lanes: 1, .. } => Ok(*base != 0),
+            CValue::V(v) if v.lanes() == 1 => Ok(v.lane_f64(0) != 0.0),
+            other => Err(ExecError::new(format!(
+                "expected a scalar condition, got a {}-lane vector",
+                other.lanes()
+            ))),
+        }
+    }
+
+    /// The value as a loop bound / size, matching `Value::as_int`.
+    #[inline]
+    fn as_int(&self) -> Result<i64> {
+        match self {
+            CValue::S(Scalar::Int(v)) => Ok(*v),
+            CValue::R { base, lanes: 1, .. } => Ok(*base),
+            CValue::V(v) => match v.as_ref() {
+                Value::Int(v) if v.len() == 1 => Ok(v[0]),
+                other => Err(ExecError::new(format!(
+                    "expected a scalar integer, got {other:?}"
+                ))),
+            },
+            other => Err(ExecError::new(format!(
+                "expected a scalar integer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// True for the float kind (either representation).
+    #[inline]
+    fn is_float_kind(&self) -> bool {
+        match self {
+            CValue::S(s) => s.is_float(),
+            CValue::R { .. } => false,
+            CValue::V(v) => matches!(v.as_ref(), Value::Float(_)),
+        }
+    }
+}
+
+/// Symbolic ramp arithmetic: `ramp op scalar` (or scalar op ramp, or
+/// ramp op ramp) without materializing lanes, for the operations where the
+/// result is again an affine ramp with **bit-identical** lanes (integer
+/// `+`/`-`/`*` distribute over the lane formula in the mod-2⁶⁴ ring).
+#[inline]
+fn ramp_bin(op: halide_ir::BinOp, a: &CValue, b: &CValue) -> Option<CValue> {
+    use halide_ir::BinOp;
+    if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
+        return None;
+    }
+    match (a, b) {
+        (
+            CValue::R {
+                base,
+                stride,
+                lanes,
+            },
+            CValue::S(Scalar::Int(c)),
+        ) => Some(match op {
+            BinOp::Add => CValue::R {
+                base: base.wrapping_add(*c),
+                stride: *stride,
+                lanes: *lanes,
+            },
+            BinOp::Sub => CValue::R {
+                base: base.wrapping_sub(*c),
+                stride: *stride,
+                lanes: *lanes,
+            },
+            BinOp::Mul => CValue::R {
+                base: base.wrapping_mul(*c),
+                stride: stride.wrapping_mul(*c),
+                lanes: *lanes,
+            },
+            _ => unreachable!(),
+        }),
+        (
+            CValue::S(Scalar::Int(c)),
+            CValue::R {
+                base,
+                stride,
+                lanes,
+            },
+        ) => Some(match op {
+            BinOp::Add => CValue::R {
+                base: c.wrapping_add(*base),
+                stride: *stride,
+                lanes: *lanes,
+            },
+            BinOp::Sub => CValue::R {
+                base: c.wrapping_sub(*base),
+                stride: stride.wrapping_neg(),
+                lanes: *lanes,
+            },
+            BinOp::Mul => CValue::R {
+                base: c.wrapping_mul(*base),
+                stride: c.wrapping_mul(*stride),
+                lanes: *lanes,
+            },
+            _ => unreachable!(),
+        }),
+        (
+            CValue::R {
+                base: b1,
+                stride: s1,
+                lanes: l1,
+            },
+            CValue::R {
+                base: b2,
+                stride: s2,
+                lanes: l2,
+            },
+        ) if l1 == l2 && matches!(op, BinOp::Add | BinOp::Sub) => Some(match op {
+            BinOp::Add => CValue::R {
+                base: b1.wrapping_add(*b2),
+                stride: s1.wrapping_add(*s2),
+                lanes: *l1,
+            },
+            BinOp::Sub => CValue::R {
+                base: b1.wrapping_sub(*b2),
+                stride: s1.wrapping_sub(*s2),
+                lanes: *l1,
+            },
+            _ => unreachable!(),
+        }),
+        _ => None,
+    }
+}
+
+/// Per-thread execution state for a compiled program.
+#[derive(Clone)]
+pub(crate) struct Machine {
+    pub(crate) regs: Vec<CValue>,
+    pub(crate) bufs: Vec<Option<Arc<Buffer>>>,
+    /// Set inside a simulated GPU kernel so nested block loops of the same
+    /// kernel do not count as fresh launches.
+    in_gpu_kernel: bool,
+}
+
+impl Machine {
+    /// A machine with all registers zeroed and no buffers bound.
+    pub(crate) fn new(prog: &Program) -> Machine {
+        Machine {
+            regs: vec![CValue::S(Scalar::Int(0)); prog.n_slots],
+            bufs: vec![None; prog.n_bufs],
+            in_gpu_kernel: false,
+        }
+    }
+
+    /// Writes a register (used by the realizer to bind free symbols).
+    pub(crate) fn set_reg(&mut self, slot: u32, v: Scalar) {
+        self.regs[slot as usize] = CValue::S(v);
+    }
+
+    /// Binds a buffer index (used by the realizer to bind free buffers).
+    pub(crate) fn set_buf(&mut self, idx: u32, buf: Arc<Buffer>) {
+        self.bufs[idx as usize] = Some(buf);
+    }
+
+    #[inline]
+    fn buffer(&self, prog: &Program, idx: u32) -> Result<&Arc<Buffer>> {
+        self.bufs[idx as usize].as_ref().ok_or_else(|| {
+            ExecError::new(format!(
+                "no buffer named {:?} is in scope",
+                prog.buf_names[idx as usize]
+            ))
+        })
+    }
+}
+
+/// Evaluates a compiled expression.
+pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) -> Result<CValue> {
+    match e {
+        CExpr::ConstI(v) => Ok(CValue::S(Scalar::Int(*v))),
+        CExpr::ConstF(v) => Ok(CValue::S(Scalar::Float(*v))),
+        CExpr::Slot(slot) => Ok(m.regs[*slot as usize].clone()),
+        CExpr::Cast { ty, value } => Ok(match eval(prog, value, m, ctx)? {
+            CValue::S(s) => CValue::S(s.cast_to(*ty)),
+            other => vv(cast_owned(other.into_value(), *ty)),
+        }),
+        CExpr::Bin { op, a, b } => {
+            let va = eval(prog, a, m, ctx)?;
+            let vb = eval(prog, b, m, ctx)?;
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            Ok(match (va, vb) {
+                (CValue::S(x), CValue::S(y)) => CValue::S(scalar_binary_op(*op, x, y)),
+                (va, vb) => match ramp_bin(*op, &va, &vb) {
+                    Some(r) => r,
+                    None => vv(binary_op_owned(*op, va.into_value(), vb.into_value())),
+                },
+            })
+        }
+        CExpr::Cmp { op, a, b } => {
+            let va = eval(prog, a, m, ctx)?;
+            let vb = eval(prog, b, m, ctx)?;
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            Ok(match (va, vb) {
+                (CValue::S(x), CValue::S(y)) => CValue::S(scalar_compare_op(*op, x, y)),
+                (va, vb) => vv(compare_op(*op, &va.into_value(), &vb.into_value())),
+            })
+        }
+        CExpr::And { a, b } => {
+            let va = eval(prog, a, m, ctx)?;
+            if va.lanes() == 1 && !va.as_bool()? {
+                return Ok(CValue::S(Scalar::Int(0)));
+            }
+            let vb = eval(prog, b, m, ctx)?;
+            if va.lanes() == 1 {
+                // select(true-scalar, b, false) is exactly b.
+                return Ok(vb);
+            }
+            Ok(vv(select_op(
+                &va.into_value(),
+                &vb.into_value(),
+                &Value::bool(false),
+            )))
+        }
+        CExpr::Or { a, b } => {
+            let va = eval(prog, a, m, ctx)?;
+            if va.lanes() == 1 && va.as_bool()? {
+                return Ok(CValue::S(Scalar::Int(1)));
+            }
+            let vb = eval(prog, b, m, ctx)?;
+            if va.lanes() == 1 {
+                // select(false-scalar, true, b) is exactly b.
+                return Ok(vb);
+            }
+            Ok(vv(select_op(
+                &va.into_value(),
+                &Value::bool(true),
+                &vb.into_value(),
+            )))
+        }
+        CExpr::Not { a } => Ok(match eval(prog, a, m, ctx)? {
+            CValue::S(s) => CValue::S(Scalar::Int((s.as_i64() == 0) as i64)),
+            other => vv(Value::Int(
+                other
+                    .into_value()
+                    .to_int_lanes()
+                    .iter()
+                    .map(|x| (*x == 0) as i64)
+                    .collect(),
+            )),
+        }),
+        CExpr::Select { cond, t, f } => {
+            let c = eval(prog, cond, m, ctx)?;
+            // Scalar condition: evaluate only the taken branch.
+            if c.lanes() == 1 {
+                return if c.as_bool()? {
+                    eval(prog, t, m, ctx)
+                } else {
+                    eval(prog, f, m, ctx)
+                };
+            }
+            let tv = eval(prog, t, m, ctx)?;
+            let fv = eval(prog, f, m, ctx)?;
+            Ok(vv(select_op(
+                &c.into_value(),
+                &tv.into_value(),
+                &fv.into_value(),
+            )))
+        }
+        CExpr::Ramp {
+            base,
+            stride,
+            lanes,
+        } => {
+            let b = eval(prog, base, m, ctx)?;
+            let s = eval(prog, stride, m, ctx)?;
+            if b.is_float_kind() || s.is_float_kind() {
+                let (b, s) = (f64_scalar(&b)?, f64_scalar(&s)?);
+                Ok(vv(Value::Float(
+                    (0..*lanes as i64).map(|i| b + s * i as f64).collect(),
+                )))
+            } else {
+                Ok(CValue::R {
+                    base: b.as_int()?,
+                    stride: s.as_int()?,
+                    lanes: *lanes,
+                })
+            }
+        }
+        CExpr::Broadcast { value, lanes } => {
+            let v = eval(prog, value, m, ctx)?;
+            Ok(vv(v.into_value().broadcast(*lanes as usize)))
+        }
+        CExpr::Let { slot, value, body } => {
+            let v = eval(prog, value, m, ctx)?;
+            m.regs[*slot as usize] = v;
+            eval(prog, body, m, ctx)
+        }
+        CExpr::Load { buf, index } => {
+            let idx = eval(prog, index, m, ctx)?;
+            let buffer = m.buffer(prog, *buf)?;
+            if ctx.gpu_in_use() {
+                ctx.gpu
+                    .ensure_on_host(&prog.buf_names[*buf as usize], &ctx.counters);
+            }
+            let lanes = idx.lanes();
+            if ctx.instrument {
+                ctx.counters.add_load(lanes as u64);
+            }
+            let len = buffer.len();
+            // Scalar fast path: one bounds check, one typed read, no Vec.
+            if let CValue::S(s) = &idx {
+                let i = s.as_i64();
+                if i < 0 || i as usize >= len {
+                    return Err(oob(prog, *buf, "load from", i, len));
+                }
+                return Ok(CValue::S(buffer.get_flat_scalar(i as usize)));
+            }
+            // Unit-stride symbolic ramp: one bounds check, one bulk read.
+            if let CValue::R {
+                base: base_v,
+                stride: 1,
+                ..
+            } = idx
+            {
+                return dense_load(prog, *buf, buffer, base_v, lanes);
+            }
+            let idx = idx.into_value();
+            Ok(vv(gather(prog, *buf, buffer, &idx, lanes)?))
+        }
+        CExpr::LoadDense { buf, base, lanes } => {
+            let lanes = *lanes as usize;
+            let base_v = eval(prog, base, m, ctx)?.as_int()?;
+            let buffer = m.buffer(prog, *buf)?;
+            if ctx.gpu_in_use() {
+                ctx.gpu
+                    .ensure_on_host(&prog.buf_names[*buf as usize], &ctx.counters);
+            }
+            if ctx.instrument {
+                ctx.counters.add_load(lanes as u64);
+            }
+            dense_load(prog, *buf, buffer, base_v, lanes)
+        }
+        CExpr::Intrinsic { f, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(prog, a, m, ctx)?);
+            }
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            Ok(apply_intrinsic(*f, vals))
+        }
+    }
+}
+
+/// Vector load through an arbitrary index vector (the gather case).
+fn gather(prog: &Program, buf: u32, buffer: &Buffer, idx: &Value, lanes: usize) -> Result<Value> {
+    let is_float = buffer.ty().is_float();
+    // Integer index vector of exactly `lanes` lanes: one storage dispatch.
+    if let Value::Int(iv) = idx {
+        if iv.len() == lanes {
+            return if is_float {
+                buffer
+                    .gather_flat_f64(iv)
+                    .map(Value::Float)
+                    .map_err(|i| oob(prog, buf, "load from", i, buffer.len()))
+            } else {
+                buffer
+                    .gather_flat_i64(iv)
+                    .map(Value::Int)
+                    .map_err(|i| oob(prog, buf, "load from", i, buffer.len()))
+            };
+        }
+    }
+    let len = buffer.len();
+    let mut out_i: Vec<i64> = Vec::with_capacity(if is_float { 0 } else { lanes });
+    let mut out_f: Vec<f64> = Vec::with_capacity(if is_float { lanes } else { 0 });
+    for lane in 0..lanes {
+        let i = idx.lane_int(lane);
+        if i < 0 || i as usize >= len {
+            return Err(oob(prog, buf, "load from", i, len));
+        }
+        if is_float {
+            out_f.push(buffer.get_flat_f64(i as usize));
+        } else {
+            out_i.push(buffer.get_flat_i64(i as usize));
+        }
+    }
+    Ok(if is_float {
+        Value::Float(out_f)
+    } else {
+        Value::Int(out_i)
+    })
+}
+
+/// Loads `lanes` contiguous elements starting at `base_v` as one bulk typed
+/// read; the compiled form of a load through a unit-stride ramp.
+fn dense_load(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    base_v: i64,
+    lanes: usize,
+) -> Result<CValue> {
+    let len = buffer.len();
+    if base_v < 0 || base_v as usize + lanes > len {
+        let first_bad = if base_v < 0 {
+            base_v
+        } else {
+            base_v.max(len as i64)
+        };
+        return Err(oob(prog, buf, "load from", first_bad, len));
+    }
+    let start = base_v as usize;
+    Ok(vv(if buffer.ty().is_float() {
+        Value::Float(buffer.read_flat_f64s(start, lanes))
+    } else {
+        Value::Int(buffer.read_flat_i64s(start, lanes))
+    }))
+}
+
+fn f64_scalar(v: &CValue) -> Result<f64> {
+    match v {
+        CValue::S(s) => Ok(s.as_f64()),
+        CValue::R { base, lanes: 1, .. } => Ok(*base as f64),
+        CValue::V(v) if v.lanes() == 1 => Ok(v.lane_f64(0)),
+        other => Err(ExecError::new(format!("expected a scalar, got {other:?}"))),
+    }
+}
+
+fn oob(prog: &Program, buf: u32, what: &str, i: i64, len: usize) -> ExecError {
+    ExecError::new(format!(
+        "{what} {:?} at flat index {i} is outside the allocation of {len} elements",
+        prog.buf_names[buf as usize]
+    ))
+}
+
+/// Stores `lanes` lanes of `val` contiguously starting at `base_v`; the
+/// compiled form of a store through a unit-stride ramp. `lanes` is the
+/// already-counted max of ramp and value lanes.
+#[allow(clippy::too_many_arguments)]
+fn dense_store(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    base_v: i64,
+    ramp_lanes: usize,
+    lanes: usize,
+    val: CValue,
+    len: usize,
+) -> Result<()> {
+    if lanes > ramp_lanes {
+        // A wider value than the index: the interpreter broadcasts the
+        // index's first lane. Rare; reproduce it faithfully.
+        let val = val.into_value();
+        for lane in 0..lanes {
+            let i = base_v;
+            if i < 0 || i as usize >= len {
+                return Err(oob(prog, buf, "store to", i, len));
+            }
+            buffer.set_flat_lane(i as usize, &val, lane);
+        }
+        return Ok(());
+    }
+    if base_v < 0 || base_v as usize + lanes > len {
+        let first_bad = if base_v < 0 {
+            base_v
+        } else {
+            base_v.max(len as i64)
+        };
+        return Err(oob(prog, buf, "store to", first_bad, len));
+    }
+    let start = base_v as usize;
+    match val {
+        CValue::S(s) => {
+            for lane in 0..lanes {
+                buffer.set_flat_scalar(start + lane, s);
+            }
+        }
+        other => match other.into_value() {
+            Value::Float(fv) if fv.len() >= lanes => buffer.write_flat_f64s(start, &fv[..lanes]),
+            Value::Int(iv) if iv.len() >= lanes => buffer.write_flat_i64s(start, &iv[..lanes]),
+            // A value narrower than the ramp (but not scalar): mirror the
+            // interpreter's per-lane clamp instead of slicing out of range.
+            val => {
+                for lane in 0..lanes {
+                    buffer.set_flat_lane(start + lane, &val, lane);
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Applies a resolved intrinsic with the same lane semantics as
+/// `eval::eval_intrinsic`.
+fn apply_intrinsic(f: CIntrinsic, mut args: Vec<CValue>) -> CValue {
+    match f {
+        CIntrinsic::Unary(f) => match args.swap_remove(0) {
+            CValue::S(s) => CValue::S(Scalar::Float(f(s.as_f64()))),
+            other => vv(Value::Float(
+                other
+                    .into_value()
+                    .to_f64_lanes()
+                    .iter()
+                    .map(|x| f(*x))
+                    .collect(),
+            )),
+        },
+        CIntrinsic::Binary(f) => {
+            let b = args.swap_remove(1);
+            let a = args.swap_remove(0);
+            match (a, b) {
+                (CValue::S(a), CValue::S(b)) => CValue::S(Scalar::Float(f(a.as_f64(), b.as_f64()))),
+                (a, b) => {
+                    let lanes = a.lanes();
+                    let av = a.into_value().to_f64_lanes();
+                    let bv = b.into_value().broadcast(lanes).to_f64_lanes();
+                    vv(Value::Float(
+                        av.iter().zip(bv.iter()).map(|(x, y)| f(*x, *y)).collect(),
+                    ))
+                }
+            }
+        }
+        CIntrinsic::Abs => match args.swap_remove(0) {
+            CValue::S(Scalar::Int(v)) => CValue::S(Scalar::Int(v.abs())),
+            CValue::S(Scalar::Float(v)) => CValue::S(Scalar::Float(v.abs())),
+            other => vv(match other.into_value() {
+                Value::Int(v) => Value::Int(v.iter().map(|x| x.abs()).collect()),
+                Value::Float(v) => Value::Float(v.iter().map(|x| x.abs()).collect()),
+            }),
+        },
+        CIntrinsic::MinMax(op) => {
+            let b = args.swap_remove(1);
+            let a = args.swap_remove(0);
+            match (a, b) {
+                (CValue::S(a), CValue::S(b)) => CValue::S(scalar_binary_op(op, a, b)),
+                (a, b) => vv(binary_op(op, &a.into_value(), &b.into_value())),
+            }
+        }
+    }
+}
+
+/// Executes a compiled statement.
+pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) -> Result<()> {
+    match s {
+        CStmt::Let { slot, value, body } => {
+            let v = eval(prog, value, m, ctx)?;
+            m.regs[*slot as usize] = v;
+            exec(prog, body, m, ctx)
+        }
+        CStmt::Assert { cond, message } => {
+            if eval(prog, cond, m, ctx)?.as_bool()? {
+                Ok(())
+            } else {
+                Err(ExecError::new(format!("assertion failed: {message}")))
+            }
+        }
+        CStmt::For {
+            slot,
+            min,
+            extent,
+            kind,
+            hoisted,
+            body,
+            gpu,
+        } => {
+            let min_v = eval(prog, min, m, ctx)?.as_int()?;
+            let extent_v = eval(prog, extent, m, ctx)?.as_int()?;
+            match kind {
+                ForKind::Serial | ForKind::Vectorized | ForKind::Unrolled => {
+                    // Vectorized/unrolled loops only reach execution when the
+                    // corresponding pass was disabled; run them serially.
+                    for (hslot, v) in hoisted {
+                        let value = eval(prog, v, m, ctx)?;
+                        m.regs[*hslot as usize] = value;
+                    }
+                    for i in min_v..min_v + extent_v {
+                        m.regs[*slot as usize] = CValue::S(Scalar::Int(i));
+                        exec(prog, body, m, ctx)?;
+                        if ctx.has_failed() {
+                            break;
+                        }
+                    }
+                    Ok(())
+                }
+                ForKind::Parallel => {
+                    for (hslot, v) in hoisted {
+                        let value = eval(prog, v, m, ctx)?;
+                        m.regs[*hslot as usize] = value;
+                    }
+                    let base: &Machine = m;
+                    ctx.pool
+                        .parallel_for_chunks(min_v, extent_v, &ctx.counters, |start, end| {
+                            if ctx.has_failed() {
+                                return;
+                            }
+                            let mut mm = base.clone();
+                            for i in start..end {
+                                mm.regs[*slot as usize] = CValue::S(Scalar::Int(i));
+                                if let Err(e) = exec(prog, body, &mut mm, ctx) {
+                                    ctx.record_error(e);
+                                }
+                                if ctx.has_failed() {
+                                    return;
+                                }
+                            }
+                        });
+                    match ctx.take_error() {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                }
+                ForKind::GpuBlock | ForKind::GpuThread => gpu_launch(
+                    prog,
+                    *slot,
+                    min_v,
+                    extent_v,
+                    *kind,
+                    hoisted,
+                    body,
+                    gpu.as_ref(),
+                    m,
+                    ctx,
+                ),
+            }
+        }
+        CStmt::Store { buf, value, index } => {
+            let idx = eval(prog, index, m, ctx)?;
+            let val = eval(prog, value, m, ctx)?;
+            let buffer = m.buffer(prog, *buf)?;
+            if ctx.gpu_in_use() {
+                ctx.gpu.mark_host_dirty(&prog.buf_names[*buf as usize]);
+            }
+            let lanes = idx.lanes().max(val.lanes());
+            if ctx.instrument {
+                ctx.counters.add_store(lanes as u64);
+            }
+            let len = buffer.len();
+            // Scalar fast path: one bounds check, one typed write.
+            if let (CValue::S(i), CValue::S(v)) = (&idx, &val) {
+                let i = i.as_i64();
+                if i < 0 || i as usize >= len {
+                    return Err(oob(prog, *buf, "store to", i, len));
+                }
+                buffer.set_flat_scalar(i as usize, *v);
+                return Ok(());
+            }
+            // Unit-stride symbolic ramp: one bounds check, one bulk write.
+            if let CValue::R {
+                base: base_v,
+                stride: 1,
+                lanes: rl,
+            } = idx
+            {
+                return dense_store(prog, *buf, buffer, base_v, rl as usize, lanes, val, len);
+            }
+            let idx = idx.into_value().broadcast(lanes);
+            let val = val.into_value();
+            for lane in 0..lanes {
+                let i = idx.lane_int(lane);
+                if i < 0 || i as usize >= len {
+                    return Err(oob(prog, *buf, "store to", i, len));
+                }
+                buffer.set_flat_lane(i as usize, &val, lane);
+            }
+            Ok(())
+        }
+        CStmt::StoreDense {
+            buf,
+            value,
+            base,
+            lanes,
+        } => {
+            let ramp_lanes = *lanes as usize;
+            let base_v = eval(prog, base, m, ctx)?.as_int()?;
+            let val = eval(prog, value, m, ctx)?;
+            let buffer = m.buffer(prog, *buf)?;
+            if ctx.gpu_in_use() {
+                ctx.gpu.mark_host_dirty(&prog.buf_names[*buf as usize]);
+            }
+            let lanes = ramp_lanes.max(val.lanes());
+            if ctx.instrument {
+                ctx.counters.add_store(lanes as u64);
+            }
+            let len = buffer.len();
+            dense_store(prog, *buf, buffer, base_v, ramp_lanes, lanes, val, len)
+        }
+        CStmt::Allocate {
+            buf,
+            ty,
+            size,
+            body,
+        } => {
+            let n = eval(prog, size, m, ctx)?.as_int()?;
+            if n < 0 {
+                return Err(ExecError::new(format!(
+                    "allocation of {:?} has negative size {n}",
+                    prog.buf_names[*buf as usize]
+                )));
+            }
+            let buffer = Arc::new(Buffer::with_extents(*ty, &[n]));
+            let bytes = buffer.size_bytes() as u64;
+            ctx.counters.add_allocation(bytes);
+            m.bufs[*buf as usize] = Some(buffer);
+            let r = exec(prog, body, m, ctx);
+            m.bufs[*buf as usize] = None;
+            ctx.counters.add_free(bytes);
+            r
+        }
+        CStmt::Block(stmts) => {
+            for s in stmts {
+                exec(prog, s, m, ctx)?;
+                if ctx.has_failed() {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        CStmt::If {
+            cond,
+            then_case,
+            else_case,
+        } => {
+            if eval(prog, cond, m, ctx)?.as_bool()? {
+                exec(prog, then_case, m, ctx)
+            } else if let Some(e) = else_case {
+                exec(prog, e, m, ctx)
+            } else {
+                Ok(())
+            }
+        }
+        CStmt::Evaluate(value) => {
+            eval(prog, value, m, ctx)?;
+            Ok(())
+        }
+        CStmt::NoOp => Ok(()),
+    }
+}
+
+/// Executes a GPU block/thread loop as a simulated kernel launch, mirroring
+/// `eval::self_gpu_launch` but with the touched-buffer scan done at compile
+/// time.
+#[allow(clippy::too_many_arguments)]
+fn gpu_launch(
+    prog: &Program,
+    slot: u32,
+    min_v: i64,
+    extent_v: i64,
+    kind: ForKind,
+    hoisted: &[(u32, CExpr)],
+    body: &CStmt,
+    gpu: Option<&crate::compile::GpuTouch>,
+    m: &mut Machine,
+    ctx: &Context,
+) -> Result<()> {
+    if kind == ForKind::GpuBlock {
+        ctx.mark_gpu_used();
+    }
+    // Count one launch per outermost block loop encountered while the device
+    // is idle; nested block loops of the same kernel do not relaunch.
+    let is_outer_block = kind == ForKind::GpuBlock && !m.in_gpu_kernel;
+    if is_outer_block {
+        ctx.gpu.launch(&ctx.counters);
+        if let Some(touch) = gpu {
+            for r in &touch.reads {
+                if let Some(buf) = &m.bufs[*r as usize] {
+                    ctx.gpu.ensure_on_device(
+                        &prog.buf_names[*r as usize],
+                        buf.size_bytes() as u64,
+                        &ctx.counters,
+                    );
+                }
+            }
+            for w in &touch.writes {
+                if let Some(buf) = &m.bufs[*w as usize] {
+                    ctx.gpu
+                        .mark_device_dirty(&prog.buf_names[*w as usize], buf.size_bytes() as u64);
+                }
+            }
+        }
+    }
+
+    // Hoisted invariant lets: computed once per launch, visible to every
+    // block/thread.
+    let mut base = m.clone();
+    if is_outer_block {
+        base.in_gpu_kernel = true;
+    }
+    for (hslot, v) in hoisted {
+        let value = eval(prog, v, &mut base, ctx)?;
+        base.regs[*hslot as usize] = value;
+    }
+    // Blocks run in parallel on the host pool; threads within a block run
+    // serially (their data parallelism is already exposed by the block loop).
+    if kind == ForKind::GpuBlock {
+        let base_ref: &Machine = &base;
+        ctx.pool
+            .parallel_for_chunks(min_v, extent_v, &ctx.counters, |start, end| {
+                if ctx.has_failed() {
+                    return;
+                }
+                let mut mm = base_ref.clone();
+                for i in start..end {
+                    mm.regs[slot as usize] = CValue::S(Scalar::Int(i));
+                    if let Err(e) = exec(prog, body, &mut mm, ctx) {
+                        ctx.record_error(e);
+                    }
+                    if ctx.has_failed() {
+                        return;
+                    }
+                }
+            });
+        match ctx.take_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    } else {
+        let mut mm = base;
+        for i in min_v..min_v + extent_v {
+            mm.regs[slot as usize] = CValue::S(Scalar::Int(i));
+            exec(prog, body, &mut mm, ctx)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_stmt, Frame};
+    use halide_ir::ScalarType;
+    use halide_ir::{Expr, Stmt, Type};
+    use halide_runtime::ThreadPool;
+
+    fn ctx() -> Context {
+        Context::new(ThreadPool::new(4), true)
+    }
+
+    /// Runs a statement through both backends against fresh float buffers of
+    /// the given sizes and asserts bit-identical buffer contents and
+    /// identical counters.
+    fn assert_backends_agree(s: &Stmt, buffers: &[(&str, i64)]) {
+        // Interpreter.
+        let ictx = ctx();
+        let mut frame = Frame::default();
+        let mut interp_bufs = Vec::new();
+        for (name, len) in buffers {
+            let b = Arc::new(Buffer::with_extents(ScalarType::Float(32), &[*len]));
+            frame.insert_buffer(name.to_string(), Arc::clone(&b));
+            interp_bufs.push(b);
+        }
+        eval_stmt(s, &mut frame, &ictx).unwrap();
+
+        // Compiled.
+        let prog = Program::compile_stmt(s).unwrap();
+        let cctx = ctx();
+        let mut m = Machine::new(&prog);
+        let mut compiled_bufs = Vec::new();
+        for (name, len) in buffers {
+            let b = Arc::new(Buffer::with_extents(ScalarType::Float(32), &[*len]));
+            if let Some(idx) = prog.free_buf(name) {
+                m.set_buf(idx, Arc::clone(&b));
+            }
+            compiled_bufs.push(b);
+        }
+        exec(&prog, &prog.body, &mut m, &cctx).unwrap();
+
+        for ((name, _), (a, b)) in buffers.iter().zip(interp_bufs.iter().zip(&compiled_bufs)) {
+            let av = a.to_f64_vec();
+            let bv = b.to_f64_vec();
+            assert_eq!(av.len(), bv.len());
+            for (i, (x, y)) in av.iter().zip(bv.iter()).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "buffer {name}[{i}]: interp {x} != compiled {y}"
+                );
+            }
+        }
+        // `peak_bytes_live` depends on how many parallel iterations happen
+        // to overlap, which is scheduling- not semantics-dependent; compare
+        // everything else exactly.
+        let mut ic = ictx.counters.snapshot();
+        let mut cc = cctx.counters.snapshot();
+        ic.peak_bytes_live = 0;
+        cc.peak_bytes_live = 0;
+        assert_eq!(ic, cc, "counters diverge between backends");
+    }
+
+    /// Store `value(i)` for i in [0, n) — a loop wrapping an expression so
+    /// both backends evaluate it the same number of times.
+    fn store_loop(value: Expr, n: i64, kind: ForKind) -> Stmt {
+        Stmt::for_loop(
+            "i",
+            Expr::int(0),
+            Expr::int(n as i32),
+            kind,
+            Stmt::store("out", value, Expr::var_i32("i")),
+        )
+    }
+
+    #[test]
+    fn intrinsics_agree_on_both_backends() {
+        let x = Expr::var_i32("i").cast(Type::f32()) + 0.5f32;
+        let xi = Expr::var_i32("i") - 3;
+        let cases: Vec<Expr> = vec![
+            x.sqrt(),
+            x.exp(),
+            x.log(),
+            x.pow(Expr::f32(1.7)),
+            x.abs(),
+            xi.abs().cast(Type::f32()),
+            x.floor(),
+            x.ceil(),
+            Expr::intrinsic("round", vec![x.clone()], Type::f32()),
+            Expr::intrinsic("sin", vec![x.clone()], Type::f32()),
+            Expr::intrinsic("cos", vec![x.clone()], Type::f32()),
+            Expr::intrinsic("tanh", vec![x.clone()], Type::f32()),
+            Expr::intrinsic("atan2", vec![x.clone(), Expr::f32(2.0)], Type::f32()),
+            Expr::intrinsic("min", vec![x.clone(), Expr::f32(3.0)], Type::f32()),
+            Expr::intrinsic("max", vec![x.clone(), Expr::f32(3.0)], Type::f32()),
+            Expr::intrinsic("min", vec![xi.clone(), Expr::int(0)], Type::i32()).cast(Type::f32()),
+            Expr::intrinsic("max", vec![xi, Expr::int(0)], Type::i32()).cast(Type::f32()),
+        ];
+        for value in cases {
+            assert_backends_agree(&store_loop(value, 8, ForKind::Serial), &[("out", 8)]);
+        }
+    }
+
+    #[test]
+    fn arithmetic_lets_selects_agree() {
+        let i = Expr::var_i32("i");
+        let cases: Vec<Expr> = vec![
+            (i.clone() * 3 + 7).cast(Type::f32()) / 1.5f32,
+            (i.clone() % 4).cast(Type::f32()),
+            Expr::let_in(
+                "t",
+                i.clone() * 2,
+                (Expr::var_i32("t") + Expr::var_i32("t")).cast(Type::f32()),
+            ),
+            Expr::select(
+                Expr::lt(i.clone() % 2, Expr::int(1)),
+                i.clone().cast(Type::f32()),
+                -i.clone().cast(Type::f32()),
+            ),
+            Expr::select(
+                Expr::and(
+                    Expr::lt(i.clone(), Expr::int(6)),
+                    Expr::gt(i.clone(), Expr::int(1)),
+                ),
+                Expr::f32(1.0),
+                Expr::f32(0.0),
+            ),
+            Expr::select(
+                Expr::or(
+                    Expr::lt(i.clone(), Expr::int(2)),
+                    Expr::not(Expr::lt(i.clone(), Expr::int(5))),
+                ),
+                Expr::f32(1.0),
+                Expr::f32(0.0),
+            ),
+        ];
+        for value in cases {
+            assert_backends_agree(&store_loop(value, 8, ForKind::Serial), &[("out", 8)]);
+        }
+    }
+
+    #[test]
+    fn vector_ramps_agree() {
+        // out[ramp(i*4, 1, 4)] = src-less vector arithmetic.
+        let idx = Expr::ramp(Expr::var_i32("i") * 4, Expr::int(1), 4);
+        let value = idx.clone().cast(Type::f32()) * 0.25f32 + 1.0f32;
+        let s = Stmt::for_loop(
+            "i",
+            Expr::int(0),
+            Expr::int(4),
+            ForKind::Serial,
+            Stmt::store("out", value, idx),
+        );
+        assert_backends_agree(&s, &[("out", 16)]);
+    }
+
+    #[test]
+    fn parallel_loops_and_allocations_agree() {
+        // A parallel loop whose body allocates a scratch buffer, fills it,
+        // and reduces it into the output — exercises machine cloning,
+        // per-chunk allocation scoping, and the structural counters.
+        let scratch_store = Stmt::store(
+            "tmp",
+            Expr::var_i32("j").cast(Type::f32()) + Expr::var_i32("i").cast(Type::f32()),
+            Expr::var_i32("j"),
+        );
+        let fill = Stmt::for_loop(
+            "j",
+            Expr::int(0),
+            Expr::int(4),
+            ForKind::Serial,
+            scratch_store,
+        );
+        let reduce = Stmt::store(
+            "out",
+            Expr::load(Type::f32(), "tmp", Expr::int(0))
+                + Expr::load(Type::f32(), "tmp", Expr::int(3)),
+            Expr::var_i32("i"),
+        );
+        let body = Stmt::allocate(
+            "tmp",
+            Type::f32(),
+            Expr::int(4),
+            Stmt::block_of(vec![fill, reduce]),
+        );
+        let s = Stmt::for_loop("i", Expr::int(0), Expr::int(64), ForKind::Parallel, body);
+        assert_backends_agree(&s, &[("out", 64)]);
+    }
+
+    #[test]
+    fn hoisted_invariant_lets_agree() {
+        // let a = 5; let b = a + 1 at the head of a loop body: peeled at
+        // compile time by the compiled backend, per loop entry by the
+        // interpreter — identical results and counters either way.
+        let body = Stmt::let_stmt(
+            "a",
+            Expr::int(5),
+            Stmt::let_stmt(
+                "b",
+                Expr::var_i32("a") + 1,
+                Stmt::store(
+                    "out",
+                    (Expr::var_i32("b") + Expr::var_i32("i")).cast(Type::f32()),
+                    Expr::var_i32("i"),
+                ),
+            ),
+        );
+        for kind in [ForKind::Serial, ForKind::Parallel] {
+            let s = Stmt::for_loop("i", Expr::int(0), Expr::int(16), kind, body.clone());
+            assert_backends_agree(&s, &[("out", 16)]);
+        }
+    }
+
+    #[test]
+    fn gpu_launches_agree() {
+        let body = Stmt::store(
+            "out",
+            Expr::load(
+                Type::f32(),
+                "src",
+                Expr::var_i32("bx") * 4 + Expr::var_i32("tx"),
+            ) * 2.0f32,
+            Expr::var_i32("bx") * 4 + Expr::var_i32("tx"),
+        );
+        let threads = Stmt::for_loop("tx", Expr::int(0), Expr::int(4), ForKind::GpuThread, body);
+        let blocks = Stmt::for_loop("bx", Expr::int(0), Expr::int(4), ForKind::GpuBlock, threads);
+        assert_backends_agree(&blocks, &[("src", 16), ("out", 16)]);
+    }
+
+    #[test]
+    fn narrow_value_through_wide_ramp_store_agrees() {
+        // Regression: a 2-lane value stored through a 4-lane unit-stride
+        // ramp must clamp lanes like the interpreter (set_flat_lane), not
+        // panic slicing the value vector out of range.
+        let value = Expr::ramp(Expr::int(10), Expr::int(1), 2).cast(Type::f32());
+        let idx = Expr::ramp(Expr::int(0), Expr::int(1), 4);
+        let s = Stmt::store("out", value, idx);
+        assert_backends_agree(&s, &[("out", 8)]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let s = Stmt::store("out", Expr::f32(1.0), Expr::int(99));
+        let prog = Program::compile_stmt(&s).unwrap();
+        let c = ctx();
+        let mut m = Machine::new(&prog);
+        m.set_buf(
+            prog.free_buf("out").unwrap(),
+            Arc::new(Buffer::with_extents(ScalarType::Float(32), &[4])),
+        );
+        let err = exec(&prog, &prog.body, &mut m, &c).unwrap_err();
+        assert!(err.to_string().contains("outside the allocation"));
+    }
+
+    #[test]
+    fn out_of_bounds_inside_parallel_loop_is_reported() {
+        let body = Stmt::store("out", Expr::f32(1.0), Expr::var_i32("i"));
+        let s = Stmt::for_loop("i", Expr::int(0), Expr::int(100), ForKind::Parallel, body);
+        let prog = Program::compile_stmt(&s).unwrap();
+        let c = ctx();
+        let mut m = Machine::new(&prog);
+        m.set_buf(
+            prog.free_buf("out").unwrap(),
+            Arc::new(Buffer::with_extents(ScalarType::Float(32), &[4])),
+        );
+        assert!(exec(&prog, &prog.body, &mut m, &c).is_err());
+    }
+
+    #[test]
+    fn unknown_intrinsics_fail_at_compile_time() {
+        let s = Stmt::store(
+            "out",
+            Expr::intrinsic("no_such_intrinsic", vec![Expr::int(0)], Type::i32()),
+            Expr::int(0),
+        );
+        let err = Program::compile_stmt(&s).unwrap_err();
+        assert!(err.to_string().contains("no_such_intrinsic"));
+    }
+
+    #[test]
+    fn asserts_and_conditionals_execute() {
+        let s = Stmt::block_of(vec![
+            Stmt::assert_stmt(Expr::bool(true), "fine"),
+            Stmt::if_then_else(
+                Expr::bool(false),
+                Stmt::assert_stmt(Expr::bool(false), "unreachable"),
+                Some(Stmt::store("out", Expr::f32(7.0), Expr::int(0))),
+            ),
+        ]);
+        assert_backends_agree(&s, &[("out", 1)]);
+
+        let failing = Stmt::assert_stmt(Expr::bool(false), "boom");
+        let prog = Program::compile_stmt(&failing).unwrap();
+        let c = ctx();
+        let mut m = Machine::new(&prog);
+        let err = exec(&prog, &prog.body, &mut m, &c).unwrap_err();
+        assert!(err.to_string().contains("boom"));
+    }
+}

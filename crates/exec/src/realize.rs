@@ -6,17 +6,64 @@
 //! parameters", Sec. 4): buffers are bound by name, the output buffer and all
 //! intermediate allocations are managed automatically, and execution is
 //! multithreaded according to the schedule.
+//!
+//! Two execution engines sit behind the same binding API (see
+//! `docs/execution.md` at the repository root):
+//!
+//! * [`Backend::Compiled`] (the default) first compiles the lowered
+//!   statement into a register-machine [`crate::Program`] — names
+//!   resolved to slots, intrinsics to function pointers, scalars unboxed —
+//!   and then runs it;
+//! * [`Backend::Interp`] walks the statement tree directly. It is kept as
+//!   the executable reference semantics: differential tests assert that both
+//!   backends produce bit-identical outputs and identical counters.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use halide_ir::ScalarType;
 use halide_lower::Module;
-use halide_runtime::{Buffer, CounterSnapshot, ThreadPool, Value};
+use halide_runtime::{Buffer, CounterSnapshot, Scalar, ThreadPool, Value};
 
+use crate::compile::Program;
 use crate::error::{ExecError, Result};
 use crate::eval::{eval_stmt, Context, Frame};
+use crate::machine::{exec, Machine};
+
+/// Which execution engine a [`Realizer`] runs a module on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Compile the statement to a register-machine program, then run it
+    /// (the default — roughly an order of magnitude faster).
+    #[default]
+    Compiled,
+    /// Walk the statement tree directly (the reference semantics).
+    Interp,
+}
+
+impl Backend {
+    /// Both backends, for differential testing.
+    pub const ALL: [Backend; 2] = [Backend::Compiled, Backend::Interp];
+
+    /// A short stable name (`compiled` / `interp`), accepted by
+    /// [`Backend::from_name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Compiled => "compiled",
+            Backend::Interp => "interp",
+        }
+    }
+
+    /// Parses a backend name as produced by [`Backend::name`].
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name {
+            "compiled" => Some(Backend::Compiled),
+            "interp" | "interpreter" => Some(Backend::Interp),
+            _ => None,
+        }
+    }
+}
 
 /// The result of running a pipeline: the output image, the instrumentation
 /// counters, and the wall-clock time of the run.
@@ -37,7 +84,7 @@ pub struct Realization {
 /// ```no_run
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// # let module: halide_lower::Module = unimplemented!();
-/// use halide_exec::Realizer;
+/// use halide_exec::{Backend, Realizer};
 /// use halide_runtime::Buffer;
 /// use halide_ir::ScalarType;
 ///
@@ -45,6 +92,7 @@ pub struct Realization {
 /// let result = Realizer::new(&module)
 ///     .input("input", input)
 ///     .threads(4)
+///     .backend(Backend::Compiled) // the default; Backend::Interp for the reference
 ///     .realize(&[64, 64])?;
 /// println!("ran in {:?}", result.wall_time);
 /// # Ok(())
@@ -56,11 +104,13 @@ pub struct Realizer<'m> {
     params: HashMap<String, Value>,
     threads: usize,
     instrument: bool,
+    backend: Backend,
+    compiled: OnceLock<std::result::Result<Arc<Program>, ExecError>>,
 }
 
 impl<'m> Realizer<'m> {
     /// Creates a realizer for a compiled module with default settings
-    /// (all available cores, instrumentation on).
+    /// (all available cores, instrumentation on, compiled backend).
     pub fn new(module: &'m Module) -> Self {
         Realizer {
             module,
@@ -68,6 +118,8 @@ impl<'m> Realizer<'m> {
             params: HashMap::new(),
             threads: halide_runtime::num_threads_default(),
             instrument: true,
+            backend: Backend::default(),
+            compiled: OnceLock::new(),
         }
     }
 
@@ -110,6 +162,20 @@ impl<'m> Realizer<'m> {
         self
     }
 
+    /// Selects the execution engine (default: [`Backend::Compiled`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The compiled program for this realizer's module, compiling it on
+    /// first use and caching it across `realize` calls.
+    fn program(&self) -> Result<Arc<Program>> {
+        self.compiled
+            .get_or_init(|| Program::compile(self.module).map(Arc::new))
+            .clone()
+    }
+
     /// Runs the pipeline, producing an output of the given extents (one per
     /// output dimension, innermost first).
     ///
@@ -135,14 +201,22 @@ impl<'m> Realizer<'m> {
                 )));
             }
         }
+        match self.backend {
+            Backend::Compiled => self.realize_compiled(output_extents),
+            Backend::Interp => self.realize_interp(output_extents),
+        }
+    }
 
+    /// The interpreting path: the executable reference semantics.
+    fn realize_interp(&self, output_extents: &[i64]) -> Result<Realization> {
+        let module = self.module;
         let ctx = Context::new(ThreadPool::new(self.threads), self.instrument);
         let mut frame = Frame::default();
 
         // Bind input buffers and their layout symbols.
         for (name, buf) in &self.inputs {
             bind_buffer_symbols(&mut frame, name, buf);
-            frame.buffers.insert(name.clone(), Arc::clone(buf));
+            frame.insert_buffer(name.clone(), Arc::clone(buf));
         }
         // Bind scalar parameters.
         for (name, value) in &self.params {
@@ -152,7 +226,7 @@ impl<'m> Realizer<'m> {
         // Create and bind the output buffer.
         let out_name = &module.output.name;
         let output = Arc::new(Buffer::with_extents(
-            scalar_of(module.output.ty),
+            module.output.ty.scalar(),
             output_extents,
         ));
         bind_buffer_symbols(&mut frame, out_name, &output);
@@ -166,7 +240,7 @@ impl<'m> Realizer<'m> {
                 Value::int(output_extents[d]),
             );
         }
-        frame.buffers.insert(out_name.clone(), Arc::clone(&output));
+        frame.insert_buffer(out_name.clone(), Arc::clone(&output));
 
         let start = Instant::now();
         eval_stmt(&module.stmt, &mut frame, &ctx)?;
@@ -187,10 +261,86 @@ impl<'m> Realizer<'m> {
             wall_time,
         })
     }
-}
 
-fn scalar_of(ty: halide_ir::Type) -> ScalarType {
-    ty.scalar()
+    /// The compiled path: resolve the module once into a register-machine
+    /// [`Program`], bind its free slots/buffers, and execute.
+    fn realize_compiled(&self, output_extents: &[i64]) -> Result<Realization> {
+        let module = self.module;
+        let prog = self.program()?;
+        let ctx = Context::new(ThreadPool::new(self.threads), self.instrument);
+        let mut machine = Machine::new(&prog);
+        // Every register written while binding; validated against the
+        // program's free-slot list below, so a symbol the bindings did not
+        // cover errors up front exactly like the interpreter's "unbound
+        // variable" (instead of silently reading a zeroed register).
+        let mut bound: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+        // Bind input buffers and their layout symbols.
+        for (name, buf) in &self.inputs {
+            bind_machine_buffer(&prog, &mut machine, name, buf, &mut bound);
+        }
+        // Bind scalar parameters.
+        for (name, value) in &self.params {
+            if let Some(slot) = prog.free_slot(name) {
+                machine.set_reg(
+                    slot,
+                    value
+                        .as_scalar()
+                        .ok_or_else(|| ExecError::new(format!("parameter {name:?} is a vector")))?,
+                );
+                bound.insert(slot);
+            }
+        }
+
+        // Create and bind the output buffer.
+        let out_name = &module.output.name;
+        let output = Arc::new(Buffer::with_extents(
+            module.output.ty.scalar(),
+            output_extents,
+        ));
+        bind_machine_buffer(&prog, &mut machine, out_name, &output, &mut bound);
+        for (d, arg) in module.output.args.iter().enumerate() {
+            if let Some(slot) = prog.free_slot(&format!("{out_name}.{arg}.min")) {
+                machine.set_reg(slot, Scalar::Int(0));
+                bound.insert(slot);
+            }
+            if let Some(slot) = prog.free_slot(&format!("{out_name}.{arg}.extent")) {
+                machine.set_reg(slot, Scalar::Int(output_extents[d]));
+                bound.insert(slot);
+            }
+        }
+
+        // Every free buffer and every free slot must now be bound.
+        for (name, idx) in &prog.free_bufs {
+            if machine.bufs[*idx as usize].is_none() {
+                return Err(ExecError::new(format!(
+                    "no buffer named {name:?} is in scope"
+                )));
+            }
+        }
+        for (name, slot) in &prog.free_slots {
+            if !bound.contains(slot) {
+                return Err(ExecError::new(format!("unbound variable {name:?}")));
+            }
+        }
+
+        let start = Instant::now();
+        exec(&prog, &prog.body, &mut machine, &ctx)?;
+        if let Some(e) = ctx.take_error() {
+            return Err(e);
+        }
+        ctx.gpu.ensure_on_host(out_name, &ctx.counters);
+        let wall_time = start.elapsed();
+
+        let counters = ctx.counters.snapshot();
+        drop(machine);
+        let output = Arc::try_unwrap(output).unwrap_or_else(|arc| (*arc).clone());
+        Ok(Realization {
+            output,
+            counters,
+            wall_time,
+        })
+    }
 }
 
 fn bind_buffer_symbols(frame: &mut Frame, name: &str, buf: &Buffer) {
@@ -208,10 +358,40 @@ fn bind_buffer_symbols(frame: &mut Frame, name: &str, buf: &Buffer) {
     }
 }
 
+/// Binds a buffer and its layout symbols (`<name>.min.<d>` / `.extent.<d>` /
+/// `.stride.<d>`) into a compiled machine's registers, recording the slots
+/// written in `bound`.
+fn bind_machine_buffer(
+    prog: &Program,
+    machine: &mut Machine,
+    name: &str,
+    buf: &Arc<Buffer>,
+    bound: &mut std::collections::HashSet<u32>,
+) {
+    if let Some(idx) = prog.free_buf(name) {
+        machine.set_buf(idx, Arc::clone(buf));
+    }
+    let strides = buf.strides();
+    for (d, dim) in buf.dims().iter().enumerate() {
+        if let Some(slot) = prog.free_slot(&format!("{name}.min.{d}")) {
+            machine.set_reg(slot, Scalar::Int(dim.min));
+            bound.insert(slot);
+        }
+        if let Some(slot) = prog.free_slot(&format!("{name}.extent.{d}")) {
+            machine.set_reg(slot, Scalar::Int(dim.extent));
+            bound.insert(slot);
+        }
+        if let Some(slot) = prog.free_slot(&format!("{name}.stride.{d}")) {
+            machine.set_reg(slot, Scalar::Int(strides[d]));
+            bound.insert(slot);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use halide_ir::Type;
+    use halide_ir::{ScalarType, Type};
     use halide_lang::{Func, ImageParam, Pipeline, Var};
     use halide_lower::lower;
 
@@ -227,23 +407,30 @@ mod tests {
     }
 
     #[test]
-    fn pointwise_pipeline_runs() {
+    fn pointwise_pipeline_runs_on_both_backends() {
         let (module, in_name) = brighten_module("realize_pointwise");
         let input = Buffer::from_fn_2d(ScalarType::Float(32), 8, 6, |x, y| (x + 10 * y) as f64);
-        let result = Realizer::new(&module)
-            .input(in_name, input)
-            .threads(1)
-            .realize(&[8, 6])
-            .unwrap();
-        assert_eq!(result.output.at_f64(&[3, 2]), (3 + 20) as f64 * 2.0 + 1.0);
-        assert_eq!(result.output.dims()[0].extent, 8);
-        assert!(result.counters.stores > 0);
+        for backend in Backend::ALL {
+            let result = Realizer::new(&module)
+                .input(in_name.clone(), input.clone())
+                .threads(1)
+                .backend(backend)
+                .realize(&[8, 6])
+                .unwrap();
+            assert_eq!(result.output.at_f64(&[3, 2]), (3 + 20) as f64 * 2.0 + 1.0);
+            assert_eq!(result.output.dims()[0].extent, 8);
+            assert!(result.counters.stores > 0);
+        }
     }
 
     #[test]
     fn missing_input_is_an_error() {
         let (module, _) = brighten_module("realize_missing");
         assert!(Realizer::new(&module).realize(&[4, 4]).is_err());
+        assert!(Realizer::new(&module)
+            .backend(Backend::Interp)
+            .realize(&[4, 4])
+            .is_err());
     }
 
     #[test]
@@ -268,11 +455,78 @@ mod tests {
         );
         let module = lower(&Pipeline::new(&out)).unwrap();
         let input_buf = Buffer::from_fn_2d(ScalarType::Float(32), 4, 4, |x, _| x as f64);
-        let result = Realizer::new(&module)
-            .input("realize_param_in", input_buf)
-            .param_f32("gain", 10.0)
+        for backend in Backend::ALL {
+            let result = Realizer::new(&module)
+                .input("realize_param_in", input_buf.clone())
+                .param_f32("gain", 10.0)
+                .backend(backend)
+                .realize(&[4, 4])
+                .unwrap();
+            assert_eq!(result.output.at_f64(&[3, 0]), 30.0);
+        }
+    }
+
+    #[test]
+    fn missing_param_is_an_error_on_the_compiled_backend() {
+        let input = ImageParam::new("realize_noparam_in", Type::f32(), 2);
+        let gain = halide_lang::Param::new("missing_gain", Type::f32());
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let out = Func::new("realize_noparam_out");
+        out.define(
+            &[x.clone(), y.clone()],
+            input.at(vec![x.expr(), y.expr()]) * gain.expr(),
+        );
+        let module = lower(&Pipeline::new(&out)).unwrap();
+        let input_buf = Buffer::with_extents(ScalarType::Float(32), &[4, 4]);
+        let err = Realizer::new(&module)
+            .input("realize_noparam_in", input_buf)
             .realize(&[4, 4])
-            .unwrap();
-        assert_eq!(result.output.at_f64(&[3, 0]), 30.0);
+            .unwrap_err();
+        assert!(err.to_string().contains("missing_gain"), "got: {err}");
+    }
+
+    /// The lowering-side interface metadata (`Module::free_symbols` /
+    /// `external_buffers`) and the exec-side compile pass independently
+    /// derive the same binding contract; this pins them together so the two
+    /// analyses cannot silently drift.
+    #[test]
+    fn compiled_free_sets_match_module_interface() {
+        let input = ImageParam::new("realize_iface_in", Type::f32(), 2);
+        let gain = halide_lang::Param::new("iface_gain", Type::f32());
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let blurx = Func::new("realize_iface_blurx");
+        blurx.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr() - 1, y.expr()])
+                + input.at_clamped(vec![x.expr() + 1, y.expr()]),
+        );
+        let out = Func::new("realize_iface_out");
+        out.define(
+            &[x.clone(), y.clone()],
+            blurx.at(vec![x.expr(), y.expr()]) * gain.expr(),
+        );
+        out.tile_dims("x", "y", "xo", "yo", "xi", "yi", 16, 8)
+            .parallelize("yo");
+        blurx.compute_at(&out, "xo");
+        let module = lower(&Pipeline::new(&out)).unwrap();
+        let prog = Program::compile(&module).unwrap();
+
+        let mut prog_slots: Vec<String> = prog.free_slots.keys().cloned().collect();
+        prog_slots.sort();
+        assert_eq!(prog_slots, module.free_symbols);
+
+        let mut prog_bufs: Vec<String> = prog.free_bufs.keys().cloned().collect();
+        prog_bufs.sort();
+        assert_eq!(prog_bufs, module.external_buffers);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("interpreter"), Some(Backend::Interp));
+        assert_eq!(Backend::from_name("llvm"), None);
+        assert_eq!(Backend::default(), Backend::Compiled);
     }
 }

@@ -502,6 +502,27 @@ impl Expr {
         Expr::intrinsic("pow", vec![self.cast(t), e.cast(t)], t)
     }
 
+    /// Hyperbolic tangent (computed in the expression's float type,
+    /// promoting integers to f32).
+    pub fn tanh(&self) -> Expr {
+        let t = if self.ty().is_float() {
+            self.ty()
+        } else {
+            Type::f32()
+        };
+        Expr::intrinsic("tanh", vec![self.cast(t)], t)
+    }
+
+    /// Four-quadrant arctangent `atan2(self, x)`.
+    pub fn atan2(&self, x: Expr) -> Expr {
+        let t = if self.ty().is_float() {
+            self.ty()
+        } else {
+            Type::f32()
+        };
+        Expr::intrinsic("atan2", vec![self.cast(t), x.cast(t)], t)
+    }
+
     /// Round toward negative infinity, returning a float of the same type.
     pub fn floor(&self) -> Expr {
         Expr::intrinsic("floor", vec![self.clone()], self.ty())

@@ -91,6 +91,31 @@ impl AppKind {
         schedule: ScheduleChoice,
         threads: usize,
     ) -> LowerResult<(ExecResult<Realization>, PipelineStats)> {
+        self.run_with_backend(
+            width,
+            height,
+            schedule,
+            threads,
+            halide_exec::Backend::default(),
+        )
+    }
+
+    /// [`AppKind::run`] on an explicit execution backend — the benchmark
+    /// harnesses route their `--backend` flag through this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors; execution errors are returned in the inner
+    /// result.
+    #[allow(clippy::type_complexity)]
+    pub fn run_with_backend(
+        &self,
+        width: i64,
+        height: i64,
+        schedule: ScheduleChoice,
+        threads: usize,
+        backend: halide_exec::Backend,
+    ) -> LowerResult<(ExecResult<Realization>, PipelineStats)> {
         match self {
             AppKind::Blur => {
                 let app = blur::BlurApp::new();
@@ -101,7 +126,7 @@ impl AppKind {
                 let module = app.compile(s)?;
                 let stats = analyze(&app.pipeline());
                 let input = blur::make_input(width, height);
-                Ok((app.run(&module, &input, threads, false), stats))
+                Ok((app.run_on(&module, &input, threads, false, backend), stats))
             }
             AppKind::Histogram => {
                 let app = histogram::HistogramApp::new(width as i32, height as i32);
@@ -111,7 +136,7 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = histogram::make_input(width, height);
-                Ok((app.run(&module, &input, threads), stats))
+                Ok((app.run_on(&module, &input, threads, backend), stats))
             }
             AppKind::BilateralGrid => {
                 let app = bilateral_grid::BilateralGridApp::new();
@@ -123,7 +148,7 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = bilateral_grid::make_input(width, height);
-                Ok((app.run(&module, &input, threads), stats))
+                Ok((app.run_on(&module, &input, threads, backend), stats))
             }
             AppKind::CameraPipe => {
                 let app = camera_pipe::CameraPipeApp::new(2.2, 0.8);
@@ -133,7 +158,7 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = camera_pipe::make_raw_input(width, height);
-                Ok((app.run(&module, &input, threads), stats))
+                Ok((app.run_on(&module, &input, threads, backend), stats))
             }
             AppKind::Interpolate => {
                 let levels = pyramid_levels(width, height);
@@ -146,7 +171,7 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = interpolate::make_input(width, height);
-                Ok((app.run(&module, &input, threads), stats))
+                Ok((app.run_on(&module, &input, threads, backend), stats))
             }
             AppKind::LocalLaplacian => {
                 let levels = pyramid_levels(width, height).min(4);
@@ -157,7 +182,7 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = local_laplacian::make_input(width, height);
-                Ok((app.run(&module, &input, threads), stats))
+                Ok((app.run_on(&module, &input, threads, backend), stats))
             }
         }
     }

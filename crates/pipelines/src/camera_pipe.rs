@@ -246,10 +246,27 @@ impl CameraPipeApp {
     ///
     /// Propagates execution errors.
     pub fn run(&self, module: &Module, raw: &Buffer, threads: usize) -> ExecResult<Realization> {
+        self.run_on(module, raw, threads, halide_exec::Backend::default())
+    }
+
+    /// Runs on an explicit execution [`Backend`](halide_exec::Backend)
+    /// (the benchmark harnesses compare engines through this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn run_on(
+        &self,
+        module: &Module,
+        raw: &Buffer,
+        threads: usize,
+        backend: halide_exec::Backend,
+    ) -> ExecResult<Realization> {
         let (w, h) = (raw.dims()[0].extent, raw.dims()[1].extent);
         Realizer::new(module)
             .input(self.input.name(), raw.clone())
             .threads(threads)
+            .backend(backend)
             .realize(&[w, h, 3])
     }
 }

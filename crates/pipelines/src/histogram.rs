@@ -107,10 +107,27 @@ impl HistogramApp {
     ///
     /// Propagates execution errors.
     pub fn run(&self, module: &Module, input: &Buffer, threads: usize) -> ExecResult<Realization> {
+        self.run_on(module, input, threads, halide_exec::Backend::default())
+    }
+
+    /// Runs on an explicit execution [`Backend`](halide_exec::Backend)
+    /// (the benchmark harnesses compare engines through this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn run_on(
+        &self,
+        module: &Module,
+        input: &Buffer,
+        threads: usize,
+        backend: halide_exec::Backend,
+    ) -> ExecResult<Realization> {
         let (w, h) = (input.dims()[0].extent, input.dims()[1].extent);
         Realizer::new(module)
             .input(self.input.name(), input.clone())
             .threads(threads)
+            .backend(backend)
             .realize(&[w, h])
     }
 }

@@ -20,7 +20,7 @@ use std::cell::UnsafeCell;
 
 use halide_ir::ScalarType;
 
-use crate::value::Value;
+use crate::value::{Scalar, Value};
 
 /// One dimension of a buffer: the coordinates `[min, min + extent)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +128,24 @@ impl Storage {
             Storage::F64(s) => s[i] = v,
         }
     }
+}
+
+/// Dispatches once on the storage variant and runs `$body` with `$s` bound
+/// to the typed element slice — the heart of the bulk accessors below.
+macro_rules! with_storage {
+    ($storage:expr, $s:ident, $body:expr) => {
+        match $storage {
+            Storage::U8($s) => $body,
+            Storage::U16($s) => $body,
+            Storage::U32($s) => $body,
+            Storage::I8($s) => $body,
+            Storage::I16($s) => $body,
+            Storage::I32($s) => $body,
+            Storage::I64($s) => $body,
+            Storage::F32($s) => $body,
+            Storage::F64($s) => $body,
+        }
+    };
 }
 
 /// A typed, multi-dimensional pixel buffer with interior mutability for
@@ -292,6 +310,28 @@ impl Buffer {
         }
     }
 
+    /// Reads the element at flat index `i` as an unboxed [`Scalar`] of the
+    /// buffer's kind — the allocation-free accessor the compiled backend
+    /// loads through.
+    #[inline]
+    pub fn get_flat_scalar(&self, i: usize) -> Scalar {
+        if self.ty.is_float() {
+            Scalar::Float(self.get_flat_f64(i))
+        } else {
+            Scalar::Int(self.get_flat_i64(i))
+        }
+    }
+
+    /// Stores an unboxed [`Scalar`] at flat index `i` (converted to the
+    /// element type, with the same conversion rules as [`Value`] stores).
+    #[inline]
+    pub fn set_flat_scalar(&self, i: usize, v: Scalar) {
+        match v {
+            Scalar::Int(x) => self.set_flat_i64(i, x),
+            Scalar::Float(x) => self.set_flat_f64(i, x),
+        }
+    }
+
     /// Stores an integer at flat index `i` (converted to the element type).
     ///
     /// # Panics
@@ -319,6 +359,114 @@ impl Buffer {
             Value::Int(_) => self.set_flat_i64(i, v.lane_int(lane)),
             Value::Float(_) => self.set_flat_f64(i, v.lane_f64(lane)),
         }
+    }
+
+    // ---- bulk typed accessors ---------------------------------------------
+    //
+    // One storage dispatch per vector operation instead of one per lane;
+    // the compiled backend's dense and gather paths run through these.
+
+    /// Reads `lanes` contiguous elements starting at flat index `start` as
+    /// `f64`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_flat_f64s(&self, start: usize, lanes: usize) -> Vec<f64> {
+        // SAFETY: see the module-level concurrency note.
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(
+            storage,
+            s,
+            s[start..start + lanes].iter().map(|v| *v as f64).collect()
+        )
+    }
+
+    /// Reads `lanes` contiguous elements starting at flat index `start` as
+    /// `i64`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_flat_i64s(&self, start: usize, lanes: usize) -> Vec<i64> {
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(
+            storage,
+            s,
+            s[start..start + lanes].iter().map(|v| *v as i64).collect()
+        )
+    }
+
+    /// Writes a contiguous run of `f64`s starting at flat index `start`
+    /// (each converted to the element type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_flat_f64s(&self, start: usize, vals: &[f64]) {
+        let storage = self.storage_mut();
+        with_storage!(storage, s, {
+            for (dst, v) in s[start..start + vals.len()].iter_mut().zip(vals) {
+                *dst = *v as _;
+            }
+        })
+    }
+
+    /// Writes a contiguous run of `i64`s starting at flat index `start`
+    /// (each converted to the element type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_flat_i64s(&self, start: usize, vals: &[i64]) {
+        let storage = self.storage_mut();
+        with_storage!(storage, s, {
+            for (dst, v) in s[start..start + vals.len()].iter_mut().zip(vals) {
+                *dst = *v as _;
+            }
+        })
+    }
+
+    /// Reads the elements at the given flat indices as `f64`s, or reports
+    /// the first out-of-range index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)`.
+    pub fn gather_flat_f64(&self, idx: &[i64]) -> std::result::Result<Vec<f64>, i64> {
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            let mut out = Vec::with_capacity(idx.len());
+            for &i in idx {
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                out.push(s[i as usize] as f64);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Reads the elements at the given flat indices as `i64`s, or reports
+    /// the first out-of-range index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)`.
+    pub fn gather_flat_i64(&self, idx: &[i64]) -> std::result::Result<Vec<i64>, i64> {
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            let mut out = Vec::with_capacity(idx.len());
+            for &i in idx {
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                out.push(s[i as usize] as i64);
+            }
+            Ok(out)
+        })
     }
 
     /// Reads the element at the given coordinates as `f64`.
@@ -434,6 +582,47 @@ mod tests {
         b.set_coords_f64(&[1, 1], 0.0);
         assert_eq!(a.max_abs_diff(&b), 11.0);
         assert_eq!(a.to_f64_vec().len(), 6);
+    }
+
+    #[test]
+    fn bulk_accessors_match_single_element_paths() {
+        for ty in [
+            ScalarType::UInt(8),
+            ScalarType::Int(32),
+            ScalarType::Float(32),
+            ScalarType::Float(64),
+        ] {
+            let b = Buffer::with_extents(ty, &[10]);
+            for i in 0..10 {
+                b.set_flat_f64(i, (i as f64) * 1.5 - 3.0);
+            }
+            let bulk_f = b.read_flat_f64s(2, 5);
+            let bulk_i = b.read_flat_i64s(2, 5);
+            for (k, i) in (2..7).enumerate() {
+                assert_eq!(bulk_f[k], b.get_flat_f64(i), "{ty:?} f64 read");
+                assert_eq!(bulk_i[k], b.get_flat_i64(i), "{ty:?} i64 read");
+            }
+            let idx = [9i64, 0, 4];
+            let g = b.gather_flat_f64(&idx).unwrap();
+            assert_eq!(g[0], b.get_flat_f64(9));
+            assert_eq!(g[2], b.get_flat_f64(4));
+            assert_eq!(b.gather_flat_f64(&[3, 10]).unwrap_err(), 10);
+            assert_eq!(b.gather_flat_i64(&[-1]).unwrap_err(), -1);
+
+            let w = Buffer::with_extents(ty, &[10]);
+            w.write_flat_f64s(1, &[1.25, 2.5, 3.75]);
+            for (k, i) in (1..4).enumerate() {
+                let expect = Buffer::with_extents(ty, &[1]);
+                expect.set_flat_f64(0, [1.25, 2.5, 3.75][k]);
+                assert_eq!(w.get_flat_f64(i), expect.get_flat_f64(0), "{ty:?} write");
+            }
+            w.write_flat_i64s(5, &[7, -2]);
+            let expect = Buffer::with_extents(ty, &[2]);
+            expect.set_flat_i64(0, 7);
+            expect.set_flat_i64(1, -2);
+            assert_eq!(w.get_flat_i64(5), expect.get_flat_i64(0));
+            assert_eq!(w.get_flat_i64(6), expect.get_flat_i64(1));
+        }
     }
 
     #[test]

@@ -23,4 +23,7 @@ pub use buffer::{Buffer, BufferDim};
 pub use counters::{CounterSnapshot, Counters};
 pub use gpu::{GpuDevice, Residency};
 pub use pool::{num_threads_default, ThreadPool};
-pub use value::{binary_op, compare_op, select_op, Value};
+pub use value::{
+    binary_op, binary_op_owned, cast_owned, compare_op, scalar_binary_op, scalar_compare_op,
+    select_op, Scalar, Value,
+};

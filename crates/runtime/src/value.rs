@@ -18,6 +18,148 @@ pub enum Value {
     Float(Vec<f64>),
 }
 
+/// An unboxed one-lane value: the register type of the compiled execution
+/// engine.
+///
+/// [`Value`] heap-allocates a `Vec` even for scalars, which dominates the
+/// interpreter's per-operation cost. `Scalar` is a plain `Copy` enum carrying
+/// the same two kinds, and every operation on it is defined to be
+/// **bit-identical** to the corresponding one-lane [`Value`] operation
+/// (promotion to float when either side is float, floor division/modulo for
+/// integers, the same cast wrapping/truncation rules), so the compiled
+/// backend and the interpreting backend produce identical results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// An integer (also unsigned and boolean values, as in [`Value::Int`]).
+    Int(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Scalar {
+    /// True for the float kind.
+    pub fn is_float(self) -> bool {
+        matches!(self, Scalar::Float(_))
+    }
+
+    /// The value as an `f64` (exact for the integer kind, like
+    /// [`Value::as_f64`]).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Scalar::Int(v) => v as f64,
+            Scalar::Float(v) => v,
+        }
+    }
+
+    /// The value as an `i64`, truncating floats toward zero (the semantics of
+    /// [`Value::lane_int`]).
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Scalar::Int(v) => v,
+            Scalar::Float(v) => v as i64,
+        }
+    }
+
+    /// The value interpreted as a boolean (non-zero is true, like
+    /// [`Value::as_bool`]).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.as_f64() != 0.0
+    }
+
+    /// Converts to a one-lane [`Value`] of the same kind.
+    pub fn to_value(self) -> Value {
+        match self {
+            Scalar::Int(v) => Value::int(v),
+            Scalar::Float(v) => Value::float(v),
+        }
+    }
+
+    /// Casts to the given scalar type with exactly the semantics of
+    /// [`Value::cast_to`] on a one-lane value.
+    #[inline]
+    pub fn cast_to(self, ty: ScalarType) -> Scalar {
+        match ty {
+            ScalarType::Float(32) => Scalar::Float(self.as_f64() as f32 as f64),
+            ScalarType::Float(_) => Scalar::Float(self.as_f64()),
+            ScalarType::UInt(1) => Scalar::Int((self.as_f64() != 0.0) as i64),
+            ScalarType::UInt(bits) => {
+                let mask: i64 = if bits >= 63 { -1 } else { (1i64 << bits) - 1 };
+                Scalar::Int(self.trunc_i64() & mask)
+            }
+            ScalarType::Int(bits) => {
+                let shift = 64 - bits as u32;
+                let v = self.trunc_i64();
+                Scalar::Int(if shift == 0 { v } else { (v << shift) >> shift })
+            }
+        }
+    }
+
+    /// The value as an `i64`, truncating floats toward zero (the semantics of
+    /// `Value::to_int_lanes_trunc`, used by casts).
+    #[inline]
+    fn trunc_i64(self) -> i64 {
+        match self {
+            Scalar::Int(v) => v,
+            Scalar::Float(v) => v.trunc() as i64,
+        }
+    }
+}
+
+/// Applies a binary arithmetic operator to two scalars with exactly the
+/// semantics of [`binary_op`] on one-lane values: promote to float when
+/// either side is float, floor division/modulo for integers.
+#[inline]
+pub fn scalar_binary_op(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
+    match (a, b) {
+        (Scalar::Int(x), Scalar::Int(y)) => Scalar::Int(match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => halide_ir::simplify::div_floor(x, y),
+            BinOp::Mod => halide_ir::simplify::mod_floor(x, y),
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+        }),
+        _ => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            Scalar::Float(match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => x - y * (x / y).floor(),
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+            })
+        }
+    }
+}
+
+/// Applies a comparison to two scalars, producing a boolean (0/1) scalar —
+/// the one-lane form of [`compare_op`].
+#[inline]
+pub fn scalar_compare_op(op: CmpOp, a: Scalar, b: Scalar) -> Scalar {
+    let ord = match (a, b) {
+        (Scalar::Int(x), Scalar::Int(y)) => x.cmp(&y),
+        _ => a
+            .as_f64()
+            .partial_cmp(&b.as_f64())
+            .unwrap_or(std::cmp::Ordering::Greater),
+    };
+    let r = match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    };
+    Scalar::Int(r as i64)
+}
+
 impl Value {
     /// A one-lane integer.
     pub fn int(v: i64) -> Value {
@@ -113,6 +255,16 @@ impl Value {
         }
     }
 
+    /// If this value has exactly one lane, returns it as an unboxed
+    /// [`Scalar`] of the same kind.
+    pub fn as_scalar(&self) -> Option<Scalar> {
+        match self {
+            Value::Int(v) if v.len() == 1 => Some(Scalar::Int(v[0])),
+            Value::Float(v) if v.len() == 1 => Some(Scalar::Float(v[0])),
+            _ => None,
+        }
+    }
+
     /// Broadcasts a scalar to `lanes` lanes (no-op if already that wide).
     pub fn broadcast(&self, lanes: usize) -> Value {
         if self.lanes() == lanes {
@@ -176,6 +328,36 @@ fn zip_lanes(a: &Value, b: &Value) -> usize {
     a.lanes().max(b.lanes())
 }
 
+/// The float form of one binary operation lane (shared by every float path,
+/// so all of them are bit-identical by construction).
+#[inline]
+fn float_bin(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Mod => x - y * (x / y).floor(),
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+    }
+}
+
+/// The integer form of one binary operation lane (floor division/modulo,
+/// wrapping arithmetic).
+#[inline]
+fn int_bin(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => halide_ir::simplify::div_floor(x, y),
+        BinOp::Mod => halide_ir::simplify::mod_floor(x, y),
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+    }
+}
+
 /// Applies a binary arithmetic operator lane-wise, promoting to float when
 /// either side is float and broadcasting the scalar side when lane counts
 /// differ. Integer division/modulo use the floor semantics of the IR.
@@ -188,15 +370,7 @@ pub fn binary_op(op: BinOp, a: &Value, b: &Value) -> Value {
         Value::Float(
             av.iter()
                 .zip(bv.iter())
-                .map(|(x, y)| match op {
-                    BinOp::Add => x + y,
-                    BinOp::Sub => x - y,
-                    BinOp::Mul => x * y,
-                    BinOp::Div => x / y,
-                    BinOp::Mod => x - y * (x / y).floor(),
-                    BinOp::Min => x.min(*y),
-                    BinOp::Max => x.max(*y),
-                })
+                .map(|(x, y)| float_bin(op, *x, *y))
                 .collect(),
         )
     } else {
@@ -205,17 +379,108 @@ pub fn binary_op(op: BinOp, a: &Value, b: &Value) -> Value {
         Value::Int(
             av.iter()
                 .zip(bv.iter())
-                .map(|(x, y)| match op {
-                    BinOp::Add => x.wrapping_add(*y),
-                    BinOp::Sub => x.wrapping_sub(*y),
-                    BinOp::Mul => x.wrapping_mul(*y),
-                    BinOp::Div => halide_ir::simplify::div_floor(*x, *y),
-                    BinOp::Mod => halide_ir::simplify::mod_floor(*x, *y),
-                    BinOp::Min => *x.min(y),
-                    BinOp::Max => *x.max(y),
-                })
+                .map(|(x, y)| int_bin(op, *x, *y))
                 .collect(),
         )
+    }
+}
+
+/// [`binary_op`] taking its operands by value: the common lane/kind
+/// combinations are computed **in place**, reusing one operand's storage
+/// instead of allocating broadcast copies, lane conversions, and a result
+/// vector. Produces bit-identical results to [`binary_op`] (the lane
+/// formulas are shared); the compiled execution engine's vector path runs
+/// through this.
+pub fn binary_op_owned(op: BinOp, a: Value, b: Value) -> Value {
+    match (a, b) {
+        (Value::Float(mut av), Value::Float(bv)) => {
+            if av.len() == bv.len() {
+                for (x, y) in av.iter_mut().zip(&bv) {
+                    *x = float_bin(op, *x, *y);
+                }
+                Value::Float(av)
+            } else if bv.len() == 1 {
+                let y = bv[0];
+                for x in av.iter_mut() {
+                    *x = float_bin(op, *x, y);
+                }
+                Value::Float(av)
+            } else if av.len() == 1 {
+                let x0 = av[0];
+                let mut bv = bv;
+                for y in bv.iter_mut() {
+                    *y = float_bin(op, x0, *y);
+                }
+                Value::Float(bv)
+            } else {
+                binary_op(op, &Value::Float(av), &Value::Float(bv))
+            }
+        }
+        (Value::Int(mut av), Value::Int(bv)) => {
+            if av.len() == bv.len() {
+                for (x, y) in av.iter_mut().zip(&bv) {
+                    *x = int_bin(op, *x, *y);
+                }
+                Value::Int(av)
+            } else if bv.len() == 1 {
+                let y = bv[0];
+                for x in av.iter_mut() {
+                    *x = int_bin(op, *x, y);
+                }
+                Value::Int(av)
+            } else if av.len() == 1 {
+                let x0 = av[0];
+                let mut bv = bv;
+                for y in bv.iter_mut() {
+                    *y = int_bin(op, x0, *y);
+                }
+                Value::Int(bv)
+            } else {
+                binary_op(op, &Value::Int(av), &Value::Int(bv))
+            }
+        }
+        (Value::Float(mut av), Value::Int(bv)) if bv.len() == 1 || bv.len() == av.len() => {
+            if bv.len() == 1 {
+                let y = bv[0] as f64;
+                for x in av.iter_mut() {
+                    *x = float_bin(op, *x, y);
+                }
+            } else {
+                for (x, y) in av.iter_mut().zip(&bv) {
+                    *x = float_bin(op, *x, *y as f64);
+                }
+            }
+            Value::Float(av)
+        }
+        (Value::Int(av), Value::Float(mut bv)) if av.len() == 1 || av.len() == bv.len() => {
+            if av.len() == 1 {
+                let x0 = av[0] as f64;
+                for y in bv.iter_mut() {
+                    *y = float_bin(op, x0, *y);
+                }
+            } else {
+                for (x, y) in av.iter().zip(bv.iter_mut()) {
+                    *y = float_bin(op, *x as f64, *y);
+                }
+            }
+            Value::Float(bv)
+        }
+        (a, b) => binary_op(op, &a, &b),
+    }
+}
+
+/// [`Value::cast_to`] taking the value by ownership: the float→float paths
+/// convert in place. Bit-identical to [`Value::cast_to`].
+pub fn cast_owned(v: Value, ty: ScalarType) -> Value {
+    match (v, ty) {
+        (Value::Float(mut fv), ScalarType::Float(32)) => {
+            for x in fv.iter_mut() {
+                *x = *x as f32 as f64;
+            }
+            Value::Float(fv)
+        }
+        (Value::Float(fv), ScalarType::Float(_)) => Value::Float(fv),
+        (v, ty) => v.cast_to(ty),
     }
 }
 
@@ -356,5 +621,99 @@ mod tests {
         assert_eq!(binary_op(BinOp::Mod, &a, &b), Value::Int(vec![2, 1]));
         assert_eq!(binary_op(BinOp::Min, &a, &b), Value::Int(vec![-7, 3]));
         assert_eq!(binary_op(BinOp::Max, &a, &b), Value::Int(vec![3, 7]));
+    }
+
+    /// The owned (in-place) vector operations must agree bit-for-bit with
+    /// the borrowing ones across every lane/kind combination.
+    #[test]
+    fn owned_ops_match_borrowing_ops() {
+        let values = [
+            Value::Int(vec![3]),
+            Value::Int(vec![1, -2, 3, 40]),
+            Value::Float(vec![0.5]),
+            Value::Float(vec![1.5, -2.25, 3.75, 4.0]),
+        ];
+        for a in &values {
+            for b in &values {
+                for op in BinOp::ALL {
+                    let slow = binary_op(op, a, b);
+                    let fast = binary_op_owned(op, a.clone(), b.clone());
+                    assert_eq!(fast, slow, "owned {op:?} diverges on {a:?}, {b:?}");
+                }
+            }
+            for ty in [
+                ScalarType::Float(32),
+                ScalarType::Float(64),
+                ScalarType::Int(16),
+                ScalarType::UInt(8),
+            ] {
+                assert_eq!(cast_owned(a.clone(), ty), a.cast_to(ty));
+            }
+        }
+    }
+
+    /// Every scalar operation must agree bit-for-bit with the one-lane
+    /// `Value` operation it shadows: this is the compiled backend's licence
+    /// to use unboxed scalars.
+    #[test]
+    fn scalar_ops_match_one_lane_value_ops() {
+        let samples = [
+            Scalar::Int(0),
+            Scalar::Int(7),
+            Scalar::Int(-13),
+            Scalar::Int(300),
+            Scalar::Float(0.0),
+            Scalar::Float(2.5),
+            Scalar::Float(-3.9),
+            Scalar::Float(1e9),
+        ];
+        // Bit-pattern equality, so NaN == NaN (0/0 must produce the *same*
+        // NaN through both paths).
+        let same = |fast: Value, slow: Value| match (&fast, &slow) {
+            (Value::Float(a), Value::Float(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => fast == slow,
+        };
+        for &a in &samples {
+            for &b in &samples {
+                for op in BinOp::ALL {
+                    let fast = scalar_binary_op(op, a, b);
+                    let slow = binary_op(op, &a.to_value(), &b.to_value());
+                    assert!(
+                        same(fast.to_value(), slow),
+                        "binary {op:?} diverges on {a:?}, {b:?}"
+                    );
+                }
+                for op in CmpOp::ALL {
+                    let fast = scalar_compare_op(op, a, b);
+                    let slow = compare_op(op, &a.to_value(), &b.to_value());
+                    assert_eq!(
+                        fast.to_value(),
+                        slow,
+                        "compare {op:?} diverges on {a:?}, {b:?}"
+                    );
+                }
+            }
+            for ty in [
+                ScalarType::Float(32),
+                ScalarType::Float(64),
+                ScalarType::UInt(1),
+                ScalarType::UInt(8),
+                ScalarType::UInt(16),
+                ScalarType::Int(8),
+                ScalarType::Int(32),
+                ScalarType::Int(64),
+            ] {
+                let fast = a.cast_to(ty);
+                let slow = a.to_value().cast_to(ty);
+                assert_eq!(fast.to_value(), slow, "cast to {ty:?} diverges on {a:?}");
+            }
+        }
+        assert_eq!(Value::int(4).as_scalar(), Some(Scalar::Int(4)));
+        assert_eq!(Value::Int(vec![1, 2]).as_scalar(), None);
+        assert!(Scalar::Float(1.5).is_float());
+        assert_eq!(Scalar::Float(-2.7).as_i64(), -2);
+        assert!(Scalar::Int(1).as_bool() && !Scalar::Float(0.0).as_bool());
     }
 }

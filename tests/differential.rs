@@ -1,0 +1,133 @@
+//! Differential tests between the two execution engines.
+//!
+//! The compiled register machine (`Backend::Compiled`, the default) is
+//! defined to be observationally identical to the tree-walking interpreter
+//! (`Backend::Interp`, the reference semantics): **bit-identical** outputs
+//! and identical structural counters (allocations, parallel tasks, kernel
+//! launches) on every pipeline. These tests drive both engines over random
+//! schedules of blur and over a deep multi-stage app (interpolate) and
+//! assert exactly that.
+
+use proptest::prelude::*;
+
+use halide::exec::{Backend, Realizer};
+use halide::pipelines::blur::{make_input, BlurApp};
+use halide::pipelines::interpolate::{self, InterpolateApp};
+use halide::runtime::Buffer;
+use halide::Module;
+
+/// Realizes `module` on both backends with identical bindings and asserts
+/// bit-identical outputs plus identical structural counters.
+fn assert_backends_identical(
+    module: &Module,
+    input_name: &str,
+    input: &Buffer,
+    extents: &[i64],
+    threads: usize,
+    what: &str,
+) {
+    let run = |backend: Backend| {
+        Realizer::new(module)
+            .input(input_name.to_string(), input.clone())
+            .threads(threads)
+            .backend(backend)
+            .realize(extents)
+            .unwrap_or_else(|e| panic!("{what}: {} backend failed: {e}", backend.name()))
+    };
+    let compiled = run(Backend::Compiled);
+    let interp = run(Backend::Interp);
+
+    // Bit-identical outputs: compare exact f64 bit patterns, not a tolerance.
+    let a = compiled.output.to_f64_vec();
+    let b = interp.output.to_f64_vec();
+    assert_eq!(a.len(), b.len(), "{what}: output sizes differ");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: outputs diverge at flat index {i}: compiled {x} vs interp {y}"
+        );
+    }
+
+    // Identical structural counters. (`peak_bytes_live` depends on how many
+    // parallel iterations happen to overlap in time, so it is excluded;
+    // everything else — including the per-op counters — must agree.)
+    let mut c = compiled.counters;
+    let mut r = interp.counters;
+    c.peak_bytes_live = 0;
+    r.peak_bytes_live = 0;
+    assert_eq!(
+        c, r,
+        "{what}: counters diverge between compiled and interpreting backends"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random valid blur schedules produce bit-identical outputs and
+    /// counters on both backends.
+    #[test]
+    fn random_blur_schedules_agree_across_backends(
+        split_x in prop_oneof![Just(8i64), Just(16), Just(32)],
+        split_y in prop_oneof![Just(4i64), Just(8), Just(16)],
+        parallel_outer in any::<bool>(),
+        vectorize_inner in any::<bool>(),
+        fuse_choice in 0u8..4,
+        threads in 1usize..4,
+    ) {
+        let input = make_input(67, 49);
+        let app = BlurApp::new();
+        app.out.tile_dims("x", "y", "xo", "yo", "xi", "yi", split_x, split_y);
+        if parallel_outer {
+            app.out.parallelize("yo");
+        }
+        if vectorize_inner {
+            app.out.split_dim("xi", "xio", "xii", 4).vectorize_dim("xii");
+        }
+        match fuse_choice {
+            0 => { app.blurx.compute_root(); }
+            1 => { app.blurx.compute_at(&app.out, "xo"); }
+            2 => {
+                app.blurx.compute_at(&app.out, "yo");
+                app.blurx.store_root();
+            }
+            _ => { app.blurx.compute_inline(); }
+        }
+        let module = halide::lower(&app.pipeline()).expect("valid schedule must lower");
+        assert_backends_identical(
+            &module,
+            "blur_input",
+            &input,
+            &[67, 49],
+            threads,
+            &format!(
+                "blur sx={split_x} sy={split_y} par={parallel_outer} vec={vectorize_inner} fuse={fuse_choice}"
+            ),
+        );
+    }
+}
+
+/// A deep multi-stage app: interpolate, under its three schedule flavours
+/// (including the simulated-GPU one, which must also report identical
+/// kernel-launch and copy counters).
+#[test]
+fn interpolate_agrees_across_backends_on_every_schedule() {
+    let input = interpolate::make_input(64, 48);
+    for flavour in ["naive", "tuned", "gpu"] {
+        let app = InterpolateApp::new(3);
+        match flavour {
+            "tuned" => app.schedule_good(),
+            "gpu" => app.schedule_gpu(),
+            _ => {}
+        }
+        let module = halide::lower(&app.pipeline()).expect("interpolate lowers");
+        assert_backends_identical(
+            &module,
+            &app.input.name(),
+            &input,
+            &[64, 48],
+            2,
+            &format!("interpolate ({flavour})"),
+        );
+    }
+}

@@ -10,7 +10,16 @@
 //!
 //! Per (app, schedule) the wall time of each backend is the best of
 //! several runs (instrumentation off); the JSON carries per-row and
-//! per-app speedups plus the headline `blur_speedup`.
+//! per-app speedups plus the headline `blur_speedup`. A separate
+//! instrumented pass over every tuned schedule records the per-op table
+//! (dense/strided/gather loads, dense/strided/scatter stores, masked
+//! selects) so a speedup change is attributable to the operations that
+//! moved — see the counter table in `docs/execution.md`.
+//!
+//! The emitter is also the perf gate: it asserts the compiled engine's
+//! speedup over the interpreter on blur (whole app) and on the tuned
+//! camera pipe and bilateral grid schedules — the select/gather-heavy
+//! rows the predicated vector paths exist for.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -18,6 +27,7 @@ use std::time::Duration;
 use halide_bench::HarnessConfig;
 use halide_exec::Backend;
 use halide_pipelines::{apps::ScheduleChoice, AppKind};
+use halide_runtime::CounterSnapshot;
 
 /// Timing repetitions per (app, schedule, backend): the best run is
 /// reported, which is the standard way to suppress scheduling noise.
@@ -82,6 +92,25 @@ fn main() {
         }
     }
 
+    // Per-op counters for every tuned schedule, from one instrumented
+    // compiled run (the interpreter's counts are identical by the
+    // differential-test contract, so one engine suffices).
+    let mut ops: Vec<(&'static str, CounterSnapshot)> = Vec::new();
+    for app in AppKind::ALL {
+        let (result, _) = app
+            .run_instrumented(
+                cfg.width,
+                cfg.height,
+                ScheduleChoice::Tuned,
+                cfg.threads,
+                Backend::Compiled,
+            )
+            .expect("tuned schedule lowers");
+        let c = result.expect("tuned schedule runs").counters;
+        eprintln!("{:<20} tuned  {c}", app.name());
+        ops.push((app.name(), c));
+    }
+
     // Per-app aggregate: total interpreter time over total compiled time for
     // the app's schedules (the time to run that app's benchmark set on each
     // backend).
@@ -93,6 +122,13 @@ fn main() {
                 (i + r.interp.as_secs_f64(), c + r.compiled.as_secs_f64())
             });
         i / c.max(1e-12)
+    };
+    let row_speedup = |name: &str, schedule: &str| -> f64 {
+        let r = rows
+            .iter()
+            .find(|r| r.app == name && r.schedule == schedule)
+            .expect("every (app, schedule) pair was measured");
+        r.interp.as_secs_f64() / r.compiled.as_secs_f64().max(1e-12)
     };
 
     let mut json = String::new();
@@ -116,6 +152,25 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"tuned_ops\": {\n");
+    for (i, (name, c)) in ops.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    \"{name}\": {{ \"arith\": {}, \"loads\": {}, \"dense_loads\": {}, \"strided_loads\": {}, \"gather_loads\": {}, \"stores\": {}, \"dense_stores\": {}, \"strided_stores\": {}, \"scatter_stores\": {}, \"masked_selects\": {} }}",
+            c.arith_ops,
+            c.loads,
+            c.dense_loads,
+            c.strided_loads,
+            c.gather_loads,
+            c.stores,
+            c.dense_stores,
+            c.strided_stores,
+            c.scatter_stores,
+            c.masked_selects,
+        );
+        json.push_str(if i + 1 < ops.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
     json.push_str("  \"app_speedups\": {\n");
     let apps: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
     for (i, name) in apps.iter().enumerate() {
@@ -134,4 +189,16 @@ fn main() {
         blur >= 5.0,
         "the compiled backend must be at least 5x faster than the interpreter on blur, got {blur:.2}x"
     );
+    // The predicated hot paths: the select-heavy camera pipe and the
+    // gather-heavy bilateral grid must hold >= 5x on their *tuned*
+    // (vectorized) schedules, where masked blends and bulk gather/scatter
+    // carry the load.
+    for app in ["Camera pipe", "Bilateral grid"] {
+        let s = row_speedup(app, "tuned");
+        println!("{app} tuned speedup (compiled over interp): {s:.2}x");
+        assert!(
+            s >= 5.0,
+            "the compiled backend must be at least 5x faster than the interpreter on the tuned {app} schedule, got {s:.2}x"
+        );
+    }
 }

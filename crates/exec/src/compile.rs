@@ -116,6 +116,17 @@ pub(crate) enum CExpr {
         base: Box<CExpr>,
         lanes: u16,
     },
+    /// Load through `max(min(index, hi), lo)` — the clamped-index access
+    /// `at_clamped` lowers to (and the camera pipe's LUT stage performs with
+    /// a data-dependent index). Compiled as one clamping gather: the `min`/
+    /// `max` intermediate vectors never materialize, though they still count
+    /// as the two arithmetic operations the interpreter executes.
+    LoadClamped {
+        buf: u32,
+        index: Box<CExpr>,
+        lo: Box<CExpr>,
+        hi: Box<CExpr>,
+    },
     /// Intrinsic call through a resolved function pointer.
     Intrinsic { f: CIntrinsic, args: Vec<CExpr> },
 }
@@ -257,6 +268,52 @@ fn fold_broadcast_against<'a>(e: &'a Expr, other: &Expr) -> &'a Expr {
         }
     }
     e
+}
+
+/// Strips a `broadcast` wrapper (vectorization splats scalar clamp bounds).
+fn unbroadcast(e: &Expr) -> &Expr {
+    if let ExprNode::Broadcast { value, .. } = e.node() {
+        value
+    } else {
+        e
+    }
+}
+
+/// True for expressions that are statically integer-valued and scalar-typed
+/// (the requirement on clamp bounds for the fused clamped-gather form).
+fn is_scalar_int(e: &Expr) -> bool {
+    let ty = e.ty();
+    !ty.is_float() && ty.lanes() == 1
+}
+
+/// Matches the clamped-index load pattern `max(min(index, hi), lo)` (what
+/// [`halide_ir::Expr::clamp`] builds and `at_clamped` lowers to), returning
+/// `(index, lo, hi)`. Only integer clamps with statically scalar bounds
+/// qualify — exactly the shapes whose lane-wise `min`/`max` agree with
+/// clamping each lane independently.
+fn clamp_pattern(index: &Expr) -> Option<(&Expr, &Expr, &Expr)> {
+    let ExprNode::Bin {
+        op: BinOp::Max,
+        a,
+        b: lo,
+    } = index.node()
+    else {
+        return None;
+    };
+    let ExprNode::Bin {
+        op: BinOp::Min,
+        a: inner,
+        b: hi,
+    } = a.node()
+    else {
+        return None;
+    };
+    let (lo, hi) = (unbroadcast(lo), unbroadcast(hi));
+    if is_scalar_int(lo) && is_scalar_int(hi) && !inner.ty().is_float() {
+        Some((inner, lo, hi))
+    } else {
+        None
+    }
 }
 
 /// Matches a unit-stride integer ramp index, the dense vector access pattern
@@ -456,11 +513,16 @@ impl Compiler {
                     b: Box::new(self.expr(b)?),
                 }
             }
-            ExprNode::Cmp { op, a, b } => CExpr::Cmp {
-                op: *op,
-                a: Box::new(self.expr(a)?),
-                b: Box::new(self.expr(b)?),
-            },
+            ExprNode::Cmp { op, a, b } => {
+                // Same splat-folding as binary arithmetic: a broadcast
+                // compared against a static vector need not materialize.
+                let (a, b) = (fold_broadcast_against(a, b), fold_broadcast_against(b, a));
+                CExpr::Cmp {
+                    op: *op,
+                    a: Box::new(self.expr(a)?),
+                    b: Box::new(self.expr(b)?),
+                }
+            }
             ExprNode::And { a, b } => CExpr::And {
                 a: Box::new(self.expr(a)?),
                 b: Box::new(self.expr(b)?),
@@ -472,11 +534,26 @@ impl Compiler {
             ExprNode::Not { a } => CExpr::Not {
                 a: Box::new(self.expr(a)?),
             },
-            ExprNode::Select { cond, t, f } => CExpr::Select {
-                cond: Box::new(self.expr(cond)?),
-                t: Box::new(self.expr(t)?),
-                f: Box::new(self.expr(f)?),
-            },
+            ExprNode::Select { cond, t, f } => {
+                // When the condition is statically a vector the result's
+                // width is pinned by the mask, so broadcast arms need not
+                // materialize: the blend splats the scalar side lane-wise
+                // with identical results. (A statically-scalar condition
+                // must keep its arms' widths — the taken arm IS the result.)
+                let (t, f) = if cond.ty().lanes() > 1 {
+                    (
+                        fold_broadcast_against(t, cond),
+                        fold_broadcast_against(f, cond),
+                    )
+                } else {
+                    (t, f)
+                };
+                CExpr::Select {
+                    cond: Box::new(self.expr(cond)?),
+                    t: Box::new(self.expr(t)?),
+                    f: Box::new(self.expr(f)?),
+                }
+            }
             ExprNode::Ramp {
                 base,
                 stride,
@@ -509,6 +586,24 @@ impl Compiler {
                         base: Box::new(self.expr(base)?),
                         lanes,
                     }
+                } else if let Some((inner, lo, hi)) = clamp_pattern(index) {
+                    // Fusing the clamp into the gather requires the bounds
+                    // to be scalars at run time too; `may_vec` is the
+                    // binding-aware check (static types can be stale after
+                    // vectorization).
+                    if self.may_vec(lo) || self.may_vec(hi) {
+                        CExpr::Load {
+                            buf,
+                            index: Box::new(self.expr(index)?),
+                        }
+                    } else {
+                        CExpr::LoadClamped {
+                            buf,
+                            index: Box::new(self.expr(inner)?),
+                            lo: Box::new(self.expr(lo)?),
+                            hi: Box::new(self.expr(hi)?),
+                        }
+                    }
                 } else {
                     CExpr::Load {
                         buf,
@@ -532,11 +627,25 @@ impl Compiler {
                             args.len()
                         )));
                     }
-                    let args = args
-                        .iter()
-                        .map(|a| self.expr(a))
-                        .collect::<Result<Vec<_>>>()?;
-                    CExpr::Intrinsic { f, args }
+                    // `min`/`max` intrinsics have exactly the binary
+                    // operator's semantics and count as one arithmetic op
+                    // either way — compile them as `Bin` so evaluation skips
+                    // the argument-vector allocation.
+                    if let (CIntrinsic::MinMax(op), 2) = (f, args.len()) {
+                        let (a, b) = (&args[0], &args[1]);
+                        let (a, b) = (fold_broadcast_against(a, b), fold_broadcast_against(b, a));
+                        CExpr::Bin {
+                            op,
+                            a: Box::new(self.expr(a)?),
+                            b: Box::new(self.expr(b)?),
+                        }
+                    } else {
+                        let args = args
+                            .iter()
+                            .map(|a| self.expr(a))
+                            .collect::<Result<Vec<_>>>()?;
+                        CExpr::Intrinsic { f, args }
+                    }
                 }
                 CallType::Halide | CallType::Image => {
                     return Err(ExecError::new(format!(

@@ -266,6 +266,9 @@ pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
                     eval_expr(f, frame, ctx)
                 };
             }
+            if ctx.instrument {
+                ctx.counters.add_masked_select();
+            }
             let tv = eval_expr(t, frame, ctx)?;
             let fv = eval_expr(f, frame, ctx)?;
             Ok(select_op(&c, &tv, &fv))
@@ -310,6 +313,12 @@ pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
             let lanes = idx.lanes();
             if ctx.instrument {
                 ctx.counters.add_load(lanes as u64);
+                if lanes > 1 {
+                    ctx.counters
+                        .add_load_pattern(halide_runtime::classify_flat_indices(
+                            &idx.to_int_lanes(),
+                        ));
+                }
             }
             let len = buf.len();
             let mut out_i: Vec<i64> = Vec::with_capacity(lanes);
@@ -537,11 +546,17 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
                 ctx.gpu.mark_host_dirty(name);
             }
             let lanes = idx.lanes().max(val.lanes());
+            let idx = idx.broadcast(lanes);
             if ctx.instrument {
                 ctx.counters.add_store(lanes as u64);
+                if lanes > 1 {
+                    ctx.counters
+                        .add_store_pattern(halide_runtime::classify_flat_indices(
+                            &idx.to_int_lanes(),
+                        ));
+                }
             }
             let len = buf.len();
-            let idx = idx.broadcast(lanes);
             for lane in 0..lanes {
                 let i = idx.lane_int(lane);
                 if i < 0 || i as usize >= len {

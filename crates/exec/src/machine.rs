@@ -20,8 +20,8 @@ use std::sync::Arc;
 
 use halide_ir::ForKind;
 use halide_runtime::{
-    binary_op, binary_op_owned, cast_owned, compare_op, scalar_binary_op, scalar_compare_op,
-    select_op, Buffer, Scalar, Value,
+    binary_op, binary_op_owned, cast_owned, compare_op_owned, not_op_owned, scalar_binary_op,
+    scalar_compare_op, select_op_owned, AccessPattern, Buffer, Scalar, Value,
 };
 
 use crate::compile::{CExpr, CIntrinsic, CStmt, Program};
@@ -213,6 +213,41 @@ fn ramp_bin(op: halide_ir::BinOp, a: &CValue, b: &CValue) -> Option<CValue> {
     }
 }
 
+/// The access pattern of a load through `idx`, by the classification rule
+/// shared with the interpreter ([`halide_runtime::classify_flat_indices`]).
+/// Symbolic ramps classify without materializing — by construction a ramp's
+/// lanes have the constant lane-to-lane delta `stride`, so the result is the
+/// same one the interpreter computes from the materialized lanes.
+fn classify_load_index(idx: &CValue) -> AccessPattern {
+    match idx {
+        CValue::S(_) => AccessPattern::Scalar,
+        CValue::R { stride, lanes, .. } => {
+            if *lanes <= 1 {
+                AccessPattern::Scalar
+            } else if *stride == 1 {
+                AccessPattern::Dense
+            } else {
+                AccessPattern::Strided
+            }
+        }
+        CValue::V(v) => halide_runtime::classify_flat_indices(&v.to_int_lanes()),
+    }
+}
+
+/// The access pattern of a store through `idx`, widened to `lanes` the way
+/// the interpreter widens it (`idx.broadcast(lanes)` before the lane loop):
+/// an index narrower than the store repeats its first lane, which makes the
+/// deltas zero — a stride-0 strided store, never a dense one.
+fn classify_store_index(idx: &CValue, lanes: usize) -> AccessPattern {
+    if lanes <= 1 {
+        return AccessPattern::Scalar;
+    }
+    if idx.lanes() != lanes {
+        return AccessPattern::Strided; // broadcast of the first lane
+    }
+    classify_load_index(idx)
+}
+
 /// Per-thread execution state for a compiled program.
 #[derive(Clone)]
 pub(crate) struct Machine {
@@ -286,7 +321,7 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
             }
             Ok(match (va, vb) {
                 (CValue::S(x), CValue::S(y)) => CValue::S(scalar_compare_op(*op, x, y)),
-                (va, vb) => vv(compare_op(*op, &va.into_value(), &vb.into_value())),
+                (va, vb) => vv(compare_op_owned(*op, va.into_value(), vb.into_value())),
             })
         }
         CExpr::And { a, b } => {
@@ -299,11 +334,8 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
                 // select(true-scalar, b, false) is exactly b.
                 return Ok(vb);
             }
-            Ok(vv(select_op(
-                &va.into_value(),
-                &vb.into_value(),
-                &Value::bool(false),
-            )))
+            let c = va.into_value();
+            Ok(vv(select_op_owned(&c, vb.into_value(), Value::bool(false))))
         }
         CExpr::Or { a, b } => {
             let va = eval(prog, a, m, ctx)?;
@@ -315,24 +347,28 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
                 // select(false-scalar, true, b) is exactly b.
                 return Ok(vb);
             }
-            Ok(vv(select_op(
-                &va.into_value(),
-                &Value::bool(true),
-                &vb.into_value(),
-            )))
+            let c = va.into_value();
+            Ok(vv(select_op_owned(&c, Value::bool(true), vb.into_value())))
         }
         CExpr::Not { a } => Ok(match eval(prog, a, m, ctx)? {
             CValue::S(s) => CValue::S(Scalar::Int((s.as_i64() == 0) as i64)),
-            other => vv(Value::Int(
-                other
-                    .into_value()
-                    .to_int_lanes()
-                    .iter()
-                    .map(|x| (*x == 0) as i64)
-                    .collect(),
-            )),
+            other => vv(not_op_owned(other.into_value())),
         }),
         CExpr::Select { cond, t, f } => {
+            // A condition held in a register (the common shape for masks the
+            // lowering pass hoisted into `let`s) is blended without cloning:
+            // the arms cannot write the condition's slot, because every
+            // binder gets a unique slot at compile time.
+            if let CExpr::Slot(slot) = cond.as_ref() {
+                if m.regs[*slot as usize].lanes() == 1 {
+                    return if m.regs[*slot as usize].as_bool()? {
+                        eval(prog, t, m, ctx)
+                    } else {
+                        eval(prog, f, m, ctx)
+                    };
+                }
+                return masked_select_from_slot(prog, *slot, t, f, m, ctx);
+            }
             let c = eval(prog, cond, m, ctx)?;
             // Scalar condition: evaluate only the taken branch.
             if c.lanes() == 1 {
@@ -342,13 +378,7 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
                     eval(prog, f, m, ctx)
                 };
             }
-            let tv = eval(prog, t, m, ctx)?;
-            let fv = eval(prog, f, m, ctx)?;
-            Ok(vv(select_op(
-                &c.into_value(),
-                &tv.into_value(),
-                &fv.into_value(),
-            )))
+            masked_select(prog, c, t, f, m, ctx)
         }
         CExpr::Ramp {
             base,
@@ -388,7 +418,7 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
             }
             let lanes = idx.lanes();
             if ctx.instrument {
-                ctx.counters.add_load(lanes as u64);
+                count_load(ctx, &idx, lanes);
             }
             let len = buffer.len();
             // Scalar fast path: one bounds check, one typed read, no Vec.
@@ -399,14 +429,19 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
                 }
                 return Ok(CValue::S(buffer.get_flat_scalar(i as usize)));
             }
-            // Unit-stride symbolic ramp: one bounds check, one bulk read.
+            // A symbolic ramp: one bulk memory operation — dense (one bounds
+            // check, one contiguous read) for unit stride, a bulk strided
+            // read otherwise. Either way the index lanes never materialize.
             if let CValue::R {
                 base: base_v,
-                stride: 1,
+                stride,
                 ..
             } = idx
             {
-                return dense_load(prog, *buf, buffer, base_v, lanes);
+                if stride == 1 {
+                    return dense_load(prog, *buf, buffer, base_v, lanes);
+                }
+                return strided_load(prog, *buf, buffer, base_v, stride, lanes);
             }
             let idx = idx.into_value();
             Ok(vv(gather(prog, *buf, buffer, &idx, lanes)?))
@@ -421,8 +456,17 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
             }
             if ctx.instrument {
                 ctx.counters.add_load(lanes as u64);
+                if lanes > 1 {
+                    ctx.counters.add_load_pattern(AccessPattern::Dense);
+                }
             }
             dense_load(prog, *buf, buffer, base_v, lanes)
+        }
+        CExpr::LoadClamped { buf, index, lo, hi } => {
+            let idx = eval(prog, index, m, ctx)?;
+            let lo_v = eval(prog, lo, m, ctx)?.as_int()?;
+            let hi_v = eval(prog, hi, m, ctx)?.as_int()?;
+            clamped_load(prog, *buf, idx, lo_v, hi_v, m, ctx)
         }
         CExpr::Intrinsic { f, args } => {
             let mut vals = Vec::with_capacity(args.len());
@@ -501,6 +545,287 @@ fn dense_load(
     } else {
         Value::Int(buffer.read_flat_i64s(start, lanes))
     }))
+}
+
+/// Loads `lanes` elements at `base, base + stride, …` as one bulk strided
+/// read; the compiled form of a load through a non-unit-stride symbolic ramp
+/// (the index lanes never materialize).
+fn strided_load(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    base: i64,
+    stride: i64,
+    lanes: usize,
+) -> Result<CValue> {
+    Ok(vv(if buffer.ty().is_float() {
+        buffer
+            .read_flat_strided_f64s(base, stride, lanes)
+            .map(Value::Float)
+            .map_err(|i| oob(prog, buf, "load from", i, buffer.len()))?
+    } else {
+        buffer
+            .read_flat_strided_i64s(base, stride, lanes)
+            .map(Value::Int)
+            .map_err(|i| oob(prog, buf, "load from", i, buffer.len()))?
+    }))
+}
+
+/// Stores `val` through a non-unit-stride ramp as one bulk strided write.
+/// Returns `None` when the value's shape has no bulk form (the caller falls
+/// back to the per-lane loop, which reproduces the interpreter exactly).
+fn strided_store(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    base: i64,
+    stride: i64,
+    lanes: usize,
+    val: &CValue,
+) -> Option<Result<()>> {
+    let len = buffer.len();
+    match val {
+        // A scalar value: every lane writes the same converted element.
+        CValue::S(s) => {
+            for k in 0..lanes {
+                let i = base + stride * k as i64;
+                if i < 0 || i as usize >= len {
+                    return Some(Err(oob(prog, buf, "store to", i, len)));
+                }
+                buffer.set_flat_scalar(i as usize, *s);
+            }
+            Some(Ok(()))
+        }
+        CValue::V(v) => match v.as_ref() {
+            Value::Float(fv) if fv.len() == lanes => Some(
+                buffer
+                    .write_flat_strided_f64s(base, stride, fv)
+                    .map_err(|i| oob(prog, buf, "store to", i, len)),
+            ),
+            Value::Int(iv) if iv.len() == lanes => Some(
+                buffer
+                    .write_flat_strided_i64s(base, stride, iv)
+                    .map_err(|i| oob(prog, buf, "store to", i, len)),
+            ),
+            _ => None,
+        },
+        CValue::R { .. } => None,
+    }
+}
+
+/// The instrument-on bookkeeping of a `Load`, kept out of the hot arm
+/// (counter atomics plus the access-pattern classification).
+#[cold]
+fn count_load(ctx: &Context, idx: &CValue, lanes: usize) {
+    ctx.counters.add_load(lanes as u64);
+    ctx.counters.add_load_pattern(classify_load_index(idx));
+}
+
+/// The instrument-on bookkeeping of a `Store`.
+#[cold]
+fn count_store(ctx: &Context, idx: &CValue, lanes: usize) {
+    ctx.counters.add_store(lanes as u64);
+    ctx.counters
+        .add_store_pattern(classify_store_index(idx, lanes));
+}
+
+/// A store whose index or value is a vector, dispatched to the bulk forms:
+/// dense or strided for symbolic ramps, a single scatter for index vectors
+/// with a lane-matched value, the reference per-lane loop otherwise.
+/// Outlined so the scalar store path in [`exec`]'s hot match stays small.
+#[inline(never)]
+fn vector_store(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    idx: CValue,
+    val: CValue,
+    lanes: usize,
+) -> Result<()> {
+    let len = buffer.len();
+    // A symbolic ramp covering the whole store: one bulk write — contiguous
+    // for unit stride, strided otherwise.
+    if let CValue::R {
+        base: base_v,
+        stride,
+        lanes: rl,
+    } = idx
+    {
+        if stride == 1 {
+            return dense_store(prog, buf, buffer, base_v, rl as usize, lanes, val, len);
+        }
+        if rl as usize == lanes {
+            if let Some(r) = strided_store(prog, buf, buffer, base_v, stride, lanes, &val) {
+                return r;
+            }
+        }
+        // Reproduce the per-lane semantics for the odd shapes (value wider
+        // than the ramp, multi-lane-but-narrower value).
+        return per_lane_store(prog, buf, buffer, idx, val, lanes);
+    }
+    // An arbitrary index vector with a matching value vector: one bulk
+    // scatter, one storage dispatch.
+    if let CValue::V(iv) = &idx {
+        if let (Value::Int(ints), true) = (iv.as_ref(), idx.lanes() == lanes) {
+            let scattered = match &val {
+                CValue::V(v) => match v.as_ref() {
+                    Value::Float(fv) if fv.len() == lanes => Some(
+                        buffer
+                            .scatter_flat_f64s(ints, fv)
+                            .map_err(|i| oob(prog, buf, "store to", i, len)),
+                    ),
+                    Value::Int(vv) if vv.len() == lanes => Some(
+                        buffer
+                            .scatter_flat_i64s(ints, vv)
+                            .map_err(|i| oob(prog, buf, "store to", i, len)),
+                    ),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(r) = scattered {
+                return r;
+            }
+        }
+    }
+    per_lane_store(prog, buf, buffer, idx, val, lanes)
+}
+
+/// A `select` with a register-held vector mask: blend without cloning the
+/// mask (the arms cannot write the condition's slot — slots are unique per
+/// binder). Outlined to keep [`eval`]'s hot match small.
+#[inline(never)]
+fn masked_select_from_slot(
+    prog: &Program,
+    slot: u32,
+    t: &CExpr,
+    f: &CExpr,
+    m: &mut Machine,
+    ctx: &Context,
+) -> Result<CValue> {
+    if ctx.instrument {
+        ctx.counters.add_masked_select();
+    }
+    let tv = eval(prog, t, m, ctx)?.into_value();
+    let fv = eval(prog, f, m, ctx)?.into_value();
+    Ok(vv(match &m.regs[slot as usize] {
+        CValue::V(c) => select_op_owned(c, tv, fv),
+        other => select_op_owned(&other.clone().into_value(), tv, fv),
+    }))
+}
+
+/// A `select` with an already-evaluated vector mask: evaluate both
+/// (side-effect-free) arms, then mask-and-blend over whole registers.
+#[inline(never)]
+fn masked_select(
+    prog: &Program,
+    cond: CValue,
+    t: &CExpr,
+    f: &CExpr,
+    m: &mut Machine,
+    ctx: &Context,
+) -> Result<CValue> {
+    if ctx.instrument {
+        ctx.counters.add_masked_select();
+    }
+    let tv = eval(prog, t, m, ctx)?;
+    let fv = eval(prog, f, m, ctx)?;
+    let c = cond.into_value();
+    Ok(vv(select_op_owned(&c, tv.into_value(), fv.into_value())))
+}
+
+/// A load through `max(min(index, hi), lo)`: clamp while gathering, one
+/// storage dispatch, no min/max intermediate vectors (which still count as
+/// the two arithmetic operations the interpreter executes for them).
+/// Outlined to keep [`eval`]'s hot match small.
+#[inline(never)]
+fn clamped_load(
+    prog: &Program,
+    buf: u32,
+    idx: CValue,
+    lo_v: i64,
+    hi_v: i64,
+    m: &mut Machine,
+    ctx: &Context,
+) -> Result<CValue> {
+    let buffer = m.buffer(prog, buf)?;
+    if ctx.gpu_in_use() {
+        ctx.gpu
+            .ensure_on_host(&prog.buf_names[buf as usize], &ctx.counters);
+    }
+    let lanes = idx.lanes();
+    if ctx.instrument {
+        ctx.counters.add_arith(2);
+        ctx.counters.add_load(lanes as u64);
+        if lanes > 1 {
+            // Classify the post-clamp indices, as the interpreter (which
+            // sees them materialized) does.
+            let clamped: Vec<i64> = match &idx {
+                CValue::S(s) => vec![s.as_i64().min(hi_v).max(lo_v)],
+                CValue::R {
+                    base,
+                    stride,
+                    lanes,
+                } => (0..*lanes as i64)
+                    .map(|k| (base + stride * k).min(hi_v).max(lo_v))
+                    .collect(),
+                CValue::V(v) => v
+                    .to_int_lanes()
+                    .iter()
+                    .map(|i| (*i).min(hi_v).max(lo_v))
+                    .collect(),
+            };
+            ctx.counters
+                .add_load_pattern(halide_runtime::classify_flat_indices(&clamped));
+        }
+    }
+    let len = buffer.len();
+    // Scalar: clamp, one bounds check, one typed read.
+    if let CValue::S(s) = &idx {
+        let i = s.as_i64().min(hi_v).max(lo_v);
+        if i < 0 || i as usize >= len {
+            return Err(oob(prog, buf, "load from", i, len));
+        }
+        return Ok(CValue::S(buffer.get_flat_scalar(i as usize)));
+    }
+    let idx = idx.into_value();
+    let ints = idx.to_int_lanes();
+    Ok(vv(if buffer.ty().is_float() {
+        buffer
+            .gather_flat_f64_clamped(&ints, lo_v, hi_v)
+            .map(Value::Float)
+            .map_err(|i| oob(prog, buf, "load from", i, len))?
+    } else {
+        buffer
+            .gather_flat_i64_clamped(&ints, lo_v, hi_v)
+            .map(Value::Int)
+            .map_err(|i| oob(prog, buf, "load from", i, len))?
+    }))
+}
+
+/// The reference per-lane store loop: broadcast the index, bounds-check and
+/// write lane by lane — exactly the interpreter's semantics. The bulk store
+/// paths above are shortcuts for the shapes they cover; everything else
+/// lands here.
+fn per_lane_store(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    idx: CValue,
+    val: CValue,
+    lanes: usize,
+) -> Result<()> {
+    let len = buffer.len();
+    let idx = idx.into_value().broadcast(lanes);
+    let val = val.into_value();
+    for lane in 0..lanes {
+        let i = idx.lane_int(lane);
+        if i < 0 || i as usize >= len {
+            return Err(oob(prog, buf, "store to", i, len));
+        }
+        buffer.set_flat_lane(i as usize, &val, lane);
+    }
+    Ok(())
 }
 
 fn f64_scalar(v: &CValue) -> Result<f64> {
@@ -718,7 +1043,7 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
             }
             let lanes = idx.lanes().max(val.lanes());
             if ctx.instrument {
-                ctx.counters.add_store(lanes as u64);
+                count_store(ctx, &idx, lanes);
             }
             let len = buffer.len();
             // Scalar fast path: one bounds check, one typed write.
@@ -730,25 +1055,7 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
                 buffer.set_flat_scalar(i as usize, *v);
                 return Ok(());
             }
-            // Unit-stride symbolic ramp: one bounds check, one bulk write.
-            if let CValue::R {
-                base: base_v,
-                stride: 1,
-                lanes: rl,
-            } = idx
-            {
-                return dense_store(prog, *buf, buffer, base_v, rl as usize, lanes, val, len);
-            }
-            let idx = idx.into_value().broadcast(lanes);
-            let val = val.into_value();
-            for lane in 0..lanes {
-                let i = idx.lane_int(lane);
-                if i < 0 || i as usize >= len {
-                    return Err(oob(prog, *buf, "store to", i, len));
-                }
-                buffer.set_flat_lane(i as usize, &val, lane);
-            }
-            Ok(())
+            vector_store(prog, *buf, buffer, idx, val, lanes)
         }
         CStmt::StoreDense {
             buf,
@@ -766,6 +1073,16 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
             let lanes = ramp_lanes.max(val.lanes());
             if ctx.instrument {
                 ctx.counters.add_store(lanes as u64);
+                if lanes > 1 {
+                    // A value wider than the ramp broadcasts the ramp's
+                    // first lane, which the shared classification rule calls
+                    // a stride-0 strided store.
+                    ctx.counters.add_store_pattern(if ramp_lanes == lanes {
+                        AccessPattern::Dense
+                    } else {
+                        AccessPattern::Strided
+                    });
+                }
             }
             let len = buffer.len();
             dense_store(prog, *buf, buffer, base_v, ramp_lanes, lanes, val, len)
@@ -1135,6 +1452,175 @@ mod tests {
         let threads = Stmt::for_loop("tx", Expr::int(0), Expr::int(4), ForKind::GpuThread, body);
         let blocks = Stmt::for_loop("bx", Expr::int(0), Expr::int(4), ForKind::GpuBlock, threads);
         assert_backends_agree(&blocks, &[("src", 16), ("out", 16)]);
+    }
+
+    /// Fills `src[j] = j * 1.5 - 3.0` for j in [0, n) — gives loads real
+    /// data to chew on inside a single differential statement.
+    fn fill_loop(buf: &str, n: i64) -> Stmt {
+        Stmt::for_loop(
+            "j",
+            Expr::int(0),
+            Expr::int(n as i32),
+            ForKind::Serial,
+            Stmt::store(
+                buf,
+                Expr::var_i32("j").cast(Type::f32()) * 1.5f32 - 3.0f32,
+                Expr::var_i32("j"),
+            ),
+        )
+    }
+
+    #[test]
+    fn masked_selects_blend_identically() {
+        // A vector-condition select whose arms are both loads: the engines
+        // evaluate both arms and blend — outputs, masked-select and
+        // dense-load counters must all match.
+        let idx = Expr::ramp(Expr::var_i32("i") * 4, Expr::int(1), 4);
+        let mask = Expr::lt(idx.clone() % 3, Expr::broadcast(Expr::int(2), 4));
+        let value = Expr::select(
+            mask,
+            Expr::load(Type::f32(), "src", idx.clone()),
+            Expr::load(Type::f32(), "src", idx.clone()) * -1.0f32,
+        );
+        let s = Stmt::block_of(vec![
+            fill_loop("src", 16),
+            Stmt::for_loop(
+                "i",
+                Expr::int(0),
+                Expr::int(4),
+                ForKind::Serial,
+                Stmt::store("out", value, idx),
+            ),
+        ]);
+        assert_backends_agree(&s, &[("src", 16), ("out", 16)]);
+    }
+
+    #[test]
+    fn masked_select_with_oob_unless_masked_arm_errors_on_both_backends() {
+        // The false arm loads 100 elements past the allocation. A masked
+        // blend still evaluates both (side-effect-free) arms, so BOTH
+        // engines must report the out-of-bounds load — the mask does not
+        // license skipping the untaken lanes' bounds checks.
+        let idx = Expr::ramp(Expr::int(0), Expr::int(1), 4);
+        let value = Expr::select(
+            Expr::lt(idx.clone(), Expr::broadcast(Expr::int(99), 4)),
+            Expr::load(Type::f32(), "src", idx.clone()),
+            Expr::load(Type::f32(), "src", idx.clone() + 100),
+        );
+        let s = Stmt::store("out", value, idx);
+
+        let prog = Program::compile_stmt(&s).unwrap();
+        let cctx = ctx();
+        let mut m = Machine::new(&prog);
+        for name in ["src", "out"] {
+            m.set_buf(
+                prog.free_buf(name).unwrap(),
+                Arc::new(Buffer::with_extents(ScalarType::Float(32), &[8])),
+            );
+        }
+        let compiled_err = exec(&prog, &prog.body, &mut m, &cctx).unwrap_err();
+        assert!(compiled_err.to_string().contains("outside the allocation"));
+
+        let ictx = ctx();
+        let mut frame = Frame::default();
+        for name in ["src", "out"] {
+            frame.insert_buffer(
+                name.to_string(),
+                Arc::new(Buffer::with_extents(ScalarType::Float(32), &[8])),
+            );
+        }
+        let interp_err = eval_stmt(&s, &mut frame, &ictx).unwrap_err();
+        assert_eq!(compiled_err.to_string(), interp_err.to_string());
+    }
+
+    #[test]
+    fn strided_loads_and_stores_agree() {
+        // Non-unit-stride ramps on both the load and the store side: the
+        // compiled engine's bulk strided paths against the interpreter's
+        // per-lane loops, including the strided-access counters.
+        let load_idx = Expr::ramp(Expr::var_i32("i"), Expr::int(3), 4);
+        let store_idx = Expr::ramp(Expr::var_i32("i") * 8, Expr::int(2), 4);
+        let s = Stmt::block_of(vec![
+            fill_loop("src", 16),
+            Stmt::for_loop(
+                "i",
+                Expr::int(0),
+                Expr::int(4),
+                ForKind::Serial,
+                Stmt::store(
+                    "out",
+                    Expr::load(Type::f32(), "src", load_idx) * 2.0f32,
+                    store_idx,
+                ),
+            ),
+        ]);
+        assert_backends_agree(&s, &[("src", 16), ("out", 32)]);
+    }
+
+    #[test]
+    fn data_dependent_gather_and_scatter_agree() {
+        // Indices loaded from a buffer (data-dependent): the load is a bulk
+        // gather and the store a bulk scatter on the compiled engine; both
+        // engines must agree on values and on the gather/scatter counters.
+        let lane = Expr::ramp(Expr::var_i32("i") * 4, Expr::int(1), 4);
+        let perm = Stmt::for_loop(
+            "j",
+            Expr::int(0),
+            Expr::int(16),
+            ForKind::Serial,
+            Stmt::store("ind", (Expr::var_i32("j") * 7) % 16, Expr::var_i32("j")),
+        );
+        let gathered = Expr::load(
+            Type::f32(),
+            "src",
+            Expr::load(Type::i32(), "ind", lane.clone()).cast(Type::i32()),
+        );
+        let s = Stmt::block_of(vec![
+            perm,
+            fill_loop("src", 16),
+            Stmt::for_loop(
+                "i",
+                Expr::int(0),
+                Expr::int(4),
+                ForKind::Serial,
+                Stmt::store(
+                    "out",
+                    gathered + 1.0f32,
+                    Expr::load(Type::i32(), "ind", lane).cast(Type::i32()),
+                ),
+            ),
+        ]);
+        // `ind` is a float-storage buffer here (the helper allocates f32),
+        // which exercises the trunc-to-int index conversions identically on
+        // both engines.
+        assert_backends_agree(&s, &[("ind", 16), ("src", 16), ("out", 16)]);
+    }
+
+    #[test]
+    fn clamped_gather_loads_agree() {
+        // The fused clamped-gather form against the interpreter's
+        // min/max-then-load: identical values, arith counts, and pattern
+        // counters — at the edges where the clamp actually bites.
+        let idx = Expr::ramp(Expr::var_i32("i") * 4 - 6, Expr::int(1), 4);
+        let clamped = Expr::max(
+            Expr::min(idx, Expr::broadcast(Expr::int(15), 4)),
+            Expr::broadcast(Expr::int(0), 4),
+        );
+        let s = Stmt::block_of(vec![
+            fill_loop("src", 16),
+            Stmt::for_loop(
+                "i",
+                Expr::int(0),
+                Expr::int(6),
+                ForKind::Serial,
+                Stmt::store(
+                    "out",
+                    Expr::load(Type::f32(), "src", clamped),
+                    Expr::ramp(Expr::var_i32("i") * 4, Expr::int(1), 4),
+                ),
+            ),
+        ]);
+        assert_backends_agree(&s, &[("src", 16), ("out", 24)]);
     }
 
     #[test]

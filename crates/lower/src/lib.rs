@@ -21,7 +21,10 @@
 //! 5. vectorization and unrolling ([`vectorize`]; extents resolve through
 //!    the visible bindings, so a let-bound constant extent still counts as
 //!    constant),
-//! 6. simplification (throughout; the statement simplifier is
+//! 6. loop-invariant mask hoisting ([`licm`]; `select` conditions invariant
+//!    in an enclosing loop become leading `let`s of its body, which the
+//!    execution engines evaluate once per loop entry),
+//! 7. simplification (throughout; the statement simplifier is
 //!    scope-carrying, folding min/max terms over let-bound bounds names).
 //!
 //! Each pass assumes the previous ones ran: sliding/folding pattern-match
@@ -42,6 +45,7 @@ pub mod bounds;
 pub mod error;
 pub mod flatten;
 pub mod inject;
+pub mod licm;
 pub mod nest;
 pub mod sliding;
 pub mod vectorize;
@@ -168,7 +172,13 @@ pub fn lower_with_options(pipeline: &Pipeline, options: &LowerOptions) -> Result
         demote_vector_loops(&stmt)
     };
 
-    // 6. Final cleanup.
+    // 6. Loop-invariant mask hoisting: `select` conditions that do not
+    //    depend on an enclosing loop's variable are bound to `let`s at the
+    //    loop-body head, where both execution engines' invariant-let peeling
+    //    evaluates them once per loop entry.
+    let stmt = licm::hoist_invariant_masks(&stmt);
+
+    // 7. Final cleanup.
     let stmt = simplify_stmt(&stmt);
 
     let out_def = &env[&output];

@@ -101,7 +101,11 @@ impl AppKind {
     }
 
     /// [`AppKind::run`] on an explicit execution backend — the benchmark
-    /// harnesses route their `--backend` flag through this.
+    /// harnesses route their `--backend` flag through this. Runs with the
+    /// per-operation counters **off** (this is the wall-clock path; the
+    /// structural counters — allocations, tasks, kernel launches, copies —
+    /// are always collected). Use [`AppKind::run_instrumented`] when the
+    /// per-op counts are the point.
     ///
     /// # Errors
     ///
@@ -116,6 +120,42 @@ impl AppKind {
         threads: usize,
         backend: halide_exec::Backend,
     ) -> LowerResult<(ExecResult<Realization>, PipelineStats)> {
+        self.run_full(width, height, schedule, threads, false, backend)
+    }
+
+    /// [`AppKind::run_with_backend`] with the per-operation counters **on**:
+    /// the realization's [`CounterSnapshot`](halide_runtime::CounterSnapshot)
+    /// carries exact arithmetic/load/store counts plus the access-pattern
+    /// breakdown (dense/strided/gather loads, dense/strided/scatter stores,
+    /// masked selects). Wall times from this path include the counting
+    /// overhead — don't benchmark with it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors; execution errors are returned in the inner
+    /// result.
+    #[allow(clippy::type_complexity)]
+    pub fn run_instrumented(
+        &self,
+        width: i64,
+        height: i64,
+        schedule: ScheduleChoice,
+        threads: usize,
+        backend: halide_exec::Backend,
+    ) -> LowerResult<(ExecResult<Realization>, PipelineStats)> {
+        self.run_full(width, height, schedule, threads, true, backend)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_full(
+        &self,
+        width: i64,
+        height: i64,
+        schedule: ScheduleChoice,
+        threads: usize,
+        instrument: bool,
+        backend: halide_exec::Backend,
+    ) -> LowerResult<(ExecResult<Realization>, PipelineStats)> {
         match self {
             AppKind::Blur => {
                 let app = blur::BlurApp::new();
@@ -126,7 +166,10 @@ impl AppKind {
                 let module = app.compile(s)?;
                 let stats = analyze(&app.pipeline());
                 let input = blur::make_input(width, height);
-                Ok((app.run_on(&module, &input, threads, false, backend), stats))
+                Ok((
+                    app.run_on(&module, &input, threads, instrument, backend),
+                    stats,
+                ))
             }
             AppKind::Histogram => {
                 let app = histogram::HistogramApp::new(width as i32, height as i32);
@@ -136,7 +179,10 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = histogram::make_input(width, height);
-                Ok((app.run_on(&module, &input, threads, backend), stats))
+                Ok((
+                    app.run_on(&module, &input, threads, instrument, backend),
+                    stats,
+                ))
             }
             AppKind::BilateralGrid => {
                 let app = bilateral_grid::BilateralGridApp::new();
@@ -148,7 +194,10 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = bilateral_grid::make_input(width, height);
-                Ok((app.run_on(&module, &input, threads, backend), stats))
+                Ok((
+                    app.run_on(&module, &input, threads, instrument, backend),
+                    stats,
+                ))
             }
             AppKind::CameraPipe => {
                 let app = camera_pipe::CameraPipeApp::new(2.2, 0.8);
@@ -158,7 +207,10 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = camera_pipe::make_raw_input(width, height);
-                Ok((app.run_on(&module, &input, threads, backend), stats))
+                Ok((
+                    app.run_on(&module, &input, threads, instrument, backend),
+                    stats,
+                ))
             }
             AppKind::Interpolate => {
                 let levels = pyramid_levels(width, height);
@@ -171,7 +223,10 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = interpolate::make_input(width, height);
-                Ok((app.run_on(&module, &input, threads, backend), stats))
+                Ok((
+                    app.run_on(&module, &input, threads, instrument, backend),
+                    stats,
+                ))
             }
             AppKind::LocalLaplacian => {
                 let levels = pyramid_levels(width, height).min(4);
@@ -182,7 +237,10 @@ impl AppKind {
                 let module = app.compile()?;
                 let stats = analyze(&app.pipeline());
                 let input = local_laplacian::make_input(width, height);
-                Ok((app.run_on(&module, &input, threads, backend), stats))
+                Ok((
+                    app.run_on(&module, &input, threads, instrument, backend),
+                    stats,
+                ))
             }
         }
     }

@@ -164,15 +164,23 @@ impl BilateralGridApp {
     /// A good CPU schedule in the spirit of the paper's result: the grid
     /// stages are computed at root and parallelized over their (small) y
     /// dimension; the slice stage is tiled, parallelized and computed per
-    /// tile.
+    /// tile. The three grid blurs and the slice are vectorized 8 wide —
+    /// the slice's trilinear reads become bulk gathers on the compiled
+    /// engine (the grid construction itself stays scalar: its scatter
+    /// reduction is latency-, not width-, bound at these grid sizes).
     pub fn schedule_good(&self) {
         self.grid.compute_root().parallelize("y");
-        self.blurz.compute_root().parallelize("y");
-        self.blurx.compute_root().parallelize("y");
-        self.blury.compute_root().parallelize("y");
+        for f in [&self.blurz, &self.blurx, &self.blury] {
+            f.compute_root()
+                .parallelize("y")
+                .split_dim("x", "xv", "xl", 8)
+                .vectorize_dim("xl");
+        }
         self.out
             .tile_dims("x", "y", "xo", "yo", "xi", "yi", 32, 32)
-            .parallelize("yo");
+            .parallelize("yo")
+            .split_dim("xi", "xio", "xii", 8)
+            .vectorize_dim("xii");
     }
 
     /// A simulated-GPU schedule: every stage is mapped to GPU tiles (cf. the
@@ -200,11 +208,19 @@ impl BilateralGridApp {
     ///
     /// Propagates execution errors.
     pub fn run(&self, module: &Module, input: &Buffer, threads: usize) -> ExecResult<Realization> {
-        self.run_on(module, input, threads, halide_exec::Backend::default())
+        self.run_on(
+            module,
+            input,
+            threads,
+            true,
+            halide_exec::Backend::default(),
+        )
     }
 
     /// Runs on an explicit execution [`Backend`](halide_exec::Backend)
-    /// (the benchmark harnesses compare engines through this).
+    /// (the benchmark harnesses compare engines through this). `instrument`
+    /// toggles the per-operation counters; pass `false` when the wall time
+    /// matters (see [`halide_exec::Realizer::instrument`]).
     ///
     /// # Errors
     ///
@@ -214,12 +230,14 @@ impl BilateralGridApp {
         module: &Module,
         input: &Buffer,
         threads: usize,
+        instrument: bool,
         backend: halide_exec::Backend,
     ) -> ExecResult<Realization> {
         let (w, h) = (input.dims()[0].extent, input.dims()[1].extent);
         Realizer::new(module)
             .input(self.input.name(), input.clone())
             .threads(threads)
+            .instrument(instrument)
             .backend(backend)
             .realize(&[w, h])
     }

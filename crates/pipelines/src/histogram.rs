@@ -107,11 +107,19 @@ impl HistogramApp {
     ///
     /// Propagates execution errors.
     pub fn run(&self, module: &Module, input: &Buffer, threads: usize) -> ExecResult<Realization> {
-        self.run_on(module, input, threads, halide_exec::Backend::default())
+        self.run_on(
+            module,
+            input,
+            threads,
+            true,
+            halide_exec::Backend::default(),
+        )
     }
 
     /// Runs on an explicit execution [`Backend`](halide_exec::Backend)
-    /// (the benchmark harnesses compare engines through this).
+    /// (the benchmark harnesses compare engines through this). `instrument`
+    /// toggles the per-operation counters; pass `false` when the wall time
+    /// matters (see [`halide_exec::Realizer::instrument`]).
     ///
     /// # Errors
     ///
@@ -121,12 +129,14 @@ impl HistogramApp {
         module: &Module,
         input: &Buffer,
         threads: usize,
+        instrument: bool,
         backend: halide_exec::Backend,
     ) -> ExecResult<Realization> {
         let (w, h) = (input.dims()[0].extent, input.dims()[1].extent);
         Realizer::new(module)
             .input(self.input.name(), input.clone())
             .threads(threads)
+            .instrument(instrument)
             .backend(backend)
             .realize(&[w, h])
     }

@@ -469,6 +469,229 @@ impl Buffer {
         })
     }
 
+    /// Reads the elements at the given flat indices as `f64`s, clamping each
+    /// index into `[lo, hi]` first (exactly `max(min(i, hi), lo)`, the
+    /// clamped-access pattern `at_clamped` lowers to) — the bulk form of the
+    /// clamped gathers the camera pipe's LUT stage performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first **clamped** index outside `[0, len)` (possible when
+    /// the clamp range itself reaches outside the allocation).
+    pub fn gather_flat_f64_clamped(
+        &self,
+        idx: &[i64],
+        lo: i64,
+        hi: i64,
+    ) -> std::result::Result<Vec<f64>, i64> {
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            let mut out = Vec::with_capacity(idx.len());
+            for &i in idx {
+                let i = i.min(hi).max(lo);
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                out.push(s[i as usize] as f64);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Reads the elements at the given flat indices as `i64`s, clamping each
+    /// index into `[lo, hi]` first; the integer twin of
+    /// [`Buffer::gather_flat_f64_clamped`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first clamped index outside `[0, len)`.
+    pub fn gather_flat_i64_clamped(
+        &self,
+        idx: &[i64],
+        lo: i64,
+        hi: i64,
+    ) -> std::result::Result<Vec<i64>, i64> {
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            let mut out = Vec::with_capacity(idx.len());
+            for &i in idx {
+                let i = i.min(hi).max(lo);
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                out.push(s[i as usize] as i64);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Reads `lanes` elements at flat indices `start, start + stride, …` as
+    /// `f64`s in one storage dispatch — the bulk form of a load through a
+    /// non-unit-stride ramp.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)`.
+    pub fn read_flat_strided_f64s(
+        &self,
+        start: i64,
+        stride: i64,
+        lanes: usize,
+    ) -> std::result::Result<Vec<f64>, i64> {
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            let mut out = Vec::with_capacity(lanes);
+            for k in 0..lanes {
+                let i = start + stride * k as i64;
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                out.push(s[i as usize] as f64);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Reads `lanes` elements at flat indices `start, start + stride, …` as
+    /// `i64`s; the integer twin of [`Buffer::read_flat_strided_f64s`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)`.
+    pub fn read_flat_strided_i64s(
+        &self,
+        start: i64,
+        stride: i64,
+        lanes: usize,
+    ) -> std::result::Result<Vec<i64>, i64> {
+        let storage = unsafe { &*self.data.get() };
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            let mut out = Vec::with_capacity(lanes);
+            for k in 0..lanes {
+                let i = start + stride * k as i64;
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                out.push(s[i as usize] as i64);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Writes `vals[k]` at flat indices `start, start + stride, …` (each value
+    /// converted to the element type) in one storage dispatch — the bulk form
+    /// of a store through a non-unit-stride ramp.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)`; values at earlier indices
+    /// have already been written when that happens (callers surface the error
+    /// and discard the buffer, matching the per-lane store paths).
+    pub fn write_flat_strided_f64s(
+        &self,
+        start: i64,
+        stride: i64,
+        vals: &[f64],
+    ) -> std::result::Result<(), i64> {
+        let storage = self.storage_mut();
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            for (k, v) in vals.iter().enumerate() {
+                let i = start + stride * k as i64;
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                s[i as usize] = *v as _;
+            }
+            Ok(())
+        })
+    }
+
+    /// Writes `vals[k]` at flat indices `start, start + stride, …`; the
+    /// integer twin of [`Buffer::write_flat_strided_f64s`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)` (see the `f64` form for the
+    /// partial-write caveat).
+    pub fn write_flat_strided_i64s(
+        &self,
+        start: i64,
+        stride: i64,
+        vals: &[i64],
+    ) -> std::result::Result<(), i64> {
+        let storage = self.storage_mut();
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            for (k, v) in vals.iter().enumerate() {
+                let i = start + stride * k as i64;
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                s[i as usize] = *v as _;
+            }
+            Ok(())
+        })
+    }
+
+    /// Writes `vals[k]` at flat index `idx[k]` (each value converted to the
+    /// element type) in one storage dispatch — the bulk **scatter** that
+    /// replaces per-lane vector stores through arbitrary index vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)`; values at earlier indices
+    /// have already been written when that happens (callers surface the error
+    /// and discard the buffer, matching the per-lane store paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` and `vals` have different lengths.
+    pub fn scatter_flat_f64s(&self, idx: &[i64], vals: &[f64]) -> std::result::Result<(), i64> {
+        assert_eq!(idx.len(), vals.len(), "scatter index/value length mismatch");
+        let storage = self.storage_mut();
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            for (&i, v) in idx.iter().zip(vals) {
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                s[i as usize] = *v as _;
+            }
+            Ok(())
+        })
+    }
+
+    /// Writes `vals[k]` at flat index `idx[k]`; the integer twin of
+    /// [`Buffer::scatter_flat_f64s`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first index outside `[0, len)` (see the `f64` form for the
+    /// partial-write caveat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` and `vals` have different lengths.
+    pub fn scatter_flat_i64s(&self, idx: &[i64], vals: &[i64]) -> std::result::Result<(), i64> {
+        assert_eq!(idx.len(), vals.len(), "scatter index/value length mismatch");
+        let storage = self.storage_mut();
+        with_storage!(storage, s, {
+            let len = s.len() as i64;
+            for (&i, v) in idx.iter().zip(vals) {
+                if i < 0 || i >= len {
+                    return Err(i);
+                }
+                s[i as usize] = *v as _;
+            }
+            Ok(())
+        })
+    }
+
     /// Reads the element at the given coordinates as `f64`.
     pub fn at_f64(&self, coords: &[i64]) -> f64 {
         self.get_flat_f64(self.flat_index(coords))
@@ -622,6 +845,86 @@ mod tests {
             expect.set_flat_i64(1, -2);
             assert_eq!(w.get_flat_i64(5), expect.get_flat_i64(0));
             assert_eq!(w.get_flat_i64(6), expect.get_flat_i64(1));
+        }
+    }
+
+    #[test]
+    fn scatter_strided_and_clamped_accessors_match_per_lane_paths() {
+        for ty in [
+            ScalarType::UInt(8),
+            ScalarType::Int(32),
+            ScalarType::Float(32),
+            ScalarType::Float(64),
+        ] {
+            let b = Buffer::with_extents(ty, &[12]);
+            for i in 0..12 {
+                b.set_flat_f64(i, (i as f64) * 1.5 - 3.0);
+            }
+
+            // Strided reads agree with per-lane reads at base + stride * k.
+            let sf = b.read_flat_strided_f64s(1, 3, 4).unwrap();
+            let si = b.read_flat_strided_i64s(1, 3, 4).unwrap();
+            for k in 0..4 {
+                assert_eq!(sf[k], b.get_flat_f64(1 + 3 * k), "{ty:?} strided f64");
+                assert_eq!(si[k], b.get_flat_i64(1 + 3 * k), "{ty:?} strided i64");
+            }
+            // Negative strides walk backwards; out-of-range reports the index.
+            assert_eq!(
+                b.read_flat_strided_f64s(9, -4, 3).unwrap()[2],
+                b.get_flat_f64(1)
+            );
+            assert_eq!(b.read_flat_strided_f64s(9, 4, 2).unwrap_err(), 13);
+            assert_eq!(b.read_flat_strided_i64s(2, -3, 2).unwrap_err(), -1);
+
+            // Clamped gathers agree with clamping then reading per lane.
+            let idx = [-5i64, 0, 7, 40, 11];
+            let (lo, hi) = (0i64, 11i64);
+            let g = b.gather_flat_f64_clamped(&idx, lo, hi).unwrap();
+            let gi = b.gather_flat_i64_clamped(&idx, lo, hi).unwrap();
+            for (k, &i) in idx.iter().enumerate() {
+                let c = i.min(hi).max(lo) as usize;
+                assert_eq!(g[k], b.get_flat_f64(c), "{ty:?} clamped f64");
+                assert_eq!(gi[k], b.get_flat_i64(c), "{ty:?} clamped i64");
+            }
+            // A clamp range outside the allocation still reports the bad
+            // (clamped) index instead of reading out of bounds.
+            assert_eq!(b.gather_flat_f64_clamped(&[50], 0, 99).unwrap_err(), 50);
+            assert_eq!(b.gather_flat_i64_clamped(&[-9], -2, 11).unwrap_err(), -2);
+
+            // Bulk scatters agree with per-element stores.
+            let w1 = Buffer::with_extents(ty, &[12]);
+            let w2 = Buffer::with_extents(ty, &[12]);
+            let sidx = [11i64, 0, 5, 2];
+            let fvals = [1.25, -2.5, 3.75, 40.0];
+            w1.scatter_flat_f64s(&sidx, &fvals).unwrap();
+            for (&i, &v) in sidx.iter().zip(&fvals) {
+                w2.set_flat_f64(i as usize, v);
+            }
+            assert_eq!(w1.to_f64_vec(), w2.to_f64_vec(), "{ty:?} scatter f64");
+            let ivals = [7i64, -2, 300, 9];
+            w1.scatter_flat_i64s(&sidx, &ivals).unwrap();
+            for (&i, &v) in sidx.iter().zip(&ivals) {
+                w2.set_flat_i64(i as usize, v);
+            }
+            assert_eq!(w1.to_f64_vec(), w2.to_f64_vec(), "{ty:?} scatter i64");
+            assert_eq!(w1.scatter_flat_f64s(&[3, 12], &[0.0, 0.0]).unwrap_err(), 12);
+
+            // Strided writes agree with per-element stores.
+            let w3 = Buffer::with_extents(ty, &[12]);
+            let w4 = Buffer::with_extents(ty, &[12]);
+            w3.write_flat_strided_f64s(2, 4, &[5.5, 6.5, 7.5]).unwrap();
+            for (k, &v) in [5.5, 6.5, 7.5].iter().enumerate() {
+                w4.set_flat_f64(2 + 4 * k, v);
+            }
+            assert_eq!(w3.to_f64_vec(), w4.to_f64_vec(), "{ty:?} strided write f64");
+            w3.write_flat_strided_i64s(1, 5, &[3, 4]).unwrap();
+            w4.set_flat_i64(1, 3);
+            w4.set_flat_i64(6, 4);
+            assert_eq!(w3.to_f64_vec(), w4.to_f64_vec(), "{ty:?} strided write i64");
+            assert_eq!(
+                w3.write_flat_strided_f64s(10, 3, &[0.0, 0.0]).unwrap_err(),
+                13
+            );
         }
     }
 

@@ -8,6 +8,43 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// How a vector memory access touches a buffer, judged purely from its lane
+/// indices — see [`classify_flat_indices`]. Both execution backends classify
+/// every multi-lane load and store through the same rule, so the per-op
+/// counters below agree exactly between them (a requirement of the
+/// differential test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// One lane (or none): the scalar paths.
+    Scalar,
+    /// Consecutive indices (`stride == 1`): one contiguous bulk read/write.
+    Dense,
+    /// A constant non-unit stride between lanes (including stride 0).
+    Strided,
+    /// Anything else: a data-dependent gather (load) or scatter (store).
+    Gather,
+}
+
+/// Classifies a flat-index vector by the rule shared between the engines:
+/// `<= 1` lane is scalar, equal lane-to-lane deltas are dense (delta 1) or
+/// strided (any other constant delta), and everything else is a gather /
+/// scatter.
+pub fn classify_flat_indices(idx: &[i64]) -> AccessPattern {
+    if idx.len() <= 1 {
+        return AccessPattern::Scalar;
+    }
+    let stride = idx[1].wrapping_sub(idx[0]);
+    if idx.windows(2).all(|w| w[1].wrapping_sub(w[0]) == stride) {
+        if stride == 1 {
+            AccessPattern::Dense
+        } else {
+            AccessPattern::Strided
+        }
+    } else {
+        AccessPattern::Gather
+    }
+}
+
 /// Thread-safe work counters, shared by every thread of a realization.
 #[derive(Debug, Default)]
 pub struct Counters {
@@ -16,6 +53,13 @@ pub struct Counters {
     stores: AtomicU64,
     elements_loaded: AtomicU64,
     elements_stored: AtomicU64,
+    dense_loads: AtomicU64,
+    strided_loads: AtomicU64,
+    gather_loads: AtomicU64,
+    dense_stores: AtomicU64,
+    strided_stores: AtomicU64,
+    scatter_stores: AtomicU64,
+    masked_selects: AtomicU64,
     allocations: AtomicU64,
     bytes_allocated: AtomicU64,
     peak_bytes_live: AtomicU64,
@@ -48,6 +92,46 @@ impl Counters {
     pub fn add_store(&self, lanes: u64) {
         self.stores.fetch_add(1, Ordering::Relaxed);
         self.elements_stored.fetch_add(lanes, Ordering::Relaxed);
+    }
+
+    /// Records the access pattern of a vector load ([`AccessPattern::Scalar`]
+    /// is a no-op: scalar accesses are `loads - dense - strided - gather`).
+    pub fn add_load_pattern(&self, pattern: AccessPattern) {
+        match pattern {
+            AccessPattern::Scalar => {}
+            AccessPattern::Dense => {
+                self.dense_loads.fetch_add(1, Ordering::Relaxed);
+            }
+            AccessPattern::Strided => {
+                self.strided_loads.fetch_add(1, Ordering::Relaxed);
+            }
+            AccessPattern::Gather => {
+                self.gather_loads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records the access pattern of a vector store (scalar is a no-op, as
+    /// for [`Counters::add_load_pattern`]).
+    pub fn add_store_pattern(&self, pattern: AccessPattern) {
+        match pattern {
+            AccessPattern::Scalar => {}
+            AccessPattern::Dense => {
+                self.dense_stores.fetch_add(1, Ordering::Relaxed);
+            }
+            AccessPattern::Strided => {
+                self.strided_stores.fetch_add(1, Ordering::Relaxed);
+            }
+            AccessPattern::Gather => {
+                self.scatter_stores.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a `select` evaluated with a multi-lane condition (a masked
+    /// blend rather than a taken-branch dispatch).
+    pub fn add_masked_select(&self) {
+        self.masked_selects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records an allocation of `bytes` bytes.
@@ -89,6 +173,13 @@ impl Counters {
             stores: self.stores.load(Ordering::Relaxed),
             elements_loaded: self.elements_loaded.load(Ordering::Relaxed),
             elements_stored: self.elements_stored.load(Ordering::Relaxed),
+            dense_loads: self.dense_loads.load(Ordering::Relaxed),
+            strided_loads: self.strided_loads.load(Ordering::Relaxed),
+            gather_loads: self.gather_loads.load(Ordering::Relaxed),
+            dense_stores: self.dense_stores.load(Ordering::Relaxed),
+            strided_stores: self.strided_stores.load(Ordering::Relaxed),
+            scatter_stores: self.scatter_stores.load(Ordering::Relaxed),
+            masked_selects: self.masked_selects.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
             bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
             peak_bytes_live: self.peak_bytes_live.load(Ordering::Relaxed),
@@ -113,6 +204,20 @@ pub struct CounterSnapshot {
     pub elements_loaded: u64,
     /// Individual elements stored.
     pub elements_stored: u64,
+    /// Vector loads through consecutive (unit-stride) indices.
+    pub dense_loads: u64,
+    /// Vector loads through a constant non-unit stride.
+    pub strided_loads: u64,
+    /// Vector loads through data-dependent indices (gathers).
+    pub gather_loads: u64,
+    /// Vector stores through consecutive (unit-stride) indices.
+    pub dense_stores: u64,
+    /// Vector stores through a constant non-unit stride.
+    pub strided_stores: u64,
+    /// Vector stores through data-dependent indices (scatters).
+    pub scatter_stores: u64,
+    /// `select`s evaluated with a multi-lane condition (masked blends).
+    pub masked_selects: u64,
     /// Number of buffer allocations performed.
     pub allocations: u64,
     /// Total bytes allocated over the realization.
@@ -149,6 +254,13 @@ impl CounterSnapshot {
             stores: self.stores - earlier.stores,
             elements_loaded: self.elements_loaded - earlier.elements_loaded,
             elements_stored: self.elements_stored - earlier.elements_stored,
+            dense_loads: self.dense_loads - earlier.dense_loads,
+            strided_loads: self.strided_loads - earlier.strided_loads,
+            gather_loads: self.gather_loads - earlier.gather_loads,
+            dense_stores: self.dense_stores - earlier.dense_stores,
+            strided_stores: self.strided_stores - earlier.strided_stores,
+            scatter_stores: self.scatter_stores - earlier.scatter_stores,
+            masked_selects: self.masked_selects - earlier.masked_selects,
             allocations: self.allocations - earlier.allocations,
             bytes_allocated: self.bytes_allocated - earlier.bytes_allocated,
             peak_bytes_live: self.peak_bytes_live.max(earlier.peak_bytes_live),
@@ -164,10 +276,17 @@ impl fmt::Display for CounterSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arith={} loads={} stores={} alloc={} ({} B, peak live {} B) tasks={} kernels={} copies={} ({} B)",
+            "arith={} loads={} (dense={} strided={} gather={}) stores={} (dense={} strided={} scatter={}) masked_sel={} alloc={} ({} B, peak live {} B) tasks={} kernels={} copies={} ({} B)",
             self.arith_ops,
             self.loads,
+            self.dense_loads,
+            self.strided_loads,
+            self.gather_loads,
             self.stores,
+            self.dense_stores,
+            self.strided_stores,
+            self.scatter_stores,
+            self.masked_selects,
             self.allocations,
             self.bytes_allocated,
             self.peak_bytes_live,
@@ -207,6 +326,35 @@ mod tests {
         assert_eq!(s.kernel_launches, 1);
         assert_eq!(s.device_bytes_copied, 256);
         assert!(s.to_string().contains("arith=10"));
+    }
+
+    #[test]
+    fn access_patterns_classify_and_count() {
+        use AccessPattern::*;
+        assert_eq!(classify_flat_indices(&[]), Scalar);
+        assert_eq!(classify_flat_indices(&[7]), Scalar);
+        assert_eq!(classify_flat_indices(&[3, 4, 5, 6]), Dense);
+        assert_eq!(classify_flat_indices(&[0, 4, 8]), Strided);
+        assert_eq!(classify_flat_indices(&[9, 6, 3]), Strided);
+        assert_eq!(classify_flat_indices(&[5, 5, 5]), Strided);
+        assert_eq!(classify_flat_indices(&[0, 1, 3]), Gather);
+
+        let c = Counters::new();
+        c.add_load_pattern(Dense);
+        c.add_load_pattern(Strided);
+        c.add_load_pattern(Gather);
+        c.add_load_pattern(Scalar); // no-op
+        c.add_store_pattern(Dense);
+        c.add_store_pattern(Gather);
+        c.add_masked_select();
+        let s = c.snapshot();
+        assert_eq!((s.dense_loads, s.strided_loads, s.gather_loads), (1, 1, 1));
+        assert_eq!(
+            (s.dense_stores, s.strided_stores, s.scatter_stores),
+            (1, 0, 1)
+        );
+        assert_eq!(s.masked_selects, 1);
+        assert!(s.to_string().contains("masked_sel=1"));
     }
 
     #[test]

@@ -20,10 +20,10 @@ pub mod pool;
 pub mod value;
 
 pub use buffer::{Buffer, BufferDim};
-pub use counters::{CounterSnapshot, Counters};
+pub use counters::{classify_flat_indices, AccessPattern, CounterSnapshot, Counters};
 pub use gpu::{GpuDevice, Residency};
 pub use pool::{num_threads_default, ThreadPool};
 pub use value::{
-    binary_op, binary_op_owned, cast_owned, compare_op, scalar_binary_op, scalar_compare_op,
-    select_op, Scalar, Value,
+    binary_op, binary_op_owned, cast_owned, compare_op, compare_op_owned, not_op_owned,
+    scalar_binary_op, scalar_compare_op, select_op, select_op_owned, Scalar, Value,
 };

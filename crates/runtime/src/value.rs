@@ -138,6 +138,20 @@ pub fn scalar_binary_op(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
     }
 }
 
+/// Whether a comparison operator holds for an ordering — the single
+/// definition behind every scalar, borrowing, and owned comparison path.
+#[inline]
+fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+    }
+}
+
 /// Applies a comparison to two scalars, producing a boolean (0/1) scalar —
 /// the one-lane form of [`compare_op`].
 #[inline]
@@ -149,15 +163,7 @@ pub fn scalar_compare_op(op: CmpOp, a: Scalar, b: Scalar) -> Scalar {
             .partial_cmp(&b.as_f64())
             .unwrap_or(std::cmp::Ordering::Greater),
     };
-    let r = match op {
-        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
-        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
-        CmpOp::Lt => ord == std::cmp::Ordering::Less,
-        CmpOp::Le => ord != std::cmp::Ordering::Greater,
-        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
-        CmpOp::Ge => ord != std::cmp::Ordering::Less,
-    };
-    Scalar::Int(r as i64)
+    Scalar::Int(cmp_holds(op, ord) as i64)
 }
 
 impl Value {
@@ -488,30 +494,37 @@ pub fn cast_owned(v: Value, ty: ScalarType) -> Value {
 pub fn compare_op(op: CmpOp, a: &Value, b: &Value) -> Value {
     let lanes = zip_lanes(a, b);
     let float = matches!(a, Value::Float(_)) || matches!(b, Value::Float(_));
-    let test = |ord: std::cmp::Ordering| match op {
-        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
-        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
-        CmpOp::Lt => ord == std::cmp::Ordering::Less,
-        CmpOp::Le => ord != std::cmp::Ordering::Greater,
-        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
-        CmpOp::Ge => ord != std::cmp::Ordering::Less,
-    };
     let lanes_out: Vec<i64> = if float {
         let av = a.broadcast(lanes).to_f64_lanes();
         let bv = b.broadcast(lanes).to_f64_lanes();
         av.iter()
             .zip(bv.iter())
-            .map(|(x, y)| test(x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Greater)) as i64)
+            .map(|(x, y)| {
+                cmp_holds(op, x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Greater)) as i64
+            })
             .collect()
     } else {
         let av = a.broadcast(lanes).to_int_lanes();
         let bv = b.broadcast(lanes).to_int_lanes();
         av.iter()
             .zip(bv.iter())
-            .map(|(x, y)| test(x.cmp(y)) as i64)
+            .map(|(x, y)| cmp_holds(op, x.cmp(y)) as i64)
             .collect()
     };
     Value::Int(lanes_out)
+}
+
+/// The lane index to read from a `len`-lane operand participating in a
+/// `lanes`-wide operation: identical to `broadcast(lanes)` followed by a lane
+/// read, without materializing the broadcast copy (an operand of any other
+/// width contributes its lane 0, exactly like [`Value::broadcast`]).
+#[inline]
+fn pick_lane(len: usize, lanes: usize, i: usize) -> usize {
+    if len == lanes {
+        i
+    } else {
+        0
+    }
 }
 
 /// Lane-wise select.
@@ -535,6 +548,126 @@ pub fn select_op(cond: &Value, t: &Value, f: &Value) -> Value {
                 .map(|i| if c.lane_int(i) != 0 { tv[i] } else { fv[i] })
                 .collect(),
         )
+    }
+}
+
+/// [`select_op`] taking the arms by value: a whole-register **mask and
+/// blend**. When one arm already has the result's kind and width its storage
+/// is reused and the mask-false (or mask-true) lanes are overwritten in
+/// place — no broadcast copies, no lane-conversion vectors, no result
+/// allocation. Bit-identical to [`select_op`] (the lane formula is shared;
+/// both arms have already been evaluated, so there is no branch to skip).
+pub fn select_op_owned(cond: &Value, t: Value, f: Value) -> Value {
+    let lanes = cond.lanes().max(t.lanes()).max(f.lanes());
+    let float = matches!(t, Value::Float(_)) || matches!(f, Value::Float(_));
+    // One blend loop, four instantiations: overwrite the kept arm's lanes
+    // where the mask picks the other arm.
+    fn blend<T: Copy>(
+        dst: &mut [T],
+        cond: &Value,
+        lanes: usize,
+        dst_is_true_arm: bool,
+        other: impl Fn(usize) -> T,
+    ) {
+        let c_len = cond.lanes();
+        for (i, x) in dst.iter_mut().enumerate() {
+            if (cond.lane_int(pick_lane(c_len, lanes, i)) != 0) != dst_is_true_arm {
+                *x = other(i);
+            }
+        }
+    }
+    if float {
+        match (t, f) {
+            (Value::Float(mut tv), f) if tv.len() == lanes => {
+                let f_len = f.lanes();
+                blend(&mut tv, cond, lanes, true, |i| {
+                    f.lane_f64(pick_lane(f_len, lanes, i))
+                });
+                Value::Float(tv)
+            }
+            (t, Value::Float(mut fv)) if fv.len() == lanes => {
+                let t_len = t.lanes();
+                blend(&mut fv, cond, lanes, false, |i| {
+                    t.lane_f64(pick_lane(t_len, lanes, i))
+                });
+                Value::Float(fv)
+            }
+            (t, f) => select_op(cond, &t, &f),
+        }
+    } else {
+        match (t, f) {
+            (Value::Int(mut tv), f) if tv.len() == lanes => {
+                let f_len = f.lanes();
+                blend(&mut tv, cond, lanes, true, |i| {
+                    f.lane_int(pick_lane(f_len, lanes, i))
+                });
+                Value::Int(tv)
+            }
+            (t, Value::Int(mut fv)) if fv.len() == lanes => {
+                let t_len = t.lanes();
+                blend(&mut fv, cond, lanes, false, |i| {
+                    t.lane_int(pick_lane(t_len, lanes, i))
+                });
+                Value::Int(fv)
+            }
+            (t, f) => select_op(cond, &t, &f),
+        }
+    }
+}
+
+/// [`compare_op`] taking its operands by value: the integer/integer case
+/// reuses one operand's storage for the 0/1 result, and the mixed and float
+/// cases produce the result in a single pass without broadcast copies.
+/// Bit-identical to [`compare_op`].
+pub fn compare_op_owned(op: CmpOp, a: Value, b: Value) -> Value {
+    let lanes = zip_lanes(&a, &b);
+    let float = matches!(a, Value::Float(_)) || matches!(b, Value::Float(_));
+    if float {
+        let (a_len, b_len) = (a.lanes(), b.lanes());
+        Value::Int(
+            (0..lanes)
+                .map(|i| {
+                    let x = a.lane_f64(pick_lane(a_len, lanes, i));
+                    let y = b.lane_f64(pick_lane(b_len, lanes, i));
+                    cmp_holds(op, x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Greater)) as i64
+                })
+                .collect(),
+        )
+    } else if let Value::Int(mut av) = a {
+        if av.len() == lanes {
+            let b_len = b.lanes();
+            for (i, x) in av.iter_mut().enumerate() {
+                *x = cmp_holds(op, (*x).cmp(&b.lane_int(pick_lane(b_len, lanes, i)))) as i64;
+            }
+            Value::Int(av)
+        } else {
+            let a_len = av.len();
+            Value::Int(
+                (0..lanes)
+                    .map(|i| {
+                        let x = av[pick_lane(a_len, lanes, i)];
+                        cmp_holds(op, x.cmp(&b.lane_int(pick_lane(b.lanes(), lanes, i)))) as i64
+                    })
+                    .collect(),
+            )
+        }
+    } else {
+        compare_op(op, &a, &b)
+    }
+}
+
+/// Lane-wise logical negation taking its operand by value: integer lanes are
+/// negated in place. Bit-identical to mapping `(lane == 0) as i64` over
+/// [`Value::to_int_lanes`].
+pub fn not_op_owned(v: Value) -> Value {
+    match v {
+        Value::Int(mut lanes) => {
+            for x in lanes.iter_mut() {
+                *x = (*x == 0) as i64;
+            }
+            Value::Int(lanes)
+        }
+        Value::Float(lanes) => Value::Int(lanes.iter().map(|x| (*x as i64 == 0) as i64).collect()),
     }
 }
 
@@ -649,6 +782,48 @@ mod tests {
             ] {
                 assert_eq!(cast_owned(a.clone(), ty), a.cast_to(ty));
             }
+        }
+    }
+
+    /// The owned select / compare / not forms must agree bit-for-bit with
+    /// the borrowing ones across every lane/kind combination: this is the
+    /// compiled backend's licence to mask-and-blend in place.
+    #[test]
+    fn owned_select_compare_not_match_borrowing_ops() {
+        let values = [
+            Value::Int(vec![3]),
+            Value::Int(vec![1, -2, 3, 40]),
+            Value::Int(vec![7, 8]),
+            Value::Float(vec![0.5]),
+            Value::Float(vec![1.5, -2.25, 3.75, 4.0]),
+            Value::Float(vec![9.0, -1.0]),
+        ];
+        let conds = [
+            Value::Int(vec![1]),
+            Value::Int(vec![0]),
+            Value::Int(vec![1, 0, 0, 1]),
+            Value::Int(vec![0, 1, 1, 0]),
+            Value::Float(vec![1.0, 0.0, 2.0, 0.0]),
+        ];
+        for c in &conds {
+            for t in &values {
+                for f in &values {
+                    let slow = select_op(c, t, f);
+                    let fast = select_op_owned(c, t.clone(), f.clone());
+                    assert_eq!(fast, slow, "owned select diverges on {c:?}, {t:?}, {f:?}");
+                }
+            }
+        }
+        for a in &values {
+            for b in &values {
+                for op in CmpOp::ALL {
+                    let slow = compare_op(op, a, b);
+                    let fast = compare_op_owned(op, a.clone(), b.clone());
+                    assert_eq!(fast, slow, "owned {op:?} diverges on {a:?}, {b:?}");
+                }
+            }
+            let slow = Value::Int(a.to_int_lanes().iter().map(|x| (*x == 0) as i64).collect());
+            assert_eq!(not_op_owned(a.clone()), slow, "owned not diverges on {a:?}");
         }
     }
 

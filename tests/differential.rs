@@ -107,6 +107,45 @@ proptest! {
     }
 }
 
+/// The predicated, vectorized tuned schedules: the camera pipe (masked
+/// selects, clamped gathers, dense vector memory ops) and the bilateral
+/// grid (data-dependent trilinear gathers) — the shapes the compiled
+/// engine's whole-register blend and bulk gather/scatter paths cover, each
+/// with its per-lane interpreter twin. Counters include the access-pattern
+/// classification, so the two engines must also agree on *how* every
+/// vector access was performed.
+#[test]
+fn vectorized_camera_pipe_agrees_across_backends() {
+    let app = halide::pipelines::camera_pipe::CameraPipeApp::new(2.2, 0.8);
+    app.schedule_good();
+    let module = halide::lower(&app.pipeline()).expect("tuned camera pipe lowers");
+    let input = halide::pipelines::camera_pipe::make_raw_input(67, 49);
+    assert_backends_identical(
+        &module,
+        &app.input.name(),
+        &input,
+        &[67, 49, 3],
+        2,
+        "camera pipe (tuned, vectorized)",
+    );
+}
+
+#[test]
+fn vectorized_bilateral_grid_agrees_across_backends() {
+    let app = halide::pipelines::bilateral_grid::BilateralGridApp::new();
+    app.schedule_good();
+    let module = halide::lower(&app.pipeline()).expect("tuned bilateral grid lowers");
+    let input = halide::pipelines::bilateral_grid::make_input(48, 40);
+    assert_backends_identical(
+        &module,
+        &app.input.name(),
+        &input,
+        &[48, 40],
+        2,
+        "bilateral grid (tuned, vectorized)",
+    );
+}
+
 /// A deep multi-stage app: interpolate, under its three schedule flavours
 /// (including the simulated-GPU one, which must also report identical
 /// kernel-launch and copy counters).

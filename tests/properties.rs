@@ -121,3 +121,115 @@ proptest! {
         prop_assert!(result.output.max_abs_diff(&expected) < 1e-4);
     }
 }
+
+// The compiled engine's vector memory paths rest on the bulk Buffer
+// accessors (gather, scatter, strided, clamped-gather) producing exactly
+// what a per-lane loop over the single-element accessors produces — on
+// arbitrary indices, strides, and element types. These properties are that
+// licence, exercised on randomly derived index vectors.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bulk_gather_scatter_and_strided_agree_with_per_lane_loops(
+        seed in 0u64..u64::MAX,
+        lanes in 1usize..12,
+        base in -4i64..36,
+        stride in -5i64..6,
+        lo in -4i64..20,
+        hi in -4i64..40,
+    ) {
+        use halide::ir::ScalarType;
+        use halide::runtime::Buffer;
+
+        let len = 32usize;
+        // Alternate element kinds off the seed (the shim's tuple strategies
+        // stop at six parameters).
+        let ty = if seed % 2 == 0 { ScalarType::Float(32) } else { ScalarType::Int(32) };
+        let b = Buffer::with_extents(ty, &[len as i64]);
+        for i in 0..len {
+            b.set_flat_f64(i, (i as f64) * 1.25 - 7.0);
+        }
+
+        // Random (possibly out-of-range) indices from a splitmix-style hash.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % 40) - 4 // in [-4, 36): some lanes OOB
+        };
+        let idx: Vec<i64> = (0..lanes).map(|_| next()).collect();
+
+        // Gather: agrees with per-lane reads, or reports the first OOB lane.
+        match b.gather_flat_f64(&idx) {
+            Ok(v) => {
+                for (k, &i) in idx.iter().enumerate() {
+                    prop_assert!((0..len as i64).contains(&i));
+                    prop_assert_eq!(v[k], b.get_flat_f64(i as usize));
+                }
+            }
+            Err(bad) => {
+                let first = idx.iter().copied().find(|i| !(0..len as i64).contains(i));
+                prop_assert_eq!(Some(bad), first);
+            }
+        }
+
+        // Clamped gather: agrees with clamp-then-read per lane.
+        match b.gather_flat_f64_clamped(&idx, lo, hi) {
+            Ok(v) => {
+                for (k, &i) in idx.iter().enumerate() {
+                    let c = i.min(hi).max(lo);
+                    prop_assert!((0..len as i64).contains(&c));
+                    prop_assert_eq!(v[k], b.get_flat_f64(c as usize));
+                }
+            }
+            Err(bad) => {
+                let first = idx
+                    .iter()
+                    .map(|i| (*i).min(hi).max(lo))
+                    .find(|c| !(0..len as i64).contains(c));
+                prop_assert_eq!(Some(bad), first);
+            }
+        }
+
+        // Strided read: agrees with per-lane reads at base + stride * k.
+        match b.read_flat_strided_f64s(base, stride, lanes) {
+            Ok(v) => {
+                for (k, x) in v.iter().enumerate() {
+                    prop_assert_eq!(*x, b.get_flat_f64((base + stride * k as i64) as usize));
+                }
+            }
+            Err(bad) => {
+                let first = (0..lanes)
+                    .map(|k| base + stride * k as i64)
+                    .find(|i| !(0..len as i64).contains(i));
+                prop_assert_eq!(Some(bad), first);
+            }
+        }
+
+        // Scatter: agrees element for element with a per-lane store loop
+        // (when all indices are in range — the in-range projection).
+        let in_range: Vec<i64> = idx.iter().map(|i| i.rem_euclid(len as i64)).collect();
+        let vals: Vec<f64> = (0..lanes).map(|k| k as f64 * 0.5 - 1.0).collect();
+        let bulk = Buffer::with_extents(ty, &[len as i64]);
+        let lane_by_lane = Buffer::with_extents(ty, &[len as i64]);
+        bulk.scatter_flat_f64s(&in_range, &vals).expect("all indices in range");
+        for (&i, &v) in in_range.iter().zip(&vals) {
+            lane_by_lane.set_flat_f64(i as usize, v);
+        }
+        prop_assert_eq!(bulk.to_f64_vec(), lane_by_lane.to_f64_vec());
+
+        // Strided write, where the whole run fits.
+        if stride != 0 {
+            let last = base + stride * (lanes as i64 - 1);
+            if (0..len as i64).contains(&base) && (0..len as i64).contains(&last) {
+                let bulk = Buffer::with_extents(ty, &[len as i64]);
+                let lane_by_lane = Buffer::with_extents(ty, &[len as i64]);
+                bulk.write_flat_strided_f64s(base, stride, &vals).expect("run fits");
+                for (k, &v) in vals.iter().enumerate() {
+                    lane_by_lane.set_flat_f64((base + stride * k as i64) as usize, v);
+                }
+                prop_assert_eq!(bulk.to_f64_vec(), lane_by_lane.to_f64_vec());
+            }
+        }
+    }
+}

@@ -12,9 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use halide_ir::{CallType, Expr, ExprNode, ForKind, Scope, Stmt, StmtNode};
+use halide_ir::{CallType, Expr, ExprNode, ForKind, ScalarType, Scope, Stmt, StmtNode};
 use halide_runtime::{
-    binary_op, compare_op, select_op, Buffer, Counters, GpuDevice, ThreadPool, Value,
+    binary_op, compare_op, select_op, Buffer, BufferPool, Counters, GpuDevice, ThreadPool, Value,
 };
 
 use crate::error::{ExecError, Result};
@@ -32,6 +32,10 @@ pub struct Context {
     /// atomic contention. Structural counters (allocations, tasks, kernels,
     /// copies) are always maintained.
     pub instrument: bool,
+    /// When present, `Allocate` statements acquire their scratch buffers
+    /// from this pool (and return them on scope exit) instead of hitting the
+    /// allocator — the serving layer's steady-state zero-allocation path.
+    pub buffer_pool: Option<Arc<BufferPool>>,
     gpu_used: AtomicBool,
     error: Mutex<Option<ExecError>>,
     failed: AtomicBool,
@@ -45,9 +49,46 @@ impl Context {
             counters: Counters::new(),
             gpu: GpuDevice::new(),
             instrument,
+            buffer_pool: None,
             gpu_used: AtomicBool::new(false),
             error: Mutex::new(None),
             failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Configures the pool `Allocate` statements draw scratch buffers from
+    /// (`None` allocates fresh buffers, the default).
+    pub fn with_buffer_pool(mut self, pool: Option<Arc<BufferPool>>) -> Self {
+        self.buffer_pool = pool;
+        self
+    }
+
+    /// Creates a zero-filled scratch buffer, recycled from the configured
+    /// buffer pool when one is set (recording the hit or miss in the
+    /// counters), freshly allocated otherwise.
+    pub(crate) fn alloc_scratch(&self, ty: ScalarType, extents: &[i64]) -> Buffer {
+        match &self.buffer_pool {
+            Some(pool) => {
+                let (buf, hit) = pool.acquire_raw(ty, extents);
+                if hit {
+                    self.counters.add_pool_hit();
+                } else {
+                    self.counters.add_pool_miss();
+                }
+                buf
+            }
+            None => Buffer::with_extents(ty, extents),
+        }
+    }
+
+    /// Hands a scratch buffer's allocation back to the pool, if a pool is
+    /// configured and this was the last reference (a buffer still referenced
+    /// elsewhere — e.g. mirrored on the simulated GPU — just drops normally).
+    pub(crate) fn release_scratch(&self, buf: Arc<Buffer>) {
+        if let Some(pool) = &self.buffer_pool {
+            if let Some(buf) = Arc::into_inner(buf) {
+                pool.release(buf);
+            }
         }
     }
 
@@ -580,14 +621,15 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
                     "allocation of {name:?} has negative size {n}"
                 )));
             }
-            let buf = Arc::new(Buffer::with_extents(ty.scalar(), &[n]));
+            let buf = Arc::new(ctx.alloc_scratch(ty.scalar(), &[n]));
             let bytes = buf.size_bytes() as u64;
             ctx.counters.add_allocation(bytes);
             let mark = frame.mark_buffers();
-            frame.insert_buffer(name.clone(), buf);
+            frame.insert_buffer(name.clone(), Arc::clone(&buf));
             let r = eval_stmt(body, frame, ctx);
             frame.restore_buffers(mark);
             ctx.counters.add_free(bytes);
+            ctx.release_scratch(buf);
             r
         }
         StmtNode::Block { stmts } => {

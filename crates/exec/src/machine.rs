@@ -1100,12 +1100,14 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
                     prog.buf_names[*buf as usize]
                 )));
             }
-            let buffer = Arc::new(Buffer::with_extents(*ty, &[n]));
+            let buffer = Arc::new(ctx.alloc_scratch(*ty, &[n]));
             let bytes = buffer.size_bytes() as u64;
             ctx.counters.add_allocation(bytes);
             m.bufs[*buf as usize] = Some(buffer);
             let r = exec(prog, body, m, ctx);
-            m.bufs[*buf as usize] = None;
+            if let Some(buffer) = m.bufs[*buf as usize].take() {
+                ctx.release_scratch(buffer);
+            }
             ctx.counters.add_free(bytes);
             r
         }

@@ -24,7 +24,7 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use halide_lower::Module;
-use halide_runtime::{Buffer, CounterSnapshot, Scalar, ThreadPool, Value};
+use halide_runtime::{Buffer, BufferPool, CounterSnapshot, Scalar, ThreadPool, Value};
 
 use crate::compile::Program;
 use crate::error::{ExecError, Result};
@@ -32,7 +32,7 @@ use crate::eval::{eval_stmt, Context, Frame};
 use crate::machine::{exec, Machine};
 
 /// Which execution engine a [`Realizer`] runs a module on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// Compile the statement to a register-machine program, then run it
     /// (the default — roughly an order of magnitude faster).
@@ -105,6 +105,8 @@ pub struct Realizer<'m> {
     threads: usize,
     instrument: bool,
     backend: Backend,
+    thread_pool: Option<ThreadPool>,
+    buffer_pool: Option<Arc<BufferPool>>,
     compiled: OnceLock<std::result::Result<Arc<Program>, ExecError>>,
 }
 
@@ -119,8 +121,24 @@ impl<'m> Realizer<'m> {
             threads: halide_runtime::num_threads_default(),
             instrument: true,
             backend: Backend::default(),
+            thread_pool: None,
+            buffer_pool: None,
             compiled: OnceLock::new(),
         }
+    }
+
+    /// Creates a realizer that reuses an already-compiled [`Program`] for
+    /// `module` instead of compiling its own — the compile-once /
+    /// realize-many entry point. Many realizers (across many threads) can
+    /// share one `Arc<Program>`; see [`Realizer::program`] for obtaining it.
+    ///
+    /// The caller is responsible for passing a program that was actually
+    /// compiled from `module` (they are matched by construction in the
+    /// serving layer's program cache).
+    pub fn with_program(module: &'m Module, program: Arc<Program>) -> Self {
+        let r = Realizer::new(module);
+        let _ = r.compiled.set(Ok(program));
+        r
     }
 
     /// Binds an input image by name.
@@ -168,12 +186,50 @@ impl<'m> Realizer<'m> {
         self
     }
 
+    /// Runs parallel loops on an existing (persistent) [`ThreadPool`]
+    /// instead of creating one per realization. Overrides
+    /// [`Realizer::threads`]. The serving layer hands each admission slot
+    /// its own long-lived pool so steady-state requests never spawn OS
+    /// threads.
+    pub fn thread_pool(mut self, pool: ThreadPool) -> Self {
+        self.thread_pool = Some(pool);
+        self
+    }
+
+    /// Draws the scratch buffers of `Allocate` statements from a
+    /// [`BufferPool`] (returned on scope exit), so steady-state
+    /// re-realizations do no large allocations. Pool hits and misses are
+    /// recorded in the realization's counters. The interpreting backend also
+    /// acquires from the pool; buffers still referenced at scope exit (e.g.
+    /// mirrored on the simulated GPU) are dropped instead of returned.
+    pub fn buffer_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.buffer_pool = Some(pool);
+        self
+    }
+
     /// The compiled program for this realizer's module, compiling it on
-    /// first use and caching it across `realize` calls.
-    fn program(&self) -> Result<Arc<Program>> {
+    /// first use and caching it across `realize` calls. Exposed so callers
+    /// can share one program across many realizers / threads (construct the
+    /// others with [`Realizer::with_program`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not compile (e.g. it still contains
+    /// constructs lowering should have removed).
+    pub fn program(&self) -> Result<Arc<Program>> {
         self.compiled
             .get_or_init(|| Program::compile(self.module).map(Arc::new))
             .clone()
+    }
+
+    /// The execution context for one run: a fresh per-run pool unless a
+    /// persistent one was supplied, plus the optional buffer pool.
+    fn context(&self) -> Context {
+        let pool = self
+            .thread_pool
+            .clone()
+            .unwrap_or_else(|| ThreadPool::new(self.threads));
+        Context::new(pool, self.instrument).with_buffer_pool(self.buffer_pool.clone())
     }
 
     /// Runs the pipeline, producing an output of the given extents (one per
@@ -194,6 +250,49 @@ impl<'m> Realizer<'m> {
                 output_extents.len()
             )));
         }
+        self.realize_into(Buffer::with_extents(
+            module.output.ty.scalar(),
+            output_extents,
+        ))
+    }
+
+    /// Runs the pipeline into a caller-supplied output buffer — the
+    /// realize-many half of compile-once / realize-many. The buffer's
+    /// extents determine the realized region (its contents are assumed
+    /// zeroed, exactly what [`BufferPool::acquire`] and [`Buffer::new`]
+    /// produce); it is returned as [`Realization::output`], so a serving
+    /// layer can cycle the same pooled allocation through many requests.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the failure modes of [`Realizer::realize`], fails if
+    /// the buffer's element type is not the module's output type, or if any
+    /// of its dimensions has a nonzero minimum.
+    pub fn realize_into(&self, output: Buffer) -> Result<Realization> {
+        let module = self.module;
+        if output.dimensions() != module.output.args.len() {
+            return Err(ExecError::new(format!(
+                "output of {} has {} dimensions but the supplied buffer has {}",
+                module.name,
+                module.output.args.len(),
+                output.dimensions()
+            )));
+        }
+        if output.ty() != module.output.ty.scalar() {
+            return Err(ExecError::new(format!(
+                "output of {} stores {:?} but the supplied buffer stores {:?}",
+                module.name,
+                module.output.ty.scalar(),
+                output.ty()
+            )));
+        }
+        if let Some(d) = output.dims().iter().find(|d| d.min != 0) {
+            return Err(ExecError::new(format!(
+                "output buffers must start at 0, got a dimension spanning [{}, {})",
+                d.min,
+                d.min + d.extent
+            )));
+        }
         for input in &module.inputs {
             if !self.inputs.contains_key(input) {
                 return Err(ExecError::new(format!(
@@ -202,15 +301,15 @@ impl<'m> Realizer<'m> {
             }
         }
         match self.backend {
-            Backend::Compiled => self.realize_compiled(output_extents),
-            Backend::Interp => self.realize_interp(output_extents),
+            Backend::Compiled => self.realize_compiled(output),
+            Backend::Interp => self.realize_interp(output),
         }
     }
 
     /// The interpreting path: the executable reference semantics.
-    fn realize_interp(&self, output_extents: &[i64]) -> Result<Realization> {
+    fn realize_interp(&self, output: Buffer) -> Result<Realization> {
         let module = self.module;
-        let ctx = Context::new(ThreadPool::new(self.threads), self.instrument);
+        let ctx = self.context();
         let mut frame = Frame::default();
 
         // Bind input buffers and their layout symbols.
@@ -223,12 +322,9 @@ impl<'m> Realizer<'m> {
             frame.env.push(name.clone(), value.clone());
         }
 
-        // Create and bind the output buffer.
+        // Bind the caller-supplied output buffer.
         let out_name = &module.output.name;
-        let output = Arc::new(Buffer::with_extents(
-            module.output.ty.scalar(),
-            output_extents,
-        ));
+        let output = Arc::new(output);
         bind_buffer_symbols(&mut frame, out_name, &output);
         // The loop bounds of the output function use `<func>.<arg>.min/extent`.
         for (d, arg) in module.output.args.iter().enumerate() {
@@ -237,7 +333,7 @@ impl<'m> Realizer<'m> {
                 .push(format!("{out_name}.{arg}.min"), Value::int(0));
             frame.env.push(
                 format!("{out_name}.{arg}.extent"),
-                Value::int(output_extents[d]),
+                Value::int(output.dims()[d].extent),
             );
         }
         frame.insert_buffer(out_name.clone(), Arc::clone(&output));
@@ -264,10 +360,10 @@ impl<'m> Realizer<'m> {
 
     /// The compiled path: resolve the module once into a register-machine
     /// [`Program`], bind its free slots/buffers, and execute.
-    fn realize_compiled(&self, output_extents: &[i64]) -> Result<Realization> {
+    fn realize_compiled(&self, output: Buffer) -> Result<Realization> {
         let module = self.module;
         let prog = self.program()?;
-        let ctx = Context::new(ThreadPool::new(self.threads), self.instrument);
+        let ctx = self.context();
         let mut machine = Machine::new(&prog);
         // Every register written while binding; validated against the
         // program's free-slot list below, so a symbol the bindings did not
@@ -292,12 +388,9 @@ impl<'m> Realizer<'m> {
             }
         }
 
-        // Create and bind the output buffer.
+        // Bind the caller-supplied output buffer.
         let out_name = &module.output.name;
-        let output = Arc::new(Buffer::with_extents(
-            module.output.ty.scalar(),
-            output_extents,
-        ));
+        let output = Arc::new(output);
         bind_machine_buffer(&prog, &mut machine, out_name, &output, &mut bound);
         for (d, arg) in module.output.args.iter().enumerate() {
             if let Some(slot) = prog.free_slot(&format!("{out_name}.{arg}.min")) {
@@ -305,7 +398,7 @@ impl<'m> Realizer<'m> {
                 bound.insert(slot);
             }
             if let Some(slot) = prog.free_slot(&format!("{out_name}.{arg}.extent")) {
-                machine.set_reg(slot, Scalar::Int(output_extents[d]));
+                machine.set_reg(slot, Scalar::Int(output.dims()[d].extent));
                 bound.insert(slot);
             }
         }
@@ -518,6 +611,122 @@ mod tests {
         let mut prog_bufs: Vec<String> = prog.free_bufs.keys().cloned().collect();
         prog_bufs.sort();
         assert_eq!(prog_bufs, module.external_buffers);
+    }
+
+    /// Two realizers sharing one pre-compiled program (the serving layer's
+    /// compile-once / realize-many contract) must behave exactly like two
+    /// independently compiled realizers: identical outputs and identical
+    /// counters.
+    #[test]
+    fn realizers_sharing_a_program_match_independent_ones() {
+        let (module, in_name) = brighten_module("realize_shared");
+        let input = Buffer::from_fn_2d(ScalarType::Float(32), 16, 12, |x, y| (x * y) as f64);
+
+        let owner = Realizer::new(&module)
+            .input(in_name.clone(), input.clone())
+            .threads(1);
+        let program = owner.program().unwrap();
+        let a = owner.realize(&[16, 12]).unwrap();
+
+        let sharer = Realizer::with_program(&module, Arc::clone(&program))
+            .input(in_name.clone(), input.clone())
+            .threads(1);
+        // The sharer did not compile: it hands back the same Arc.
+        assert!(Arc::ptr_eq(&sharer.program().unwrap(), &program));
+        let b = sharer.realize(&[16, 12]).unwrap();
+
+        assert_eq!(a.output.to_f64_vec(), b.output.to_f64_vec());
+        assert_eq!(a.counters, b.counters);
+    }
+
+    /// `realize_into` writes into the caller's buffer and returns it, and a
+    /// buffer drawn from a pool produces the same image as a fresh one.
+    #[test]
+    fn realize_into_pooled_output_matches_fresh_output() {
+        use halide_runtime::BufferPool;
+
+        let (module, in_name) = brighten_module("realize_into");
+        let input = Buffer::from_fn_2d(ScalarType::Float(32), 8, 8, |x, y| (x + y) as f64);
+        let fresh = Realizer::new(&module)
+            .input(in_name.clone(), input.clone())
+            .threads(1)
+            .realize(&[8, 8])
+            .unwrap();
+
+        let pool = Arc::new(BufferPool::default());
+        // Dirty a buffer and return it so the next acquire is a reused hit.
+        let dirty = pool.acquire(ScalarType::Float(32), &[8, 8]);
+        dirty.set_coords_f64(&[0, 0], 999.0);
+        drop(dirty);
+        let out = pool.acquire(ScalarType::Float(32), &[8, 8]).detach();
+        assert_eq!(pool.stats().hits, 1);
+        let pooled = Realizer::new(&module)
+            .input(in_name.clone(), input.clone())
+            .threads(1)
+            .realize_into(out)
+            .unwrap();
+        assert_eq!(fresh.output.to_f64_vec(), pooled.output.to_f64_vec());
+
+        // Type and shape mismatches are errors, not silent corruption.
+        let r = Realizer::new(&module).input(in_name.clone(), input.clone());
+        assert!(r
+            .realize_into(Buffer::with_extents(ScalarType::Int(32), &[8, 8]))
+            .is_err());
+        assert!(r
+            .realize_into(Buffer::with_extents(ScalarType::Float(32), &[8]))
+            .is_err());
+        assert!(r
+            .realize_into(Buffer::new(ScalarType::Float(32), &[(1, 8), (0, 8)]))
+            .is_err());
+    }
+
+    /// With a buffer pool configured, scratch allocations are recycled
+    /// across realizations (hits recorded in the counters) and outputs stay
+    /// bit-identical on both backends.
+    #[test]
+    fn scratch_buffers_recycle_through_the_pool() {
+        use halide_runtime::BufferPool;
+
+        // blurx is computed at root → one Allocate statement per run.
+        let input = ImageParam::new("realize_pool_in", Type::f32(), 2);
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let blurx = Func::new("realize_pool_blurx");
+        blurx.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr() - 1, y.expr()])
+                + input.at_clamped(vec![x.expr() + 1, y.expr()]),
+        );
+        let out = Func::new("realize_pool_out");
+        out.define(&[x.clone(), y.clone()], blurx.at(vec![x.expr(), y.expr()]));
+        blurx.compute_root();
+        let module = lower(&Pipeline::new(&out)).unwrap();
+        let input_buf = Buffer::from_fn_2d(ScalarType::Float(32), 32, 16, |x, y| (x + y) as f64);
+
+        for backend in Backend::ALL {
+            let baseline = Realizer::new(&module)
+                .input("realize_pool_in", input_buf.clone())
+                .threads(1)
+                .backend(backend)
+                .realize(&[32, 16])
+                .unwrap();
+
+            let pool = Arc::new(BufferPool::default());
+            let realizer = Realizer::new(&module)
+                .input("realize_pool_in", input_buf.clone())
+                .threads(1)
+                .backend(backend)
+                .buffer_pool(Arc::clone(&pool));
+            let first = realizer.realize(&[32, 16]).unwrap();
+            let second = realizer.realize(&[32, 16]).unwrap();
+            assert_eq!(first.counters.pool_misses, 1, "{backend:?}");
+            assert_eq!(second.counters.pool_hits, 1, "{backend:?}");
+            assert_eq!(
+                baseline.output.to_f64_vec(),
+                second.output.to_f64_vec(),
+                "{backend:?}"
+            );
+            assert_eq!(pool.stats().returns, 2, "{backend:?}");
+        }
     }
 
     #[test]

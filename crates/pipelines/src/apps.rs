@@ -1,14 +1,15 @@
 //! A uniform interface over the paper's benchmark applications, used by the
 //! figure/table harnesses in `halide-bench` (Fig. 6, Fig. 7, Fig. 8).
 
-use halide_exec::{Realization, Result as ExecResult};
+use halide_exec::{Realization, Realizer, Result as ExecResult};
 use halide_lang::{analyze, PipelineStats};
-use halide_lower::Result as LowerResult;
+use halide_lower::{Module, Result as LowerResult};
+use halide_runtime::Buffer;
 
 use crate::{bilateral_grid, blur, camera_pipe, histogram, interpolate, local_laplacian};
 
 /// Which schedule flavour to run an application with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleChoice {
     /// The default breadth-first schedule (every stage computed at root,
     /// serial loops) — the "composing library calls" baseline.
@@ -20,7 +21,7 @@ pub enum ScheduleChoice {
 }
 
 /// The applications of the paper's evaluation (Fig. 6 / Fig. 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppKind {
     /// Two-stage 3×3 blur (Sec. 3.1).
     Blur,
@@ -73,6 +74,152 @@ impl AppKind {
     /// half of Fig. 7).
     pub fn has_gpu_schedule(&self) -> bool {
         matches!(self, AppKind::BilateralGrid | AppKind::Interpolate)
+    }
+
+    /// A short, stable, URL/key-friendly identifier (`blur`, `camera-pipe`,
+    /// …) — the name the serving registry addresses an app by. Round-trips
+    /// through [`AppKind::from_slug`].
+    pub fn slug(&self) -> &'static str {
+        match self {
+            AppKind::Blur => "blur",
+            AppKind::Histogram => "histogram",
+            AppKind::BilateralGrid => "bilateral-grid",
+            AppKind::CameraPipe => "camera-pipe",
+            AppKind::Interpolate => "interpolate",
+            AppKind::LocalLaplacian => "local-laplacian",
+        }
+    }
+
+    /// Parses a slug produced by [`AppKind::slug`].
+    pub fn from_slug(slug: &str) -> Option<AppKind> {
+        AppKind::ALL.into_iter().find(|a| a.slug() == slug)
+    }
+
+    /// Builds a synthetic input of the shape and element type this app
+    /// expects at the given image size.
+    pub fn make_input(&self, width: i64, height: i64) -> Buffer {
+        match self {
+            AppKind::Blur => blur::make_input(width, height),
+            AppKind::Histogram => histogram::make_input(width, height),
+            AppKind::BilateralGrid => bilateral_grid::make_input(width, height),
+            AppKind::CameraPipe => camera_pipe::make_raw_input(width, height),
+            AppKind::Interpolate => interpolate::make_input(width, height),
+            AppKind::LocalLaplacian => local_laplacian::make_input(width, height),
+        }
+    }
+
+    /// The output extents this app realizes for an input of the given size
+    /// (the camera pipe emits three color channels; everything else is
+    /// same-shaped).
+    pub fn output_extents(&self, width: i64, height: i64) -> Vec<i64> {
+        match self {
+            AppKind::CameraPipe => vec![width, height, 3],
+            _ => vec![width, height],
+        }
+    }
+
+    /// Builds the app's pipeline with the chosen schedule applied and lowers
+    /// it to a reusable [`Module`] — the compile half of compile-once /
+    /// realize-many. Some apps bake the image size into the algorithm (the
+    /// histogram's reduction domain, the pyramids' depth), so the module is
+    /// specific to `width` × `height`; serving layers key their caches on
+    /// the shape for exactly this reason.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors.
+    pub fn build(
+        &self,
+        width: i64,
+        height: i64,
+        schedule: ScheduleChoice,
+    ) -> LowerResult<BuiltApp> {
+        let (module, input_name, stats) = match self {
+            AppKind::Blur => {
+                let app = blur::BlurApp::new();
+                let s = match schedule {
+                    ScheduleChoice::Naive => blur::BlurSchedule::BreadthFirst,
+                    _ => blur::BlurSchedule::ParallelTiledVector,
+                };
+                let module = app.compile(s)?;
+                (
+                    module,
+                    app.input.name().to_string(),
+                    analyze(&app.pipeline()),
+                )
+            }
+            AppKind::Histogram => {
+                let app = histogram::HistogramApp::new(width as i32, height as i32);
+                if schedule != ScheduleChoice::Naive {
+                    app.schedule_good();
+                }
+                let module = app.compile()?;
+                (
+                    module,
+                    app.input.name().to_string(),
+                    analyze(&app.pipeline()),
+                )
+            }
+            AppKind::BilateralGrid => {
+                let app = bilateral_grid::BilateralGridApp::new();
+                match schedule {
+                    ScheduleChoice::Naive => {}
+                    ScheduleChoice::Tuned => app.schedule_good(),
+                    ScheduleChoice::Gpu => app.schedule_gpu(),
+                }
+                let module = app.compile()?;
+                (
+                    module,
+                    app.input.name().to_string(),
+                    analyze(&app.pipeline()),
+                )
+            }
+            AppKind::CameraPipe => {
+                let app = camera_pipe::CameraPipeApp::new(2.2, 0.8);
+                if schedule != ScheduleChoice::Naive {
+                    app.schedule_good();
+                }
+                let module = app.compile()?;
+                (
+                    module,
+                    app.input.name().to_string(),
+                    analyze(&app.pipeline()),
+                )
+            }
+            AppKind::Interpolate => {
+                let levels = pyramid_levels(width, height);
+                let app = interpolate::InterpolateApp::new(levels);
+                match schedule {
+                    ScheduleChoice::Naive => {}
+                    ScheduleChoice::Tuned => app.schedule_good(),
+                    ScheduleChoice::Gpu => app.schedule_gpu(),
+                }
+                let module = app.compile()?;
+                (
+                    module,
+                    app.input.name().to_string(),
+                    analyze(&app.pipeline()),
+                )
+            }
+            AppKind::LocalLaplacian => {
+                let levels = pyramid_levels(width, height).min(4);
+                let app = local_laplacian::LocalLaplacianApp::new(levels, 8, 1.0, 0.7);
+                if schedule != ScheduleChoice::Naive {
+                    app.schedule_good();
+                }
+                let module = app.compile()?;
+                (
+                    module,
+                    app.input.name().to_string(),
+                    analyze(&app.pipeline()),
+                )
+            }
+        };
+        Ok(BuiltApp {
+            module,
+            input_name,
+            stats,
+        })
     }
 
     /// Builds the app's pipeline (with the chosen schedule applied), a
@@ -156,93 +303,15 @@ impl AppKind {
         instrument: bool,
         backend: halide_exec::Backend,
     ) -> LowerResult<(ExecResult<Realization>, PipelineStats)> {
-        match self {
-            AppKind::Blur => {
-                let app = blur::BlurApp::new();
-                let s = match schedule {
-                    ScheduleChoice::Naive => blur::BlurSchedule::BreadthFirst,
-                    _ => blur::BlurSchedule::ParallelTiledVector,
-                };
-                let module = app.compile(s)?;
-                let stats = analyze(&app.pipeline());
-                let input = blur::make_input(width, height);
-                Ok((
-                    app.run_on(&module, &input, threads, instrument, backend),
-                    stats,
-                ))
-            }
-            AppKind::Histogram => {
-                let app = histogram::HistogramApp::new(width as i32, height as i32);
-                if schedule != ScheduleChoice::Naive {
-                    app.schedule_good();
-                }
-                let module = app.compile()?;
-                let stats = analyze(&app.pipeline());
-                let input = histogram::make_input(width, height);
-                Ok((
-                    app.run_on(&module, &input, threads, instrument, backend),
-                    stats,
-                ))
-            }
-            AppKind::BilateralGrid => {
-                let app = bilateral_grid::BilateralGridApp::new();
-                match schedule {
-                    ScheduleChoice::Naive => {}
-                    ScheduleChoice::Tuned => app.schedule_good(),
-                    ScheduleChoice::Gpu => app.schedule_gpu(),
-                }
-                let module = app.compile()?;
-                let stats = analyze(&app.pipeline());
-                let input = bilateral_grid::make_input(width, height);
-                Ok((
-                    app.run_on(&module, &input, threads, instrument, backend),
-                    stats,
-                ))
-            }
-            AppKind::CameraPipe => {
-                let app = camera_pipe::CameraPipeApp::new(2.2, 0.8);
-                if schedule != ScheduleChoice::Naive {
-                    app.schedule_good();
-                }
-                let module = app.compile()?;
-                let stats = analyze(&app.pipeline());
-                let input = camera_pipe::make_raw_input(width, height);
-                Ok((
-                    app.run_on(&module, &input, threads, instrument, backend),
-                    stats,
-                ))
-            }
-            AppKind::Interpolate => {
-                let levels = pyramid_levels(width, height);
-                let app = interpolate::InterpolateApp::new(levels);
-                match schedule {
-                    ScheduleChoice::Naive => {}
-                    ScheduleChoice::Tuned => app.schedule_good(),
-                    ScheduleChoice::Gpu => app.schedule_gpu(),
-                }
-                let module = app.compile()?;
-                let stats = analyze(&app.pipeline());
-                let input = interpolate::make_input(width, height);
-                Ok((
-                    app.run_on(&module, &input, threads, instrument, backend),
-                    stats,
-                ))
-            }
-            AppKind::LocalLaplacian => {
-                let levels = pyramid_levels(width, height).min(4);
-                let app = local_laplacian::LocalLaplacianApp::new(levels, 8, 1.0, 0.7);
-                if schedule != ScheduleChoice::Naive {
-                    app.schedule_good();
-                }
-                let module = app.compile()?;
-                let stats = analyze(&app.pipeline());
-                let input = local_laplacian::make_input(width, height);
-                Ok((
-                    app.run_on(&module, &input, threads, instrument, backend),
-                    stats,
-                ))
-            }
-        }
+        let built = self.build(width, height, schedule)?;
+        let input = self.make_input(width, height);
+        let result = Realizer::new(&built.module)
+            .input(built.input_name.clone(), input)
+            .threads(threads)
+            .instrument(instrument)
+            .backend(backend)
+            .realize(&self.output_extents(width, height));
+        Ok((result, built.stats))
     }
 
     /// Runs the hand-written reference ("expert") implementation where one is
@@ -278,6 +347,18 @@ impl AppKind {
         let _ = start;
         None
     }
+}
+
+/// The result of [`AppKind::build`]: a lowered module plus the binding
+/// metadata a caller needs to realize it repeatedly.
+#[derive(Debug)]
+pub struct BuiltApp {
+    /// The lowered, reusable module.
+    pub module: Module,
+    /// Name the input image must be bound under.
+    pub input_name: String,
+    /// Structural statistics of the pipeline (Fig. 6).
+    pub stats: PipelineStats,
 }
 
 /// Picks a pyramid depth appropriate for an image size (at least 2, at most 6).

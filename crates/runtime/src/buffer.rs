@@ -73,6 +73,80 @@ impl Storage {
         }
     }
 
+    /// The storage-kind tag a [`ScalarType`] maps to — two scalar types with
+    /// the same tag share a `Storage` variant, so their allocations are
+    /// interchangeable (the buffer pool's free lists are keyed by this).
+    fn kind_of(ty: ScalarType) -> u8 {
+        match ty {
+            ScalarType::UInt(1) | ScalarType::UInt(8) => 0,
+            ScalarType::UInt(16) => 1,
+            ScalarType::UInt(_) => 2,
+            ScalarType::Int(8) => 3,
+            ScalarType::Int(16) => 4,
+            ScalarType::Int(32) => 5,
+            ScalarType::Int(_) => 6,
+            ScalarType::Float(32) => 7,
+            ScalarType::Float(_) => 8,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            Storage::U8(v) => v.capacity(),
+            Storage::U16(v) => v.capacity(),
+            Storage::U32(v) => v.capacity(),
+            Storage::I8(v) => v.capacity(),
+            Storage::I16(v) => v.capacity(),
+            Storage::I32(v) => v.capacity(),
+            Storage::I64(v) => v.capacity(),
+            Storage::F32(v) => v.capacity(),
+            Storage::F64(v) => v.capacity(),
+        }
+    }
+
+    /// Clears and zero-fills to `len` elements, keeping the allocation when
+    /// it is large enough (the reuse path of the buffer pool).
+    fn reset(&mut self, len: usize) {
+        match self {
+            Storage::U8(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Storage::U16(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Storage::U32(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Storage::I8(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Storage::I16(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Storage::I32(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Storage::I64(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Storage::F32(v) => {
+                v.clear();
+                v.resize(len, 0.0);
+            }
+            Storage::F64(v) => {
+                v.clear();
+                v.resize(len, 0.0);
+            }
+        }
+    }
+
     fn get_f64(&self, i: usize) -> f64 {
         match self {
             Storage::U8(v) => v[i] as f64,
@@ -218,6 +292,72 @@ impl Buffer {
     /// Element type.
     pub fn ty(&self) -> ScalarType {
         self.ty
+    }
+
+    /// The storage-kind tag of a scalar type: buffers whose types share a tag
+    /// store their elements in the same `Vec` variant, so one's allocation
+    /// can be recycled into the other (see [`crate::BufferPool`]).
+    pub(crate) fn storage_kind(ty: ScalarType) -> u8 {
+        Storage::kind_of(ty)
+    }
+
+    /// Bytes per element of the *storage* a scalar type maps to — the
+    /// allocation's real footprint, which can exceed `ty.bytes()` (e.g.
+    /// `Float(16)` is stored in the `f64` variant). Pool byte accounting
+    /// must use this, not the nominal width, or credits and debits for
+    /// types sharing a storage kind diverge.
+    pub(crate) fn storage_bytes_per_elem(ty: ScalarType) -> usize {
+        match Storage::kind_of(ty) {
+            0 | 3 => 1,     // U8, I8
+            1 | 4 => 2,     // U16, I16
+            2 | 5 | 7 => 4, // U32, I32, F32
+            _ => 8,         // I64, F64
+        }
+    }
+
+    /// The number of elements the underlying allocation can hold without
+    /// reallocating.
+    pub(crate) fn capacity_elems(&self) -> usize {
+        // SAFETY: reading the capacity does not race with element writes.
+        unsafe { &*self.data.get() }.capacity()
+    }
+
+    /// Consumes this buffer and rebuilds it for a new type and shape,
+    /// reusing the storage allocation when it is large enough. All elements
+    /// of the result are zero, exactly as [`Buffer::new`] produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` maps to a different storage kind than the buffer's
+    /// current type (the pool's free lists are keyed by kind, so this is a
+    /// pool-internal invariant), or if an extent is negative.
+    pub(crate) fn recycle(self, ty: ScalarType, extents: &[i64]) -> Buffer {
+        assert_eq!(
+            Storage::kind_of(self.ty),
+            Storage::kind_of(ty),
+            "recycling across storage kinds"
+        );
+        let mut len: usize = 1;
+        let dims: Vec<BufferDim> = extents
+            .iter()
+            .map(|&extent| {
+                assert!(
+                    extent >= 0,
+                    "buffer extent must be non-negative, got {extent}"
+                );
+                len = len
+                    .checked_mul(extent as usize)
+                    .expect("buffer size overflow");
+                BufferDim { min: 0, extent }
+            })
+            .collect();
+        let mut storage = self.data.into_inner();
+        storage.reset(len);
+        Buffer {
+            ty,
+            dims,
+            data: UnsafeCell::new(storage),
+        }
     }
 
     /// Dimension descriptors.

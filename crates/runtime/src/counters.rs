@@ -61,6 +61,8 @@ pub struct Counters {
     scatter_stores: AtomicU64,
     masked_selects: AtomicU64,
     allocations: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
     bytes_allocated: AtomicU64,
     peak_bytes_live: AtomicU64,
     bytes_live: AtomicU64,
@@ -147,6 +149,19 @@ impl Counters {
         self.bytes_live.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    /// Records a buffer acquisition served by recycling from a
+    /// [`BufferPool`](crate::BufferPool).
+    pub fn add_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer acquisition that fell through the pool to a fresh
+    /// allocation (or ran with no pool configured at all — the two are
+    /// equivalent for steady-state accounting).
+    pub fn add_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records `n` tasks handed to the thread pool.
     pub fn add_parallel_tasks(&self, n: u64) {
         self.parallel_tasks.fetch_add(n, Ordering::Relaxed);
@@ -181,6 +196,8 @@ impl Counters {
             scatter_stores: self.scatter_stores.load(Ordering::Relaxed),
             masked_selects: self.masked_selects.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
             bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
             peak_bytes_live: self.peak_bytes_live.load(Ordering::Relaxed),
             parallel_tasks: self.parallel_tasks.load(Ordering::Relaxed),
@@ -220,6 +237,10 @@ pub struct CounterSnapshot {
     pub masked_selects: u64,
     /// Number of buffer allocations performed.
     pub allocations: u64,
+    /// Scratch-buffer acquisitions recycled from a buffer pool.
+    pub pool_hits: u64,
+    /// Scratch-buffer acquisitions that allocated (pool empty or absent).
+    pub pool_misses: u64,
     /// Total bytes allocated over the realization.
     pub bytes_allocated: u64,
     /// Peak bytes simultaneously live (a working-set / locality proxy).
@@ -262,6 +283,8 @@ impl CounterSnapshot {
             scatter_stores: self.scatter_stores - earlier.scatter_stores,
             masked_selects: self.masked_selects - earlier.masked_selects,
             allocations: self.allocations - earlier.allocations,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
             bytes_allocated: self.bytes_allocated - earlier.bytes_allocated,
             peak_bytes_live: self.peak_bytes_live.max(earlier.peak_bytes_live),
             parallel_tasks: self.parallel_tasks - earlier.parallel_tasks,
@@ -276,7 +299,7 @@ impl fmt::Display for CounterSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arith={} loads={} (dense={} strided={} gather={}) stores={} (dense={} strided={} scatter={}) masked_sel={} alloc={} ({} B, peak live {} B) tasks={} kernels={} copies={} ({} B)",
+            "arith={} loads={} (dense={} strided={} gather={}) stores={} (dense={} strided={} scatter={}) masked_sel={} alloc={} ({} B, peak live {} B, pool {}/{}) tasks={} kernels={} copies={} ({} B)",
             self.arith_ops,
             self.loads,
             self.dense_loads,
@@ -290,6 +313,8 @@ impl fmt::Display for CounterSnapshot {
             self.allocations,
             self.bytes_allocated,
             self.peak_bytes_live,
+            self.pool_hits,
+            self.pool_misses,
             self.parallel_tasks,
             self.kernel_launches,
             self.device_copies,

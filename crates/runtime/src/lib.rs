@@ -14,12 +14,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod buffer;
+pub mod bufpool;
 pub mod counters;
 pub mod gpu;
 pub mod pool;
 pub mod value;
 
 pub use buffer::{Buffer, BufferDim};
+pub use bufpool::{BufferPool, PoolStats, PooledBuffer};
 pub use counters::{classify_flat_indices, AccessPattern, CounterSnapshot, Counters};
 pub use gpu::{GpuDevice, Residency};
 pub use pool::{num_threads_default, ThreadPool};

@@ -1,0 +1,295 @@
+//! The compiled-program cache: the compile-once half of the server.
+//!
+//! Keyed by everything that changes the generated code — the app, its
+//! schedule variant, the execution backend, the output shape (several apps
+//! bake the image size into the algorithm), and the scalar-parameter
+//! signature — and holding `Arc`s so any number of request threads realize
+//! one shared [`Program`] without recompiling or cloning it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use halide_exec::{Backend, Program, Realizer};
+use halide_ir::ScalarType;
+use halide_lower::Module;
+use halide_pipelines::{AppKind, ScheduleChoice};
+
+use crate::{ServeError, ServeResult};
+
+/// A scalar parameter value a request binds, hashable so it can participate
+/// in the cache key (floats are compared by bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// A 32-bit float parameter.
+    F32(f32),
+    /// A 32-bit integer parameter.
+    I32(i32),
+}
+
+impl ParamValue {
+    /// The type tag used by [`ProgramKey`]'s parameter *signature*. Only
+    /// the name and type participate in the key — compiled programs bind
+    /// parameter values into free registers at realize time, so two
+    /// requests differing only in a value share one program.
+    fn type_tag(&self) -> u8 {
+        match self {
+            ParamValue::F32(_) => 0,
+            ParamValue::I32(_) => 1,
+        }
+    }
+
+    /// Binds this value onto a realizer under `name`.
+    pub(crate) fn bind<'m>(&self, realizer: Realizer<'m>, name: &str) -> Realizer<'m> {
+        match self {
+            ParamValue::F32(v) => realizer.param_f32(name, *v),
+            ParamValue::I32(v) => realizer.param_i32(name, *v),
+        }
+    }
+}
+
+/// Everything that selects one compiled program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    /// Which application.
+    pub app: AppKind,
+    /// Which schedule variant.
+    pub schedule: ScheduleChoice,
+    /// Which execution engine the program targets.
+    pub backend: Backend,
+    /// Output width and height (the shape axis of compile-once).
+    pub shape: (i64, i64),
+    /// Scalar-parameter *signature*: (name, type tag), sorted by name.
+    /// Values are deliberately absent — they bind into free registers at
+    /// realize time, so a varying knob must not fragment the cache into
+    /// one recompile per value.
+    params: Vec<(String, u8)>,
+}
+
+impl ProgramKey {
+    /// Builds a key; the parameter list is normalized (sorted by name) so
+    /// binding order does not fragment the cache.
+    pub fn new(
+        app: AppKind,
+        schedule: ScheduleChoice,
+        backend: Backend,
+        shape: (i64, i64),
+        params: &[(String, ParamValue)],
+    ) -> Self {
+        let mut params: Vec<(String, u8)> = params
+            .iter()
+            .map(|(name, v)| (name.clone(), v.type_tag()))
+            .collect();
+        params.sort();
+        params.dedup();
+        ProgramKey {
+            app,
+            schedule,
+            backend,
+            shape,
+            params,
+        }
+    }
+}
+
+/// One cache entry: a lowered module, its (optionally pre-compiled) program,
+/// and the metadata needed to realize it.
+#[derive(Debug)]
+pub struct CompiledApp {
+    /// The lowered module (kept alive for the realizers that borrow it).
+    pub module: Module,
+    /// The shared register-machine program (`None` when the entry targets
+    /// the interpreting backend, which walks the module directly).
+    pub program: Option<Arc<Program>>,
+    /// Name the request's input image binds under.
+    pub input_name: String,
+    /// Output extents for this entry's shape.
+    pub output_extents: Vec<i64>,
+    /// Output element type (what the pooled output buffer is acquired as).
+    pub output_ty: ScalarType,
+    /// Wall-clock cost of lowering + compiling this entry (the cold-path
+    /// latency the cache exists to amortize).
+    pub compile_time: Duration,
+}
+
+/// The shared program cache.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    entries: RwLock<HashMap<ProgramKey, Arc<CompiledApp>>>,
+    cold_compiles: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the program for `key`, lowering and compiling it on a miss.
+    /// Returns the entry plus whether *this call* paid the compile (the
+    /// request's cold/warm bit).
+    ///
+    /// Compilation runs outside the cache lock, so a cold entry never stalls
+    /// warm requests for other entries; two threads racing on the same cold
+    /// key may both compile, and the first insert wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering and program-compilation failures.
+    pub fn get_or_compile(&self, key: &ProgramKey) -> ServeResult<(Arc<CompiledApp>, bool)> {
+        if let Some(entry) = self.entries.read().unwrap().get(key) {
+            return Ok((Arc::clone(entry), false));
+        }
+
+        let start = Instant::now();
+        let built = key
+            .app
+            .build(key.shape.0, key.shape.1, key.schedule)
+            .map_err(|e| ServeError::Compile(e.to_string()))?;
+        let program = match key.backend {
+            Backend::Compiled => Some(
+                Program::compile(&built.module)
+                    .map(Arc::new)
+                    .map_err(|e| ServeError::Compile(e.to_string()))?,
+            ),
+            Backend::Interp => None,
+        };
+        let entry = Arc::new(CompiledApp {
+            output_ty: built.module.output.ty.scalar(),
+            output_extents: key.app.output_extents(key.shape.0, key.shape.1),
+            input_name: built.input_name,
+            program,
+            module: built.module,
+            compile_time: start.elapsed(),
+        });
+        self.cold_compiles.fetch_add(1, Ordering::Relaxed);
+
+        let mut entries = self.entries.write().unwrap();
+        // A racing compile may have inserted first; keep the existing Arc so
+        // every thread converges on one program.
+        let entry = Arc::clone(entries.entry(key.clone()).or_insert(entry));
+        Ok((entry, true))
+    }
+
+    /// Number of entries resident.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// True if no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many times a request paid a lower + compile.
+    pub fn cold_compiles(&self) -> u64 {
+        self.cold_compiles.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry (subsequent requests recompile).
+    pub fn clear(&self) {
+        self.entries.write().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_normalize_parameter_order() {
+        let p1 = vec![
+            ("b".to_string(), ParamValue::F32(1.5)),
+            ("a".to_string(), ParamValue::I32(3)),
+        ];
+        let p2 = vec![
+            ("a".to_string(), ParamValue::I32(3)),
+            ("b".to_string(), ParamValue::F32(1.5)),
+        ];
+        let k1 = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Compiled,
+            (64, 64),
+            &p1,
+        );
+        let k2 = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Compiled,
+            (64, 64),
+            &p2,
+        );
+        assert_eq!(k1, k2);
+        // A different *value* of the same knob shares the program — values
+        // bind at realize time, only the signature is part of the key.
+        let k3 = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Compiled,
+            (64, 64),
+            &[
+                ("a".to_string(), ParamValue::I32(99)),
+                ("b".to_string(), ParamValue::F32(-7.25)),
+            ],
+        );
+        assert_eq!(k1, k3);
+        // A different signature (extra name) is a different program.
+        let k4 = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Compiled,
+            (64, 64),
+            &[("c".to_string(), ParamValue::F32(2.5))],
+        );
+        assert_ne!(k1, k4);
+    }
+
+    #[test]
+    fn cache_compiles_once_per_key() {
+        let cache = ProgramCache::new();
+        let key = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Compiled,
+            (32, 32),
+            &[],
+        );
+        let (a, cold_a) = cache.get_or_compile(&key).unwrap();
+        let (b, cold_b) = cache.get_or_compile(&key).unwrap();
+        assert!(cold_a);
+        assert!(!cold_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.program.is_some());
+        assert_eq!(a.output_extents, vec![32, 32]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.cold_compiles(), 1);
+
+        // A different shape is a different program.
+        let key2 = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Compiled,
+            (64, 32),
+            &[],
+        );
+        let (_, cold) = cache.get_or_compile(&key2).unwrap();
+        assert!(cold);
+        assert_eq!(cache.len(), 2);
+
+        // The interpreting backend caches the module without a program.
+        let key3 = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Interp,
+            (32, 32),
+            &[],
+        );
+        let (c, _) = cache.get_or_compile(&key3).unwrap();
+        assert!(c.program.is_none());
+
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

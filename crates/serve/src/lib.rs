@@ -1,0 +1,100 @@
+//! # halide-serve
+//!
+//! A compile-once / realize-many **pipeline server** over the halide-rs
+//! compiler — the deployment shape the paper describes (Sec. 4.4: the
+//! compiler emits one entry point that is then invoked repeatedly on streams
+//! of images) scaled out to concurrent request traffic:
+//!
+//! * a [`Registry`] of **named** pipeline variants (every paper app ×
+//!   naive/tuned schedule, plus GPU variants where defined);
+//! * a [`ProgramCache`] keyed by *(app, schedule, backend, shape, parameter
+//!   signature)* holding shared `Arc<Program>`s, so each distinct pipeline
+//!   compiles **once** and every thread realizes the same program;
+//! * a shared [`BufferPool`](halide_runtime::BufferPool) that outputs and
+//!   scratch buffers cycle through, so steady-state requests perform **zero
+//!   large allocations** (hit rates are part of [`ServerStats`]);
+//! * bounded concurrent **admission**: `max_in_flight` requests execute at
+//!   once over persistent per-slot worker pools, `queue_capacity` more may
+//!   wait, and anything past that is rejected with
+//!   [`ServeError::Overloaded`] — backpressure, not collapse;
+//! * per-request **latency recording** (p50/p95/p99) and request counters.
+//!
+//! See `docs/serving.md` for the design walkthrough and benchmark numbers
+//! (`bench_serve` emits `BENCH_serve.json`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use halide_serve::{PipelineServer, Request, ServeConfig};
+//! use halide_pipelines::{AppKind, ScheduleChoice};
+//!
+//! let server = PipelineServer::new(ServeConfig::default());
+//! // Optional: pay the compile before traffic arrives.
+//! server.warm(AppKind::Blur, ScheduleChoice::Tuned, 64, 64).unwrap();
+//!
+//! let input = Arc::new(AppKind::Blur.make_input(64, 64));
+//! let req = Request::new(AppKind::Blur, ScheduleChoice::Tuned, input);
+//! for _ in 0..3 {
+//!     let resp = server.call(&req).unwrap(); // warm: cached program, pooled output
+//!     assert!(resp.cold_compile.is_none());
+//!     assert_eq!(resp.output.dims()[0].extent, 64);
+//! } // dropping each Response returns its buffer to the pool
+//! let stats = server.stats();
+//! assert_eq!(stats.requests, 3);
+//! assert!(stats.pool.hits >= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CompiledApp, ParamValue, ProgramCache, ProgramKey};
+pub use metrics::{LatencyRecorder, LatencyStats, ServerStats};
+pub use registry::{canonical_name, AppSpec, Registry};
+pub use server::{PipelineServer, Request, Response, ServeConfig};
+
+/// Everything that can go wrong while serving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The requested name is not in the registry.
+    UnknownApp(String),
+    /// The server is saturated and its wait queue is full — retry later or
+    /// shed load upstream.
+    Overloaded {
+        /// The configured in-flight bound that was reached.
+        in_flight: usize,
+        /// The configured wait-queue bound that was reached.
+        queued: usize,
+    },
+    /// The request's input cannot be served (wrong dimensionality etc.).
+    Shape(String),
+    /// Lowering or program compilation failed.
+    Compile(String),
+    /// The realization itself failed.
+    Exec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownApp(name) => write!(f, "no app registered under {name:?}"),
+            ServeError::Overloaded { in_flight, queued } => write!(
+                f,
+                "server overloaded: {in_flight} requests in flight and {queued} queued"
+            ),
+            ServeError::Shape(msg) => write!(f, "bad request shape: {msg}"),
+            ServeError::Compile(msg) => write!(f, "compilation failed: {msg}"),
+            ServeError::Exec(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving result alias.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,133 @@
+//! Request-latency recording and the server's aggregate statistics.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use halide_runtime::PoolStats;
+
+/// Collects per-request latencies and summarizes them as percentiles.
+///
+/// Recording is a lock plus a push; the percentile math happens only when a
+/// snapshot is taken, so the request path stays cheap.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples_ms: Mutex<Vec<f64>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request's latency.
+    pub fn record(&self, latency: Duration) {
+        self.samples_ms
+            .lock()
+            .unwrap()
+            .push(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Drops every recorded sample (for phase-separated benchmarking).
+    pub fn reset(&self) {
+        self.samples_ms.lock().unwrap().clear();
+    }
+
+    /// Summarizes everything recorded so far.
+    pub fn snapshot(&self) -> LatencyStats {
+        let mut samples = self.samples_ms.lock().unwrap().clone();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        LatencyStats::from_sorted(&samples)
+    }
+}
+
+/// Percentile summary of a latency distribution, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_sorted(sorted: &[f64]) -> LatencyStats {
+        if sorted.is_empty() {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            count: sorted.len() as u64,
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_ms: percentile(sorted, 0.50),
+            p95_ms: percentile(sorted, 0.95),
+            p99_ms: percentile(sorted, 0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A point-in-time view of everything a [`PipelineServer`] counts.
+///
+/// [`PipelineServer`]: crate::PipelineServer
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Requests served to completion.
+    pub requests: u64,
+    /// Requests rejected with `Overloaded` (the backpressure signal).
+    pub rejected: u64,
+    /// Requests that had to lower + compile their program (cache cold).
+    pub cold_compiles: u64,
+    /// Entries currently in the compiled-program cache.
+    pub cached_programs: u64,
+    /// Latency distribution over served requests.
+    pub latency: LatencyStats,
+    /// Buffer-pool accounting (outputs and scratch combined).
+    pub pool: PoolStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let rec = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        rec.reset();
+        assert_eq!(rec.snapshot(), LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let rec = LatencyRecorder::new();
+        rec.record(Duration::from_millis(7));
+        let s = rec.snapshot();
+        assert_eq!(
+            (s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms),
+            (7.0, 7.0, 7.0, 7.0)
+        );
+    }
+}

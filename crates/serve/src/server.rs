@@ -1,0 +1,539 @@
+//! The pipeline server: bounded concurrent admission over the program cache
+//! and the buffer pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use halide_exec::{Backend, Realizer};
+use halide_pipelines::{AppKind, ScheduleChoice};
+use halide_runtime::{Buffer, BufferPool, CounterSnapshot, PooledBuffer, ThreadPool};
+
+use crate::cache::{ParamValue, ProgramCache, ProgramKey};
+use crate::metrics::{LatencyRecorder, ServerStats};
+use crate::registry::Registry;
+use crate::{ServeError, ServeResult};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Requests allowed to execute simultaneously (each gets its own
+    /// persistent worker [`ThreadPool`]).
+    pub max_in_flight: usize,
+    /// Requests allowed to *wait* for an execution slot before further
+    /// arrivals are rejected with [`ServeError::Overloaded`] — the
+    /// backpressure bound.
+    pub queue_capacity: usize,
+    /// Worker threads each in-flight request may use for its parallel
+    /// loops. Serving throughput usually wants `1` (scale across requests,
+    /// not within them); latency-sensitive single streams want the machine.
+    pub threads_per_request: usize,
+    /// Execution engine programs are compiled for.
+    pub backend: Backend,
+    /// Serve outputs from (and return them to) the shared buffer pool.
+    pub pooling: bool,
+    /// Idle bytes the buffer pool may retain.
+    pub pool_max_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    /// Four concurrent requests, a 16-deep wait queue, one thread per
+    /// request, the compiled backend, pooling on.
+    fn default() -> Self {
+        ServeConfig {
+            max_in_flight: 4,
+            queue_capacity: 16,
+            threads_per_request: 1,
+            backend: Backend::Compiled,
+            pooling: true,
+            pool_max_bytes: 256 << 20,
+        }
+    }
+}
+
+/// One request: which registered pipeline, the input image, and any scalar
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Which application.
+    pub app: AppKind,
+    /// Which schedule variant.
+    pub schedule: ScheduleChoice,
+    /// The input image (shared, so enqueueing does not copy pixels).
+    pub input: Arc<Buffer>,
+    /// Scalar parameters to bind, by name.
+    pub params: Vec<(String, ParamValue)>,
+}
+
+impl Request {
+    /// A parameterless request.
+    pub fn new(app: AppKind, schedule: ScheduleChoice, input: Arc<Buffer>) -> Self {
+        Request {
+            app,
+            schedule,
+            input,
+            params: Vec::new(),
+        }
+    }
+
+    /// Adds a scalar parameter.
+    pub fn param(mut self, name: impl Into<String>, value: ParamValue) -> Self {
+        self.params.push((name.into(), value));
+        self
+    }
+}
+
+/// A served response. Dropping it returns the output buffer to the server's
+/// pool, so hold it only as long as the pixels are needed (or
+/// [`PooledBuffer::detach`] the buffer to keep it).
+#[derive(Debug)]
+pub struct Response {
+    /// The output image, on loan from the buffer pool.
+    pub output: PooledBuffer,
+    /// Time from submission to completion, queueing included.
+    pub latency: Duration,
+    /// The lower + compile cost this request paid, if it was the one that
+    /// populated its cache entry (`None` on the warm path).
+    pub cold_compile: Option<Duration>,
+    /// The realization's work counters.
+    pub counters: CounterSnapshot,
+}
+
+/// Bounded admission: a fixed set of execution slots plus a bounded wait
+/// queue. `acquire` blocks while slots are busy and the queue has room, and
+/// fails fast once the queue is full — callers see load as latency first and
+/// as `Overloaded` errors only past the configured bound.
+#[derive(Debug)]
+struct Admission {
+    state: Mutex<AdmissionState>,
+    queue_capacity: usize,
+    slot_freed: Condvar,
+}
+
+#[derive(Debug)]
+struct AdmissionState {
+    free_slots: Vec<usize>,
+    waiting: usize,
+}
+
+impl Admission {
+    fn new(slots: usize, queue_capacity: usize) -> Self {
+        Admission {
+            state: Mutex::new(AdmissionState {
+                free_slots: (0..slots).collect(),
+                waiting: 0,
+            }),
+            queue_capacity,
+            slot_freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until an execution slot is free; `Err(())` means the wait
+    /// queue itself was full.
+    fn acquire(&self) -> Result<usize, ()> {
+        let mut state = self.state.lock().unwrap();
+        if state.free_slots.is_empty() {
+            if state.waiting >= self.queue_capacity {
+                return Err(());
+            }
+            state.waiting += 1;
+            while state.free_slots.is_empty() {
+                state = self.slot_freed.wait(state).unwrap();
+            }
+            state.waiting -= 1;
+        }
+        Ok(state.free_slots.pop().expect("checked non-empty"))
+    }
+
+    fn release(&self, slot: usize) {
+        self.state.lock().unwrap().free_slots.push(slot);
+        self.slot_freed.notify_one();
+    }
+}
+
+/// Returns the admission slot on every exit path of `call`.
+struct SlotGuard<'a> {
+    admission: &'a Admission,
+    slot: usize,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.admission.release(self.slot);
+    }
+}
+
+/// A compile-once / realize-many pipeline server.
+///
+/// Owns the name [`Registry`], the compiled-[`ProgramCache`], the shared
+/// [`BufferPool`], and one persistent worker [`ThreadPool`] per admission
+/// slot. `&self` is all any operation needs, so any number of client threads
+/// can share one server.
+#[derive(Debug)]
+pub struct PipelineServer {
+    config: ServeConfig,
+    registry: Registry,
+    cache: ProgramCache,
+    buffer_pool: Arc<BufferPool>,
+    /// One persistent worker pool per admission slot, reused across every
+    /// request the slot serves.
+    slot_pools: Vec<ThreadPool>,
+    admission: Admission,
+    latency: LatencyRecorder,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl PipelineServer {
+    /// A server over the full paper-app registry.
+    pub fn new(config: ServeConfig) -> Self {
+        Self::with_registry(config, Registry::with_paper_apps())
+    }
+
+    /// A server over a caller-assembled registry.
+    pub fn with_registry(config: ServeConfig, registry: Registry) -> Self {
+        let slots = config.max_in_flight.max(1);
+        PipelineServer {
+            slot_pools: (0..slots)
+                .map(|_| ThreadPool::new(config.threads_per_request.max(1)))
+                .collect(),
+            admission: Admission::new(slots, config.queue_capacity),
+            buffer_pool: Arc::new(BufferPool::new(config.pool_max_bytes)),
+            cache: ProgramCache::new(),
+            latency: LatencyRecorder::new(),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            registry,
+            config,
+        }
+    }
+
+    /// The server's registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared buffer pool (outputs and scratch draw from it).
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.buffer_pool
+    }
+
+    /// Pre-compiles the program for `(app, schedule)` at the given shape, so
+    /// the first real request finds the cache warm. Returns the lower +
+    /// compile time when this call populated the entry (`None` if it was
+    /// already resident).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile failures.
+    pub fn warm(
+        &self,
+        app: AppKind,
+        schedule: ScheduleChoice,
+        width: i64,
+        height: i64,
+    ) -> ServeResult<Option<Duration>> {
+        let key = ProgramKey::new(app, schedule, self.config.backend, (width, height), &[]);
+        let (entry, cold) = self.cache.get_or_compile(&key)?;
+        Ok(cold.then(|| entry.compile_time))
+    }
+
+    /// Serves one request: admission, program lookup (compiling if cold),
+    /// realization into a pooled output buffer, latency recording.
+    ///
+    /// Blocks while the server is saturated but the wait queue has room.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] once `max_in_flight` requests are running
+    /// *and* `queue_capacity` more are waiting; [`ServeError::Shape`] for
+    /// inputs the app cannot consume; compile and execution failures
+    /// otherwise.
+    pub fn call(&self, req: &Request) -> ServeResult<Response> {
+        let start = Instant::now();
+        let slot = match self.admission.acquire() {
+            Ok(slot) => slot,
+            Err(()) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    in_flight: self.config.max_in_flight,
+                    queued: self.config.queue_capacity,
+                });
+            }
+        };
+        let guard = SlotGuard {
+            admission: &self.admission,
+            slot,
+        };
+
+        if req.input.dimensions() < 2 {
+            return Err(ServeError::Shape(format!(
+                "{} expects a 2-D (or deeper) input, got {} dimension(s)",
+                req.app.name(),
+                req.input.dimensions()
+            )));
+        }
+        let (width, height) = (req.input.dims()[0].extent, req.input.dims()[1].extent);
+        let key = ProgramKey::new(
+            req.app,
+            req.schedule,
+            self.config.backend,
+            (width, height),
+            &req.params,
+        );
+        let (entry, cold) = self.cache.get_or_compile(&key)?;
+
+        // The output comes from the pool (or fresh when pooling is off) and
+        // goes back to it when the caller drops the Response. On a failed
+        // realization the allocation is dropped with the error instead of
+        // returning to the pool (`realize_into` consumes it); that loss is
+        // bounded by the error rate and the pool refills on the next
+        // successful request.
+        let (output, output_hit) = if self.config.pooling {
+            self.buffer_pool
+                .acquire_raw(entry.output_ty, &entry.output_extents)
+        } else {
+            (
+                Buffer::with_extents(entry.output_ty, &entry.output_extents),
+                false,
+            )
+        };
+
+        let mut realizer = match &entry.program {
+            Some(program) => Realizer::with_program(&entry.module, Arc::clone(program)),
+            None => Realizer::new(&entry.module),
+        };
+        realizer = realizer
+            .backend(self.config.backend)
+            .instrument(false)
+            .thread_pool(self.slot_pools[guard.slot].clone())
+            .input_shared(entry.input_name.clone(), Arc::clone(&req.input));
+        if self.config.pooling {
+            realizer = realizer.buffer_pool(Arc::clone(&self.buffer_pool));
+        }
+        for (name, value) in &req.params {
+            realizer = value.bind(realizer, name);
+        }
+
+        let realization = realizer
+            .realize_into(output)
+            .map_err(|e| ServeError::Exec(e.to_string()))?;
+        let mut counters = realization.counters;
+        if output_hit {
+            counters.pool_hits += 1;
+        } else if self.config.pooling {
+            counters.pool_misses += 1;
+        }
+
+        let latency = start.elapsed();
+        drop(guard);
+        self.latency.record(latency);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+
+        let output = if self.config.pooling {
+            PooledBuffer::attached(Arc::clone(&self.buffer_pool), realization.output)
+        } else {
+            PooledBuffer::unpooled(realization.output)
+        };
+        Ok(Response {
+            output,
+            latency,
+            cold_compile: cold.then(|| entry.compile_time),
+            counters,
+        })
+    }
+
+    /// [`PipelineServer::call`] addressed through the registry by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for unregistered names, otherwise as
+    /// [`PipelineServer::call`].
+    pub fn call_named(&self, name: &str, input: Arc<Buffer>) -> ServeResult<Response> {
+        let spec = self
+            .registry
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownApp(name.to_string()))?;
+        self.call(&Request::new(spec.app, spec.schedule, input))
+    }
+
+    /// Aggregate statistics: request and rejection counts, cold compiles,
+    /// cache residency, the latency distribution, and pool accounting.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cold_compiles: self.cache.cold_compiles(),
+            cached_programs: self.cache.len() as u64,
+            latency: self.latency.snapshot(),
+            pool: self.buffer_pool.stats(),
+        }
+    }
+
+    /// Forgets recorded latencies (for phase-separated benchmarking; the
+    /// monotone counters are kept).
+    pub fn reset_latencies(&self) {
+        self.latency.reset();
+    }
+
+    /// Drops every cached program, so subsequent requests recompile — the
+    /// benchmark's compile-per-request baseline, and an operational tool for
+    /// forcing recompilation after an (out-of-band) compiler upgrade.
+    pub fn clear_program_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blur_request(width: i64, height: i64) -> Request {
+        Request::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Arc::new(AppKind::Blur.make_input(width, height)),
+        )
+    }
+
+    #[test]
+    fn first_call_is_cold_then_warm_and_pooled() {
+        let server = PipelineServer::new(ServeConfig::default());
+        let req = blur_request(64, 48);
+
+        let first = server.call(&req).unwrap();
+        assert!(first.cold_compile.is_some());
+        assert_eq!(first.output.dims()[0].extent, 64);
+        drop(first);
+
+        let second = server.call(&req).unwrap();
+        assert!(second.cold_compile.is_none());
+        // The warm request's output came back from the pool.
+        assert!(second.counters.pool_hits >= 1);
+
+        let stats = server.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cold_compiles, 1);
+        assert_eq!(stats.cached_programs, 1);
+        assert_eq!(stats.latency.count, 2);
+        assert!(stats.pool.hits >= 1);
+    }
+
+    #[test]
+    fn named_calls_resolve_through_the_registry() {
+        let server = PipelineServer::new(ServeConfig::default());
+        let input = Arc::new(AppKind::Blur.make_input(32, 32));
+        let resp = server.call_named("blur/naive", Arc::clone(&input)).unwrap();
+        assert_eq!(resp.output.dims()[1].extent, 32);
+        match server.call_named("sharpen/tuned", input) {
+            Err(ServeError::UnknownApp(name)) => assert_eq!(name, "sharpen/tuned"),
+            other => panic!("expected UnknownApp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_output_matches_direct_realization() {
+        let server = PipelineServer::new(ServeConfig::default());
+        let input = AppKind::Blur.make_input(67, 41);
+        let req = Request::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Arc::new(input.clone()),
+        );
+        let served = server.call(&req).unwrap();
+        let direct = halide_pipelines::blur::BlurApp::new();
+        let module = direct
+            .compile(halide_pipelines::blur::BlurSchedule::ParallelTiledVector)
+            .unwrap();
+        let reference = direct.run(&module, &input, 1, false).unwrap();
+        assert_eq!(
+            served.output.to_f64_vec(),
+            reference.output.to_f64_vec(),
+            "served output diverges from a direct realization"
+        );
+    }
+
+    #[test]
+    fn overload_rejects_past_queue_capacity() {
+        // One slot, zero queue: a second concurrent request must be refused.
+        let server = PipelineServer::with_registry(
+            ServeConfig {
+                max_in_flight: 1,
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            Registry::with_paper_apps(),
+        );
+        // Occupy the only slot manually…
+        let slot = server.admission.acquire().unwrap();
+        match server.call(&blur_request(64, 32)) {
+            Err(ServeError::Overloaded { in_flight, queued }) => {
+                assert_eq!((in_flight, queued), (1, 0));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // …then release it: the same request now succeeds.
+        server.admission.release(slot);
+        server.call(&blur_request(64, 32)).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn queued_requests_wait_instead_of_failing() {
+        let server = Arc::new(PipelineServer::with_registry(
+            ServeConfig {
+                max_in_flight: 1,
+                queue_capacity: 8,
+                ..ServeConfig::default()
+            },
+            Registry::with_paper_apps(),
+        ));
+        // 4 threads through 1 slot with queue room: all succeed.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    server.call(&blur_request(64, 32)).unwrap();
+                });
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn pooling_can_be_disabled() {
+        let server = PipelineServer::with_registry(
+            ServeConfig {
+                pooling: false,
+                ..ServeConfig::default()
+            },
+            Registry::with_paper_apps(),
+        );
+        let req = blur_request(64, 32);
+        drop(server.call(&req).unwrap());
+        let resp = server.call(&req).unwrap();
+        assert_eq!(resp.counters.pool_hits, 0);
+        assert_eq!(server.stats().pool.hits + server.stats().pool.misses, 0);
+    }
+
+    #[test]
+    fn params_partition_the_cache() {
+        let server = PipelineServer::new(ServeConfig::default());
+        let req = blur_request(64, 32);
+        let with_param = req.clone().param("gain", ParamValue::F32(2.0));
+        // Blur ignores unknown params (they bind to nothing), but the cache
+        // must still treat the signatures as distinct programs.
+        server.call(&req).unwrap();
+        server.call(&with_param).unwrap();
+        assert_eq!(server.stats().cached_programs, 2);
+    }
+}

@@ -16,6 +16,8 @@
 //!   multithreaded runtime with a simulated GPU device (Sec. 4.6 substitute);
 //! * [`autotune`] — the stochastic schedule search (Sec. 5);
 //! * [`pipelines`] — the paper's benchmark applications (Sec. 6);
+//! * [`serve`] — the compile-once / realize-many pipeline server (program
+//!   cache, buffer pooling, bounded concurrent admission);
 //! * [`ir`] and [`runtime`] — the underlying IR and runtime substrates.
 //!
 //! # Quickstart: the two-stage blur of Sec. 3.1
@@ -69,11 +71,13 @@ pub use halide_lower as lower_crate;
 pub use halide_pipelines as pipelines;
 pub use halide_runtime as runtime;
 pub use halide_schedule as schedule;
+pub use halide_serve as serve;
 
 pub use halide_autotune::{Autotuner, TuneOptions};
 pub use halide_exec::{Realization, Realizer};
 pub use halide_ir::Expr;
 pub use halide_lang::{Func, ImageParam, Param, Pipeline, RDom, Var};
 pub use halide_lower::{lower, lower_with_options, LowerOptions, Module};
-pub use halide_runtime::{Buffer, CounterSnapshot};
+pub use halide_runtime::{Buffer, BufferPool, CounterSnapshot};
 pub use halide_schedule::{FuncSchedule, LoopLevel};
+pub use halide_serve::{PipelineServer, ServeConfig};

@@ -1,0 +1,162 @@
+//! Concurrency stress tests for the serving layer: many threads realizing
+//! one shared compiled program into pooled buffers must produce exactly the
+//! image a single-threaded run produces — sharing and pooling are
+//! performance mechanisms, never observable in the results.
+
+use std::sync::Arc;
+
+use halide::exec::Realizer;
+use halide::pipelines::{AppKind, ScheduleChoice};
+use halide::runtime::BufferPool;
+use halide::serve::{PipelineServer, Registry, Request, ServeConfig};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 6;
+
+/// Eight threads share one `Arc<Program>` and one `BufferPool`, each
+/// realizing repeatedly into pooled output buffers; every single output must
+/// be bit-identical to a single-threaded reference realization into a fresh
+/// buffer.
+#[test]
+fn shared_program_pooled_buffers_are_bit_identical_across_threads() {
+    let app = AppKind::Blur;
+    let (w, h) = (128, 96);
+    let built = app.build(w, h, ScheduleChoice::Tuned).unwrap();
+    let input = Arc::new(app.make_input(w, h));
+    let extents = app.output_extents(w, h);
+
+    // Single-threaded reference: its own compile, a fresh output buffer.
+    let reference = Realizer::new(&built.module)
+        .input_shared(built.input_name.clone(), Arc::clone(&input))
+        .threads(1)
+        .instrument(false)
+        .realize(&extents)
+        .unwrap()
+        .output
+        .to_f64_vec();
+
+    // One program, compiled once, shared by every thread.
+    let owner = Realizer::new(&built.module);
+    let program = owner.program().unwrap();
+    let pool = Arc::new(BufferPool::default());
+    let output_ty = built.module.output.ty.scalar();
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let program = Arc::clone(&program);
+            let pool = Arc::clone(&pool);
+            let input = Arc::clone(&input);
+            let (module, input_name, extents, reference) =
+                (&built.module, &built.input_name, &extents, &reference);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let out = pool.acquire(output_ty, extents).detach();
+                    let realization = Realizer::with_program(module, Arc::clone(&program))
+                        .input_shared(input_name.clone(), Arc::clone(&input))
+                        .threads(1)
+                        .instrument(false)
+                        .buffer_pool(Arc::clone(&pool))
+                        .realize_into(out)
+                        .unwrap();
+                    assert_eq!(
+                        &realization.output.to_f64_vec(),
+                        reference,
+                        "round {round}: pooled, program-sharing realization diverged"
+                    );
+                    pool.release(realization.output);
+                }
+            });
+        }
+    });
+
+    // Steady state: after the first wave of allocations, outputs and scratch
+    // recycle; with 8 threads × 6 rounds the pool must be mostly hits.
+    let stats = pool.stats();
+    assert!(
+        stats.hits + stats.misses >= (THREADS * ROUNDS) as u64,
+        "expected at least one acquisition per realization, saw {stats:?}"
+    );
+    assert!(
+        stats.hit_rate() > 0.5,
+        "pool should serve the steady state, got {:?}",
+        stats
+    );
+}
+
+/// The same property end to end through the `PipelineServer`: a mixed
+/// multi-app request stream from eight client threads, every response
+/// bit-identical to the app's single-threaded direct realization.
+#[test]
+fn server_under_concurrent_mixed_load_matches_direct_runs() {
+    let apps = [AppKind::Blur, AppKind::Histogram, AppKind::BilateralGrid];
+    let (w, h) = (96, 64);
+
+    // Direct single-threaded references, one per app.
+    let references: Vec<Vec<f64>> = apps
+        .iter()
+        .map(|app| {
+            let built = app.build(w, h, ScheduleChoice::Tuned).unwrap();
+            Realizer::new(&built.module)
+                .input(built.input_name.clone(), app.make_input(w, h))
+                .threads(1)
+                .instrument(false)
+                .realize(&app.output_extents(w, h))
+                .unwrap()
+                .output
+                .to_f64_vec()
+        })
+        .collect();
+
+    let server = PipelineServer::with_registry(
+        ServeConfig {
+            max_in_flight: 4,
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+        Registry::with_paper_apps(),
+    );
+    let inputs: Vec<Arc<_>> = apps.iter().map(|a| Arc::new(a.make_input(w, h))).collect();
+    // Pre-compile so no two threads race the same cold key (a race would
+    // compile twice and keep one — correct, but the counts below are exact
+    // only on a warm cache, which is also the steady state being modeled).
+    for app in apps {
+        assert!(server
+            .warm(app, ScheduleChoice::Tuned, w, h)
+            .unwrap()
+            .is_some());
+    }
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (server, apps, inputs, references) = (&server, &apps, &inputs, &references);
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Each thread walks the apps in a different order.
+                    let i = (t + round) % apps.len();
+                    let req = Request::new(apps[i], ScheduleChoice::Tuned, Arc::clone(&inputs[i]));
+                    let resp = server.call(&req).unwrap();
+                    assert_eq!(
+                        resp.output.to_f64_vec(),
+                        references[i],
+                        "thread {t} round {round}: served {} diverged",
+                        apps[i].name()
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, (THREADS * ROUNDS) as u64);
+    assert_eq!(stats.rejected, 0);
+    // Three apps at one shape each: exactly three compiles ever happen.
+    assert_eq!(stats.cold_compiles, 3);
+    assert_eq!(stats.cached_programs, 3);
+    assert!(
+        stats.pool.hit_rate() > 0.5,
+        "pool hit rate {:?} too low under steady mixed load",
+        stats.pool
+    );
+    assert_eq!(stats.latency.count, (THREADS * ROUNDS) as u64);
+    assert!(stats.latency.p50_ms <= stats.latency.p99_ms);
+}

@@ -19,13 +19,20 @@
 //! The emitter is also the perf gate: it asserts the compiled engine's
 //! speedup over the interpreter on blur (whole app) and on the tuned
 //! camera pipe and bilateral grid schedules — the select/gather-heavy
-//! rows the predicated vector paths exist for.
+//! rows the predicated vector paths exist for — plus the pre-codegen
+//! optimizer's contract: on every app the optimized instruction count is
+//! no larger than the unoptimized one, and on the tuned camera pipe the
+//! optimizer removes at least 10% of the instructions.
+//!
+//! `--dump-pir` additionally prints each app's optimized linear program IR
+//! (the final snapshot of `Program::compile_traced`) to stdout; see
+//! `examples/pir_stages.rs` for the stage-by-stage view.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use halide_bench::HarnessConfig;
-use halide_exec::Backend;
+use halide_exec::{Backend, OptLevel, OptReport, Program};
 use halide_pipelines::{apps::ScheduleChoice, AppKind};
 use halide_runtime::CounterSnapshot;
 
@@ -111,6 +118,33 @@ fn main() {
         ops.push((app.name(), c));
     }
 
+    // The optimizer's report for every tuned schedule: instruction counts
+    // before/after the pass pipeline and which passes did the eliminating.
+    // Compilation is pure (no execution), so this adds negligible time.
+    let dump_pir = args.iter().any(|a| a == "--dump-pir");
+    let mut pir: Vec<(&'static str, OptReport)> = Vec::new();
+    for app in AppKind::ALL {
+        let built = app
+            .build(cfg.width, cfg.height, ScheduleChoice::Tuned)
+            .expect("tuned schedule lowers");
+        let (program, stages) = Program::compile_traced(&built.module, OptLevel::Default)
+            .expect("tuned schedule compiles");
+        let report = program.opt_report().clone();
+        eprintln!(
+            "{:<20} tuned  pir {} -> {} insts in {} iteration(s)",
+            app.name(),
+            report.before_insts,
+            report.after_insts,
+            report.iterations
+        );
+        if dump_pir {
+            let last = stages.last().expect("the trace records the linearization");
+            println!("=== {} (tuned) optimized PIR ===", app.name());
+            print!("{}", last.pir);
+        }
+        pir.push((app.name(), report));
+    }
+
     // Per-app aggregate: total interpreter time over total compiled time for
     // the app's schedules (the time to run that app's benchmark set on each
     // backend).
@@ -171,6 +205,24 @@ fn main() {
         json.push_str(if i + 1 < ops.len() { ",\n" } else { "\n" });
     }
     json.push_str("  },\n");
+    json.push_str("  \"pir\": {\n");
+    for (i, (name, r)) in pir.iter().enumerate() {
+        let passes: Vec<String> = r
+            .passes
+            .iter()
+            .map(|p| format!("\"{}\": {}", p.name, p.changes))
+            .collect();
+        let _ = write!(
+            json,
+            "    \"{name}\": {{ \"before_insts\": {}, \"after_insts\": {}, \"iterations\": {}, \"passes\": {{ {} }} }}",
+            r.before_insts,
+            r.after_insts,
+            r.iterations,
+            passes.join(", "),
+        );
+        json.push_str(if i + 1 < pir.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
     json.push_str("  \"app_speedups\": {\n");
     let apps: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
     for (i, name) in apps.iter().enumerate() {
@@ -201,4 +253,32 @@ fn main() {
             "the compiled backend must be at least 5x faster than the interpreter on the tuned {app} schedule, got {s:.2}x"
         );
     }
+    // The optimizer's gates: it must never grow a program, and on the tuned
+    // camera pipe (the schedule the pass pipeline was sized against) it must
+    // remove at least 10% of the instructions.
+    for (name, r) in &pir {
+        assert!(
+            r.after_insts <= r.before_insts,
+            "the optimizer grew {name}: {} -> {} instructions",
+            r.before_insts,
+            r.after_insts
+        );
+    }
+    let cam = &pir
+        .iter()
+        .find(|(name, _)| *name == "Camera pipe")
+        .expect("camera pipe was compiled")
+        .1;
+    let reduction = 1.0 - cam.after_insts as f64 / cam.before_insts.max(1) as f64;
+    println!(
+        "camera pipe tuned instruction reduction: {:.1}% ({} -> {})",
+        reduction * 100.0,
+        cam.before_insts,
+        cam.after_insts
+    );
+    assert!(
+        reduction >= 0.10,
+        "the optimizer must remove at least 10% of the tuned camera pipe's instructions, got {:.1}%",
+        reduction * 100.0
+    );
 }

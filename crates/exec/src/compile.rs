@@ -3,24 +3,27 @@
 //!
 //! The tree-walking interpreter in [`crate::eval`] re-hashes variable names,
 //! re-matches `ExprNode` variants and heap-allocates a `Vec`-backed
-//! [`halide_runtime::Value`] for every scalar on every iteration. This pass
-//! removes all of that **ahead of execution**, playing the role of the
-//! paper's LLVM code generation step (Sec. 4.6) for this repository's
-//! runtime:
+//! [`halide_runtime::Value`] for every scalar on every iteration.
+//! Compilation removes all of that **ahead of execution**, playing the role
+//! of the paper's LLVM code generation step (Sec. 4.6) for this repository's
+//! runtime. It runs as three explicit layers (see `docs/optimizer.md` at the
+//! repository root):
 //!
-//! * every variable reference is resolved to a numeric **frame slot** (an
-//!   index into the machine's register file) — no `HashMap`/`Scope` lookups
-//!   at run time;
-//! * every buffer reference is resolved to a **buffer index** — allocation
-//!   and lookup are array indexing;
-//! * every intrinsic call is resolved to a **function pointer** — no name
-//!   dispatch at run time;
-//! * expressions become a linearized tree of `CExpr` nodes evaluated over
-//!   **unboxed** [`halide_runtime::Scalar`] values; vector lanes are only
-//!   materialized where vectorization actually put `ramp`/`broadcast` nodes;
-//! * the leading loop-invariant `let`s of every loop body are peeled at
-//!   compile time, so their values are computed once per loop entry (the
-//!   interpreter discovers this per loop entry, the compiler once).
+//! 1. **linearize** (`pir.rs`): resolve every variable to a numeric
+//!    frame slot, every buffer to an index, every intrinsic to a function
+//!    pointer, and flatten the statement into the linear program IR —
+//!    basic blocks over virtual registers, with explicit loop/alloc regions
+//!    and side-effect annotations on buffer operations;
+//! 2. **optimize** ([`crate::opt`]): a fixed-point pass pipeline over PIR —
+//!    constant folding, algebraic simplification, CSE, strength reduction,
+//!    loop-invariant hoisting (which subsumes the old compile-time peeling
+//!    of loop-leading `let`s), copy propagation, and DCE — selected by
+//!    [`OptLevel`];
+//! 3. **emit** (`emit.rs`): translate the optimized PIR to the
+//!    [`crate::machine`] instruction set: expressions become linearized
+//!    trees of `CExpr` nodes over **unboxed** [`halide_runtime::Scalar`]
+//!    values; vector lanes are only materialized where vectorization
+//!    actually put `ramp`/`broadcast` nodes.
 //!
 //! Symbols and buffers the statement does not bind internally become the
 //! program's *free* slots; [`crate::Realizer`] binds them from the module's
@@ -32,11 +35,11 @@
 
 use std::collections::HashMap;
 
-use halide_ir::{BinOp, CallType, CmpOp, Expr, ExprNode, ForKind, ScalarType, Stmt, StmtNode};
+use halide_ir::{BinOp, CmpOp, ForKind, ScalarType, Stmt};
 use halide_lower::Module;
 
-use crate::error::{ExecError, Result};
-use crate::eval::peel_invariant_lets;
+use crate::error::Result;
+use crate::opt::{optimize, OptLevel, OptReport, PirStage};
 
 /// A unary math intrinsic, resolved to its function pointer.
 pub(crate) type UnaryFn = fn(f64) -> f64;
@@ -106,6 +109,20 @@ pub(crate) enum CExpr {
         value: Box<CExpr>,
         body: Box<CExpr>,
     },
+    /// Strength-reduced integer `value << bits` (from `mul` by a power of
+    /// two; exact on the wrapping i64 lane ring).
+    Shl { a: Box<CExpr>, bits: u32 },
+    /// Strength-reduced integer arithmetic shift `value >> bits` (from
+    /// floor division by a power of two; exact for all i64).
+    Shr { a: Box<CExpr>, bits: u32 },
+    /// Strength-reduced integer `value & mask` (from floor modulo by a
+    /// power of two; exact for all i64 with a positive modulus).
+    AndMask { a: Box<CExpr>, mask: i64 },
+    /// Counter compensation wrapper: bumps the arithmetic counter by
+    /// `arith` (two's complement; may be negative) when instrumented, then
+    /// evaluates `inner`. Keeps optimized programs' dynamic counts
+    /// bit-identical to the interpreter inside lazily-evaluated arms.
+    Count { arith: i64, inner: Box<CExpr> },
     /// Load from a buffer at a flat index.
     Load { buf: u32, index: Box<CExpr> },
     /// Load `lanes` contiguous elements starting at `base` — the compiled
@@ -133,7 +150,7 @@ pub(crate) enum CExpr {
 
 /// Buffers a GPU kernel body touches, resolved to indices at compile time
 /// (the interpreter re-scans the body on every launch).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct GpuTouch {
     pub(crate) reads: Vec<u32>,
     pub(crate) writes: Vec<u32>,
@@ -142,23 +159,22 @@ pub(crate) struct GpuTouch {
 /// A compiled statement node.
 #[derive(Debug)]
 pub(crate) enum CStmt {
-    /// `let slot = value in body`.
-    Let {
-        slot: u32,
-        value: CExpr,
-        body: Box<CStmt>,
-    },
+    /// Evaluate `value` and write it to a register (the statement form of a
+    /// binding — emission splits the old scoped `let` into a plain register
+    /// write, since slots are unique per binder anyway).
+    SetSlot { slot: u32, value: CExpr },
     /// Runtime check.
     Assert { cond: CExpr, message: String },
-    /// A loop. `hoisted` holds the loop-invariant leading lets of the body,
-    /// peeled at compile time and evaluated once per loop entry; `gpu` is
-    /// populated for `GpuBlock` loops.
+    /// A loop. `hoisted` is the loop-invariant code region: statements run
+    /// once per loop entry (peeled loop-leading lets plus whatever LICM
+    /// moved there), visible to every iteration; `gpu` is populated for
+    /// `GpuBlock` loops.
     For {
         slot: u32,
         min: CExpr,
         extent: CExpr,
         kind: ForKind,
-        hoisted: Vec<(u32, CExpr)>,
+        hoisted: Vec<CStmt>,
         body: Box<CStmt>,
         gpu: Option<GpuTouch>,
     },
@@ -193,6 +209,9 @@ pub(crate) enum CStmt {
     },
     /// Evaluate for effect.
     Evaluate(CExpr),
+    /// Counter compensation: bump the arithmetic counter by `arith` (two's
+    /// complement; may be negative) when instrumented.
+    Count { arith: i64 },
     /// Does nothing.
     NoOp,
 }
@@ -217,10 +236,14 @@ pub struct Program {
     pub(crate) free_slots: HashMap<String, u32>,
     /// Free buffers: name → index. All must be bound before running.
     pub(crate) free_bufs: HashMap<String, u32>,
+    /// What the optimizer did (pass statistics; see [`OptReport`]).
+    pub(crate) opt_report: OptReport,
 }
 
 impl Program {
-    /// Compiles a lowered module into a register-machine program.
+    /// Compiles a lowered module into a register-machine program, at the
+    /// optimization level selected by the environment
+    /// ([`OptLevel::from_env`]; `HALIDE_OPT=none` disables the optimizer).
     ///
     /// # Errors
     ///
@@ -231,18 +254,60 @@ impl Program {
         Program::compile_stmt(&module.stmt)
     }
 
+    /// Compiles a lowered module at an explicit [`OptLevel`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Program::compile`].
+    pub fn compile_with(module: &Module, level: OptLevel) -> Result<Program> {
+        Program::compile_stmt_with(&module.stmt, level)
+    }
+
+    /// Compiles a lowered module, recording a printable PIR snapshot after
+    /// linearization and after every pass that changed the program (the
+    /// `--dump-pir` / `pir_stages` debugging surface).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Program::compile`].
+    pub fn compile_traced(module: &Module, level: OptLevel) -> Result<(Program, Vec<PirStage>)> {
+        let mut pir = crate::pir::linearize(&module.stmt)?;
+        let mut stages = vec![PirStage {
+            name: "linearized".to_string(),
+            changes: 0,
+            pir: pir.print(),
+        }];
+        let report = optimize(&mut pir, level, Some(&mut stages));
+        let program = Program::assemble(pir, report)?;
+        Ok((program, stages))
+    }
+
     /// Compiles a bare statement (the module-independent core, also used by
-    /// unit tests).
+    /// unit tests) at the environment-selected level.
     pub(crate) fn compile_stmt(stmt: &Stmt) -> Result<Program> {
-        let mut c = Compiler::default();
-        let body = c.stmt(stmt)?;
+        Program::compile_stmt_with(stmt, OptLevel::from_env())
+    }
+
+    /// Compiles a bare statement at an explicit [`OptLevel`]: linearize to
+    /// PIR, run the optimizer, emit machine statements.
+    pub(crate) fn compile_stmt_with(stmt: &Stmt, level: OptLevel) -> Result<Program> {
+        let mut pir = crate::pir::linearize(stmt)?;
+        let report = optimize(&mut pir, level, None);
+        Program::assemble(pir, report)
+    }
+
+    /// Emits an optimized PIR program and packages it with its interface
+    /// tables.
+    fn assemble(pir: crate::pir::PirProgram, opt_report: OptReport) -> Result<Program> {
+        let body = crate::emit::emit(&pir)?;
         Ok(Program {
             body,
-            n_slots: c.n_slots,
-            n_bufs: c.buf_names.len(),
-            buf_names: c.buf_names,
-            free_slots: c.free_slots,
-            free_bufs: c.free_bufs,
+            n_slots: pir.n_regs as usize,
+            n_bufs: pir.buf_names.len(),
+            buf_names: pir.buf_names,
+            free_slots: pir.free_slots,
+            free_bufs: pir.free_bufs,
+            opt_report,
         })
     }
 
@@ -255,564 +320,11 @@ impl Program {
     pub(crate) fn free_buf(&self, name: &str) -> Option<u32> {
         self.free_bufs.get(name).copied()
     }
-}
 
-/// If `e` is a broadcast whose lane count matches `other`'s static (vector)
-/// lane count, returns the unbroadcast scalar value; otherwise `e` itself.
-/// Used to avoid materializing splat vectors as binary-op operands.
-fn fold_broadcast_against<'a>(e: &'a Expr, other: &Expr) -> &'a Expr {
-    if let ExprNode::Broadcast { value, lanes } = e.node() {
-        let other_lanes = other.ty().lanes();
-        if other_lanes == *lanes && !matches!(other.node(), ExprNode::Broadcast { .. }) {
-            return value;
-        }
-    }
-    e
-}
-
-/// Strips a `broadcast` wrapper (vectorization splats scalar clamp bounds).
-fn unbroadcast(e: &Expr) -> &Expr {
-    if let ExprNode::Broadcast { value, .. } = e.node() {
-        value
-    } else {
-        e
-    }
-}
-
-/// True for expressions that are statically integer-valued and scalar-typed
-/// (the requirement on clamp bounds for the fused clamped-gather form).
-fn is_scalar_int(e: &Expr) -> bool {
-    let ty = e.ty();
-    !ty.is_float() && ty.lanes() == 1
-}
-
-/// Matches the clamped-index load pattern `max(min(index, hi), lo)` (what
-/// [`halide_ir::Expr::clamp`] builds and `at_clamped` lowers to), returning
-/// `(index, lo, hi)`. Only integer clamps with statically scalar bounds
-/// qualify — exactly the shapes whose lane-wise `min`/`max` agree with
-/// clamping each lane independently.
-fn clamp_pattern(index: &Expr) -> Option<(&Expr, &Expr, &Expr)> {
-    let ExprNode::Bin {
-        op: BinOp::Max,
-        a,
-        b: lo,
-    } = index.node()
-    else {
-        return None;
-    };
-    let ExprNode::Bin {
-        op: BinOp::Min,
-        a: inner,
-        b: hi,
-    } = a.node()
-    else {
-        return None;
-    };
-    let (lo, hi) = (unbroadcast(lo), unbroadcast(hi));
-    if is_scalar_int(lo) && is_scalar_int(hi) && !inner.ty().is_float() {
-        Some((inner, lo, hi))
-    } else {
-        None
-    }
-}
-
-/// Matches a unit-stride integer ramp index, the dense vector access pattern
-/// vectorization emits for contiguous loads/stores.
-fn dense_ramp(index: &Expr) -> Option<(&Expr, u16)> {
-    if let ExprNode::Ramp {
-        base,
-        stride,
-        lanes,
-    } = index.node()
-    {
-        if stride.is_const_int(1) && !base.ty().is_float() {
-            return Some((base, *lanes));
-        }
-    }
-    None
-}
-
-/// Names of buffers a statement allocates anywhere inside itself.
-fn allocated_names(stmt: &Stmt) -> std::collections::HashSet<String> {
-    use halide_ir::IrVisitor;
-    struct Alloc {
-        names: std::collections::HashSet<String>,
-    }
-    impl IrVisitor for Alloc {
-        fn visit_stmt(&mut self, s: &Stmt) {
-            if let StmtNode::Allocate { name, .. } | StmtNode::Realize { name, .. } = s.node() {
-                self.names.insert(name.clone());
-            }
-            halide_ir::visit_stmt_children(self, s);
-        }
-    }
-    let mut a = Alloc {
-        names: std::collections::HashSet::new(),
-    };
-    a.visit_stmt(stmt);
-    a.names
-}
-
-/// Resolves an intrinsic name to its compiled form and arity.
-fn resolve_intrinsic(name: &str) -> Option<(CIntrinsic, usize)> {
-    fn powf(x: f64, y: f64) -> f64 {
-        x.powf(y)
-    }
-    Some(match name {
-        "abs" => (CIntrinsic::Abs, 1),
-        "sqrt" => (CIntrinsic::Unary(f64::sqrt), 1),
-        "exp" => (CIntrinsic::Unary(f64::exp), 1),
-        "log" => (CIntrinsic::Unary(f64::ln), 1),
-        "sin" => (CIntrinsic::Unary(f64::sin), 1),
-        "cos" => (CIntrinsic::Unary(f64::cos), 1),
-        "floor" => (CIntrinsic::Unary(f64::floor), 1),
-        "ceil" => (CIntrinsic::Unary(f64::ceil), 1),
-        "round" => (CIntrinsic::Unary(f64::round), 1),
-        "tanh" => (CIntrinsic::Unary(f64::tanh), 1),
-        "pow" => (CIntrinsic::Binary(powf), 2),
-        "atan2" => (CIntrinsic::Binary(f64::atan2), 2),
-        "min" => (CIntrinsic::MinMax(BinOp::Min), 2),
-        "max" => (CIntrinsic::MinMax(BinOp::Max), 2),
-        _ => return None,
-    })
-}
-
-/// Compile-time name resolution state: stacks model lexical shadowing, and
-/// names with no enclosing binder become free slots/buffers.
-#[derive(Default)]
-struct Compiler {
-    n_slots: usize,
-    buf_names: Vec<String>,
-    vars: HashMap<String, Vec<u32>>,
-    bufs: HashMap<String, Vec<u32>>,
-    free_slots: HashMap<String, u32>,
-    free_bufs: HashMap<String, u32>,
-    /// Slots whose bound value may hold a vector at run time. Post-
-    /// vectorization static types are stale (a `Var` use of a ramp-valued
-    /// `let` still claims a scalar type), so vector-ness is tracked through
-    /// bindings instead; see [`Compiler::may_vec`].
-    vec_slots: std::collections::HashSet<u32>,
-}
-
-impl Compiler {
-    /// Allocates a fresh slot for a binder of `name` and pushes it.
-    fn bind_var(&mut self, name: &str) -> u32 {
-        let slot = self.n_slots as u32;
-        self.n_slots += 1;
-        self.vars.entry(name.to_string()).or_default().push(slot);
-        slot
-    }
-
-    fn unbind_var(&mut self, name: &str) {
-        self.vars
-            .get_mut(name)
-            .and_then(Vec::pop)
-            .expect("unbalanced compile-time scope");
-    }
-
-    /// Resolves a variable reference: innermost binder, else a free slot.
-    fn var(&mut self, name: &str) -> u32 {
-        if let Some(slot) = self.vars.get(name).and_then(|s| s.last()) {
-            return *slot;
-        }
-        if let Some(slot) = self.free_slots.get(name) {
-            return *slot;
-        }
-        let slot = self.n_slots as u32;
-        self.n_slots += 1;
-        self.free_slots.insert(name.to_string(), slot);
-        slot
-    }
-
-    fn bind_buf(&mut self, name: &str) -> u32 {
-        let idx = self.buf_names.len() as u32;
-        self.buf_names.push(name.to_string());
-        self.bufs.entry(name.to_string()).or_default().push(idx);
-        idx
-    }
-
-    fn unbind_buf(&mut self, name: &str) {
-        self.bufs
-            .get_mut(name)
-            .and_then(Vec::pop)
-            .expect("unbalanced compile-time buffer scope");
-    }
-
-    fn buf(&mut self, name: &str) -> u32 {
-        if let Some(idx) = self.bufs.get(name).and_then(|s| s.last()) {
-            return *idx;
-        }
-        if let Some(idx) = self.free_bufs.get(name) {
-            return *idx;
-        }
-        let idx = self.buf_names.len() as u32;
-        self.buf_names.push(name.to_string());
-        self.free_bufs.insert(name.to_string(), idx);
-        idx
-    }
-
-    /// True if `e` may evaluate to a multi-lane value at run time: it
-    /// contains a `Ramp`/`Broadcast`, references a vector-possible binding,
-    /// or loads through a vector-possible index. This (not the stale static
-    /// type) gates vector fusion.
-    fn may_vec(&self, e: &Expr) -> bool {
-        match e.node() {
-            ExprNode::Ramp { .. } | ExprNode::Broadcast { .. } => true,
-            ExprNode::Var { name, .. } => self
-                .vars
-                .get(name)
-                .and_then(|s| s.last())
-                .is_some_and(|slot| self.vec_slots.contains(slot)),
-            ExprNode::IntImm { .. } | ExprNode::UIntImm { .. } | ExprNode::FloatImm { .. } => false,
-            ExprNode::Cast { value, .. } | ExprNode::Not { a: value } => self.may_vec(value),
-            ExprNode::Bin { a, b, .. }
-            | ExprNode::Cmp { a, b, .. }
-            | ExprNode::And { a, b }
-            | ExprNode::Or { a, b } => self.may_vec(a) || self.may_vec(b),
-            ExprNode::Select { cond, t, f } => {
-                self.may_vec(cond) || self.may_vec(t) || self.may_vec(f)
-            }
-            ExprNode::Let { value, body, .. } => self.may_vec(value) || self.may_vec(body),
-            ExprNode::Load { index, .. } => self.may_vec(index),
-            ExprNode::Call { args, .. } => args.iter().any(|a| self.may_vec(a)),
-        }
-    }
-
-    /// Binds `name` for the duration of a body whose value is `value`,
-    /// recording whether the binding may be vector-valued.
-    fn bind_var_for(&mut self, name: &str, value: &Expr) -> u32 {
-        let mv = self.may_vec(value);
-        let slot = self.bind_var(name);
-        if mv {
-            self.vec_slots.insert(slot);
-        }
-        slot
-    }
-
-    fn expr(&mut self, e: &Expr) -> Result<CExpr> {
-        Ok(match e.node() {
-            ExprNode::IntImm { value, .. } => CExpr::ConstI(*value),
-            ExprNode::UIntImm { value, .. } => CExpr::ConstI(*value as i64),
-            ExprNode::FloatImm { value, .. } => CExpr::ConstF(*value),
-            ExprNode::Var { name, .. } => CExpr::Slot(self.var(name)),
-            ExprNode::Cast { ty, value } => CExpr::Cast {
-                ty: ty.scalar(),
-                value: Box::new(self.expr(value)?),
-            },
-            ExprNode::Bin { op, a, b } => {
-                // A broadcast operand against a vector operand need not be
-                // materialized: the runtime op broadcasts the scalar side
-                // lane-wise with identical results, so compile the scalar
-                // value directly and skip the per-evaluation splat vector.
-                // Only safe when the other side is statically a vector (the
-                // result's lane count must not change).
-                let (a, b) = (fold_broadcast_against(a, b), fold_broadcast_against(b, a));
-                CExpr::Bin {
-                    op: *op,
-                    a: Box::new(self.expr(a)?),
-                    b: Box::new(self.expr(b)?),
-                }
-            }
-            ExprNode::Cmp { op, a, b } => {
-                // Same splat-folding as binary arithmetic: a broadcast
-                // compared against a static vector need not materialize.
-                let (a, b) = (fold_broadcast_against(a, b), fold_broadcast_against(b, a));
-                CExpr::Cmp {
-                    op: *op,
-                    a: Box::new(self.expr(a)?),
-                    b: Box::new(self.expr(b)?),
-                }
-            }
-            ExprNode::And { a, b } => CExpr::And {
-                a: Box::new(self.expr(a)?),
-                b: Box::new(self.expr(b)?),
-            },
-            ExprNode::Or { a, b } => CExpr::Or {
-                a: Box::new(self.expr(a)?),
-                b: Box::new(self.expr(b)?),
-            },
-            ExprNode::Not { a } => CExpr::Not {
-                a: Box::new(self.expr(a)?),
-            },
-            ExprNode::Select { cond, t, f } => {
-                // When the condition is statically a vector the result's
-                // width is pinned by the mask, so broadcast arms need not
-                // materialize: the blend splats the scalar side lane-wise
-                // with identical results. (A statically-scalar condition
-                // must keep its arms' widths — the taken arm IS the result.)
-                let (t, f) = if cond.ty().lanes() > 1 {
-                    (
-                        fold_broadcast_against(t, cond),
-                        fold_broadcast_against(f, cond),
-                    )
-                } else {
-                    (t, f)
-                };
-                CExpr::Select {
-                    cond: Box::new(self.expr(cond)?),
-                    t: Box::new(self.expr(t)?),
-                    f: Box::new(self.expr(f)?),
-                }
-            }
-            ExprNode::Ramp {
-                base,
-                stride,
-                lanes,
-            } => CExpr::Ramp {
-                base: Box::new(self.expr(base)?),
-                stride: Box::new(self.expr(stride)?),
-                lanes: *lanes,
-            },
-            ExprNode::Broadcast { value, lanes } => CExpr::Broadcast {
-                value: Box::new(self.expr(value)?),
-                lanes: *lanes,
-            },
-            ExprNode::Let { name, value, body } => {
-                let cvalue = self.expr(value)?;
-                let slot = self.bind_var_for(name, value);
-                let body = self.expr(body);
-                self.unbind_var(name);
-                CExpr::Let {
-                    slot,
-                    value: Box::new(cvalue),
-                    body: Box::new(body?),
-                }
-            }
-            ExprNode::Load { name, index, .. } => {
-                let buf = self.buf(name);
-                if let Some((base, lanes)) = dense_ramp(index) {
-                    CExpr::LoadDense {
-                        buf,
-                        base: Box::new(self.expr(base)?),
-                        lanes,
-                    }
-                } else if let Some((inner, lo, hi)) = clamp_pattern(index) {
-                    // Fusing the clamp into the gather requires the bounds
-                    // to be scalars at run time too; `may_vec` is the
-                    // binding-aware check (static types can be stale after
-                    // vectorization).
-                    if self.may_vec(lo) || self.may_vec(hi) {
-                        CExpr::Load {
-                            buf,
-                            index: Box::new(self.expr(index)?),
-                        }
-                    } else {
-                        CExpr::LoadClamped {
-                            buf,
-                            index: Box::new(self.expr(inner)?),
-                            lo: Box::new(self.expr(lo)?),
-                            hi: Box::new(self.expr(hi)?),
-                        }
-                    }
-                } else {
-                    CExpr::Load {
-                        buf,
-                        index: Box::new(self.expr(index)?),
-                    }
-                }
-            }
-            ExprNode::Call {
-                name,
-                call_type,
-                args,
-                ..
-            } => match call_type {
-                CallType::Intrinsic => {
-                    let Some((f, arity)) = resolve_intrinsic(name) else {
-                        return Err(ExecError::new(format!("unknown intrinsic {name:?}")));
-                    };
-                    if args.len() < arity {
-                        return Err(ExecError::new(format!(
-                            "intrinsic {name:?} takes {arity} arguments, got {}",
-                            args.len()
-                        )));
-                    }
-                    // `min`/`max` intrinsics have exactly the binary
-                    // operator's semantics and count as one arithmetic op
-                    // either way — compile them as `Bin` so evaluation skips
-                    // the argument-vector allocation.
-                    if let (CIntrinsic::MinMax(op), 2) = (f, args.len()) {
-                        let (a, b) = (&args[0], &args[1]);
-                        let (a, b) = (fold_broadcast_against(a, b), fold_broadcast_against(b, a));
-                        CExpr::Bin {
-                            op,
-                            a: Box::new(self.expr(a)?),
-                            b: Box::new(self.expr(b)?),
-                        }
-                    } else {
-                        let args = args
-                            .iter()
-                            .map(|a| self.expr(a))
-                            .collect::<Result<Vec<_>>>()?;
-                        CExpr::Intrinsic { f, args }
-                    }
-                }
-                CallType::Halide | CallType::Image => {
-                    return Err(ExecError::new(format!(
-                        "call to {name:?} survived lowering; the statement was not flattened"
-                    )))
-                }
-                CallType::Extern => {
-                    return Err(ExecError::new(format!(
-                        "extern function {name:?} is not registered with the executor"
-                    )))
-                }
-            },
-        })
-    }
-
-    fn stmt(&mut self, s: &Stmt) -> Result<CStmt> {
-        Ok(match s.node() {
-            StmtNode::LetStmt { name, value, body } => {
-                let cvalue = self.expr(value)?;
-                let slot = self.bind_var_for(name, value);
-                let body = self.stmt(body);
-                self.unbind_var(name);
-                CStmt::Let {
-                    slot,
-                    value: cvalue,
-                    body: Box::new(body?),
-                }
-            }
-            StmtNode::Assert { condition, message } => CStmt::Assert {
-                cond: self.expr(condition)?,
-                message: message.clone(),
-            },
-            StmtNode::Producer { body, .. } => self.stmt(body)?,
-            StmtNode::For {
-                name,
-                min,
-                extent,
-                kind,
-                body,
-            } => {
-                let cmin = self.expr(min)?;
-                let cextent = self.expr(extent)?;
-                // GPU block loops pre-resolve the buffers the kernel touches
-                // (for the simulated device's lazy copies). This looks at the
-                // *full* body, like the interpreter does — but buffers the
-                // kernel allocates itself are not in scope at launch time
-                // (the interpreter's lookup fails for them and it moves on),
-                // so they are excluded here rather than registered as free.
-                let gpu = if *kind == ForKind::GpuBlock {
-                    let (reads, writes) = crate::eval::buffers_touched(body);
-                    let inside = allocated_names(body);
-                    Some(GpuTouch {
-                        reads: reads
-                            .iter()
-                            .filter(|n| !inside.contains(*n))
-                            .map(|n| self.buf(n))
-                            .collect(),
-                        writes: writes
-                            .iter()
-                            .filter(|n| !inside.contains(*n))
-                            .map(|n| self.buf(n))
-                            .collect(),
-                    })
-                } else {
-                    None
-                };
-                // Peel the loop-invariant leading lets once, at compile time.
-                let (hoisted_src, inner) = peel_invariant_lets(body, name);
-                let mut hoisted = Vec::with_capacity(hoisted_src.len());
-                let mut bound_hoisted: Vec<&str> = Vec::with_capacity(hoisted_src.len());
-                let mut first_err = None;
-                for (n, v) in &hoisted_src {
-                    // Each value sees the hoisted names bound before it.
-                    match self.expr(v) {
-                        Ok(cv) => {
-                            let slot = self.bind_var_for(n, v);
-                            bound_hoisted.push(n);
-                            hoisted.push((slot, cv));
-                        }
-                        Err(e) => {
-                            first_err = Some(e);
-                            break;
-                        }
-                    }
-                }
-                let body_compiled = match first_err {
-                    Some(e) => Err(e),
-                    None => {
-                        let slot = self.bind_var(name);
-                        let r = self.stmt(inner);
-                        self.unbind_var(name);
-                        r.map(|b| (slot, b))
-                    }
-                };
-                for n in bound_hoisted.iter().rev() {
-                    self.unbind_var(n);
-                }
-                let (slot, body) = body_compiled?;
-                CStmt::For {
-                    slot,
-                    min: cmin,
-                    extent: cextent,
-                    kind: *kind,
-                    hoisted,
-                    body: Box::new(body),
-                    gpu,
-                }
-            }
-            StmtNode::Store { name, value, index } => {
-                let buf = self.buf(name);
-                if let Some((base, lanes)) = dense_ramp(index) {
-                    CStmt::StoreDense {
-                        buf,
-                        base: self.expr(base)?,
-                        value: self.expr(value)?,
-                        lanes,
-                    }
-                } else {
-                    CStmt::Store {
-                        buf,
-                        value: self.expr(value)?,
-                        index: self.expr(index)?,
-                    }
-                }
-            }
-            StmtNode::Allocate {
-                name,
-                ty,
-                size,
-                body,
-            } => {
-                let size = self.expr(size)?;
-                let buf = self.bind_buf(name);
-                let body = self.stmt(body);
-                self.unbind_buf(name);
-                CStmt::Allocate {
-                    buf,
-                    ty: ty.scalar(),
-                    size,
-                    body: Box::new(body?),
-                }
-            }
-            StmtNode::Block { stmts } => CStmt::Block(
-                stmts
-                    .iter()
-                    .map(|s| self.stmt(s))
-                    .collect::<Result<Vec<_>>>()?,
-            ),
-            StmtNode::IfThenElse {
-                condition,
-                then_case,
-                else_case,
-            } => CStmt::If {
-                cond: self.expr(condition)?,
-                then_case: Box::new(self.stmt(then_case)?),
-                else_case: match else_case {
-                    Some(e) => Some(Box::new(self.stmt(e)?)),
-                    None => None,
-                },
-            },
-            StmtNode::Evaluate { value } => CStmt::Evaluate(self.expr(value)?),
-            StmtNode::NoOp => CStmt::NoOp,
-            StmtNode::Provide { name, .. } | StmtNode::Realize { name, .. } => {
-                return Err(ExecError::new(format!(
-                    "{name:?} was not flattened before execution"
-                )))
-            }
-        })
+    /// What the optimizer did to this program: instruction counts before
+    /// and after, iterations to the fixed point, and per-pass change
+    /// counters.
+    pub fn opt_report(&self) -> &OptReport {
+        &self.opt_report
     }
 }

@@ -43,12 +43,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod compile;
+pub(crate) mod emit;
 pub mod error;
 pub mod eval;
 pub mod machine;
+pub mod opt;
+pub(crate) mod pir;
 pub mod realize;
 
 pub use compile::Program;
 pub use error::{ExecError, Result};
 pub use eval::{eval_expr, eval_stmt, Context, Frame};
+pub use opt::{OptLevel, OptReport, PassStat, PirStage};
 pub use realize::{Backend, Realization, Realizer};

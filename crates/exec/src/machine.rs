@@ -409,6 +409,47 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
             m.regs[*slot as usize] = v;
             eval(prog, body, m, ctx)
         }
+        CExpr::Shl { a, bits } => {
+            let va = eval(prog, a, m, ctx)?;
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            // A symbolic ramp shifts affinely: (base + stride·i) << k is
+            // (base << k) + (stride << k)·i in the mod-2⁶⁴ ring.
+            if let CValue::R {
+                base,
+                stride,
+                lanes,
+            } = va
+            {
+                return Ok(CValue::R {
+                    base: base.wrapping_shl(*bits),
+                    stride: stride.wrapping_shl(*bits),
+                    lanes,
+                });
+            }
+            int_map(va, |x| x.wrapping_shl(*bits), "strength-reduced shift")
+        }
+        CExpr::Shr { a, bits } => {
+            let va = eval(prog, a, m, ctx)?;
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            int_map(va, |x| x >> *bits, "strength-reduced shift")
+        }
+        CExpr::AndMask { a, mask } => {
+            let va = eval(prog, a, m, ctx)?;
+            if ctx.instrument {
+                ctx.counters.add_arith(1);
+            }
+            int_map(va, |x| x & *mask, "strength-reduced mask")
+        }
+        CExpr::Count { arith, inner } => {
+            if ctx.instrument {
+                ctx.counters.add_arith(*arith as u64);
+            }
+            eval(prog, inner, m, ctx)
+        }
         CExpr::Load { buf, index } => {
             let idx = eval(prog, index, m, ctx)?;
             let buffer = m.buffer(prog, *buf)?;
@@ -828,6 +869,24 @@ fn per_lane_store(
     Ok(())
 }
 
+/// Applies an integer lane-wise function (the strength-reduced shift/mask
+/// forms). The optimizer only emits these for registers proven integer, so
+/// a float here is an internal error, not a user-visible one.
+fn int_map(v: CValue, f: impl Fn(i64) -> i64, what: &str) -> Result<CValue> {
+    match v {
+        CValue::S(Scalar::Int(x)) => Ok(CValue::S(Scalar::Int(f(x)))),
+        CValue::S(Scalar::Float(_)) => Err(ExecError::new(format!(
+            "internal error: {what} applied to a float value"
+        ))),
+        other => match other.into_value() {
+            Value::Int(xs) => Ok(vv(Value::Int(xs.into_iter().map(f).collect()))),
+            Value::Float(_) => Err(ExecError::new(format!(
+                "internal error: {what} applied to a float vector"
+            ))),
+        },
+    }
+}
+
 fn f64_scalar(v: &CValue) -> Result<f64> {
     match v {
         CValue::S(s) => Ok(s.as_f64()),
@@ -953,10 +1012,16 @@ fn apply_intrinsic(f: CIntrinsic, mut args: Vec<CValue>) -> CValue {
 /// Executes a compiled statement.
 pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) -> Result<()> {
     match s {
-        CStmt::Let { slot, value, body } => {
+        CStmt::SetSlot { slot, value } => {
             let v = eval(prog, value, m, ctx)?;
             m.regs[*slot as usize] = v;
-            exec(prog, body, m, ctx)
+            Ok(())
+        }
+        CStmt::Count { arith } => {
+            if ctx.instrument {
+                ctx.counters.add_arith(*arith as u64);
+            }
+            Ok(())
         }
         CStmt::Assert { cond, message } => {
             if eval(prog, cond, m, ctx)?.as_bool()? {
@@ -980,9 +1045,8 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
                 ForKind::Serial | ForKind::Vectorized | ForKind::Unrolled => {
                     // Vectorized/unrolled loops only reach execution when the
                     // corresponding pass was disabled; run them serially.
-                    for (hslot, v) in hoisted {
-                        let value = eval(prog, v, m, ctx)?;
-                        m.regs[*hslot as usize] = value;
+                    for h in hoisted {
+                        exec(prog, h, m, ctx)?;
                     }
                     for i in min_v..min_v + extent_v {
                         m.regs[*slot as usize] = CValue::S(Scalar::Int(i));
@@ -994,9 +1058,8 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
                     Ok(())
                 }
                 ForKind::Parallel => {
-                    for (hslot, v) in hoisted {
-                        let value = eval(prog, v, m, ctx)?;
-                        m.regs[*hslot as usize] = value;
+                    for h in hoisted {
+                        exec(prog, h, m, ctx)?;
                     }
                     let base: &Machine = m;
                     ctx.pool
@@ -1151,7 +1214,7 @@ fn gpu_launch(
     min_v: i64,
     extent_v: i64,
     kind: ForKind,
-    hoisted: &[(u32, CExpr)],
+    hoisted: &[CStmt],
     body: &CStmt,
     gpu: Option<&crate::compile::GpuTouch>,
     m: &mut Machine,
@@ -1190,9 +1253,8 @@ fn gpu_launch(
     if is_outer_block {
         base.in_gpu_kernel = true;
     }
-    for (hslot, v) in hoisted {
-        let value = eval(prog, v, &mut base, ctx)?;
-        base.regs[*hslot as usize] = value;
+    for h in hoisted {
+        exec(prog, h, &mut base, ctx)?;
     }
     // Blocks run in parallel on the host pool; threads within a block run
     // serially (their data parallelism is already exposed by the block loop).

@@ -30,6 +30,7 @@ use crate::compile::Program;
 use crate::error::{ExecError, Result};
 use crate::eval::{eval_stmt, Context, Frame};
 use crate::machine::{exec, Machine};
+use crate::opt::OptLevel;
 
 /// Which execution engine a [`Realizer`] runs a module on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -105,6 +106,7 @@ pub struct Realizer<'m> {
     threads: usize,
     instrument: bool,
     backend: Backend,
+    opt: OptLevel,
     thread_pool: Option<ThreadPool>,
     buffer_pool: Option<Arc<BufferPool>>,
     compiled: OnceLock<std::result::Result<Arc<Program>, ExecError>>,
@@ -121,6 +123,7 @@ impl<'m> Realizer<'m> {
             threads: halide_runtime::num_threads_default(),
             instrument: true,
             backend: Backend::default(),
+            opt: OptLevel::from_env(),
             thread_pool: None,
             buffer_pool: None,
             compiled: OnceLock::new(),
@@ -186,6 +189,15 @@ impl<'m> Realizer<'m> {
         self
     }
 
+    /// Selects the pre-codegen optimization level for the compiled backend
+    /// (default: [`OptLevel::from_env`], i.e. [`OptLevel::Default`] unless
+    /// `HALIDE_OPT=none`). Has no effect on an already-compiled program
+    /// supplied via [`Realizer::with_program`].
+    pub fn opt_level(mut self, level: OptLevel) -> Self {
+        self.opt = level;
+        self
+    }
+
     /// Runs parallel loops on an existing (persistent) [`ThreadPool`]
     /// instead of creating one per realization. Overrides
     /// [`Realizer::threads`]. The serving layer hands each admission slot
@@ -218,7 +230,7 @@ impl<'m> Realizer<'m> {
     /// constructs lowering should have removed).
     pub fn program(&self) -> Result<Arc<Program>> {
         self.compiled
-            .get_or_init(|| Program::compile(self.module).map(Arc::new))
+            .get_or_init(|| Program::compile_with(self.module, self.opt).map(Arc::new))
             .clone()
     }
 

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use halide_exec::{Backend, Program, Realizer};
+use halide_exec::{Backend, OptLevel, Program, Realizer};
 use halide_ir::ScalarType;
 use halide_lower::Module;
 use halide_pipelines::{AppKind, ScheduleChoice};
@@ -58,6 +58,10 @@ pub struct ProgramKey {
     pub schedule: ScheduleChoice,
     /// Which execution engine the program targets.
     pub backend: Backend,
+    /// Optimizer level the program is compiled at. Part of the key because
+    /// an `OptLevel::None` program and an `OptLevel::Default` program are
+    /// different artifacts (different instruction counts, same results).
+    pub opt: OptLevel,
     /// Output width and height (the shape axis of compile-once).
     pub shape: (i64, i64),
     /// Scalar-parameter *signature*: (name, type tag), sorted by name.
@@ -74,6 +78,7 @@ impl ProgramKey {
         app: AppKind,
         schedule: ScheduleChoice,
         backend: Backend,
+        opt: OptLevel,
         shape: (i64, i64),
         params: &[(String, ParamValue)],
     ) -> Self {
@@ -87,6 +92,7 @@ impl ProgramKey {
             app,
             schedule,
             backend,
+            opt,
             shape,
             params,
         }
@@ -149,7 +155,7 @@ impl ProgramCache {
             .map_err(|e| ServeError::Compile(e.to_string()))?;
         let program = match key.backend {
             Backend::Compiled => Some(
-                Program::compile(&built.module)
+                Program::compile_with(&built.module, key.opt)
                     .map(Arc::new)
                     .map_err(|e| ServeError::Compile(e.to_string()))?,
             ),
@@ -211,6 +217,7 @@ mod tests {
             AppKind::Blur,
             ScheduleChoice::Tuned,
             Backend::Compiled,
+            OptLevel::Default,
             (64, 64),
             &p1,
         );
@@ -218,6 +225,7 @@ mod tests {
             AppKind::Blur,
             ScheduleChoice::Tuned,
             Backend::Compiled,
+            OptLevel::Default,
             (64, 64),
             &p2,
         );
@@ -228,6 +236,7 @@ mod tests {
             AppKind::Blur,
             ScheduleChoice::Tuned,
             Backend::Compiled,
+            OptLevel::Default,
             (64, 64),
             &[
                 ("a".to_string(), ParamValue::I32(99)),
@@ -240,6 +249,7 @@ mod tests {
             AppKind::Blur,
             ScheduleChoice::Tuned,
             Backend::Compiled,
+            OptLevel::Default,
             (64, 64),
             &[("c".to_string(), ParamValue::F32(2.5))],
         );
@@ -253,6 +263,7 @@ mod tests {
             AppKind::Blur,
             ScheduleChoice::Tuned,
             Backend::Compiled,
+            OptLevel::Default,
             (32, 32),
             &[],
         );
@@ -271,6 +282,7 @@ mod tests {
             AppKind::Blur,
             ScheduleChoice::Tuned,
             Backend::Compiled,
+            OptLevel::Default,
             (64, 32),
             &[],
         );
@@ -283,11 +295,29 @@ mod tests {
             AppKind::Blur,
             ScheduleChoice::Tuned,
             Backend::Interp,
+            OptLevel::Default,
             (32, 32),
             &[],
         );
         let (c, _) = cache.get_or_compile(&key3).unwrap();
         assert!(c.program.is_none());
+
+        // A different optimizer level is a different program: the None-level
+        // entry compiles separately and reports no eliminated instructions.
+        let key4 = ProgramKey::new(
+            AppKind::Blur,
+            ScheduleChoice::Tuned,
+            Backend::Compiled,
+            OptLevel::None,
+            (32, 32),
+            &[],
+        );
+        assert_ne!(key, key4);
+        let (d, cold) = cache.get_or_compile(&key4).unwrap();
+        assert!(cold);
+        let report = d.program.as_ref().unwrap().opt_report();
+        assert_eq!(report.level, OptLevel::None);
+        assert_eq!(report.before_insts, report.after_insts);
 
         cache.clear();
         assert!(cache.is_empty());

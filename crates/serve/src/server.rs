@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use halide_exec::{Backend, Realizer};
+use halide_exec::{Backend, OptLevel, Realizer};
 use halide_pipelines::{AppKind, ScheduleChoice};
 use halide_runtime::{Buffer, BufferPool, CounterSnapshot, PooledBuffer, ThreadPool};
 
@@ -30,6 +30,8 @@ pub struct ServeConfig {
     pub threads_per_request: usize,
     /// Execution engine programs are compiled for.
     pub backend: Backend,
+    /// Optimizer level programs are compiled at (part of the cache key).
+    pub opt: OptLevel,
     /// Serve outputs from (and return them to) the shared buffer pool.
     pub pooling: bool,
     /// Idle bytes the buffer pool may retain.
@@ -38,13 +40,15 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     /// Four concurrent requests, a 16-deep wait queue, one thread per
-    /// request, the compiled backend, pooling on.
+    /// request, the compiled backend at the environment's optimizer level
+    /// (`HALIDE_OPT`), pooling on.
     fn default() -> Self {
         ServeConfig {
             max_in_flight: 4,
             queue_capacity: 16,
             threads_per_request: 1,
             backend: Backend::Compiled,
+            opt: OptLevel::from_env(),
             pooling: true,
             pool_max_bytes: 256 << 20,
         }
@@ -238,7 +242,14 @@ impl PipelineServer {
         width: i64,
         height: i64,
     ) -> ServeResult<Option<Duration>> {
-        let key = ProgramKey::new(app, schedule, self.config.backend, (width, height), &[]);
+        let key = ProgramKey::new(
+            app,
+            schedule,
+            self.config.backend,
+            self.config.opt,
+            (width, height),
+            &[],
+        );
         let (entry, cold) = self.cache.get_or_compile(&key)?;
         Ok(cold.then(|| entry.compile_time))
     }
@@ -283,6 +294,7 @@ impl PipelineServer {
             req.app,
             req.schedule,
             self.config.backend,
+            self.config.opt,
             (width, height),
             &req.params,
         );

@@ -4,20 +4,25 @@
 //! defined to be observationally identical to the tree-walking interpreter
 //! (`Backend::Interp`, the reference semantics): **bit-identical** outputs
 //! and identical structural counters (allocations, parallel tasks, kernel
-//! launches) on every pipeline. These tests drive both engines over random
-//! schedules of blur and over a deep multi-stage app (interpolate) and
-//! assert exactly that.
+//! launches) on every pipeline — and so is the compiled engine at every
+//! optimizer level: each test realizes the interpreter once and compares
+//! it against `OptLevel::None` (raw linearize → emit) and
+//! `OptLevel::Default` (the full pass pipeline), so an optimizer pass that
+//! changes a single bit or drops a single counted operation fails here.
+//! These tests drive the matrix over random schedules of blur, over every
+//! benchmark app, and over a deep multi-stage app (interpolate).
 
 use proptest::prelude::*;
 
-use halide::exec::{Backend, Realizer};
+use halide::exec::{Backend, OptLevel, Realizer};
 use halide::pipelines::blur::{make_input, BlurApp};
 use halide::pipelines::interpolate::{self, InterpolateApp};
 use halide::runtime::Buffer;
 use halide::Module;
 
-/// Realizes `module` on both backends with identical bindings and asserts
-/// bit-identical outputs plus identical structural counters.
+/// Realizes `module` on the interpreter and on the compiled engine at both
+/// optimizer levels, with identical bindings, and asserts bit-identical
+/// outputs plus identical structural counters across all three.
 fn assert_backends_identical(
     module: &Module,
     input_name: &str,
@@ -26,39 +31,47 @@ fn assert_backends_identical(
     threads: usize,
     what: &str,
 ) {
-    let run = |backend: Backend| {
+    let run = |backend: Backend, opt: OptLevel| {
         Realizer::new(module)
             .input(input_name.to_string(), input.clone())
             .threads(threads)
             .backend(backend)
+            .opt_level(opt)
             .realize(extents)
             .unwrap_or_else(|e| panic!("{what}: {} backend failed: {e}", backend.name()))
     };
-    let compiled = run(Backend::Compiled);
-    let interp = run(Backend::Interp);
-
-    // Bit-identical outputs: compare exact f64 bit patterns, not a tolerance.
-    let a = compiled.output.to_f64_vec();
+    let interp = run(Backend::Interp, OptLevel::Default);
     let b = interp.output.to_f64_vec();
-    assert_eq!(a.len(), b.len(), "{what}: output sizes differ");
-    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
-        assert!(
-            x.to_bits() == y.to_bits(),
-            "{what}: outputs diverge at flat index {i}: compiled {x} vs interp {y}"
+    // `peak_bytes_live` depends on how many parallel iterations happen to
+    // overlap in time, so it is excluded; everything else — including the
+    // per-op counters — must agree.
+    let mut r = interp.counters;
+    r.peak_bytes_live = 0;
+
+    for (label, opt) in [
+        ("opt=none", OptLevel::None),
+        ("opt=default", OptLevel::Default),
+    ] {
+        let compiled = run(Backend::Compiled, opt);
+
+        // Bit-identical outputs: compare exact f64 bit patterns, not a
+        // tolerance.
+        let a = compiled.output.to_f64_vec();
+        assert_eq!(a.len(), b.len(), "{what} [{label}]: output sizes differ");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what} [{label}]: outputs diverge at flat index {i}: compiled {x} vs interp {y}"
+            );
+        }
+
+        let mut c = compiled.counters;
+        c.peak_bytes_live = 0;
+        assert_eq!(
+            c, r,
+            "{what} [{label}]: counters diverge between compiled and interpreting backends"
         );
     }
-
-    // Identical structural counters. (`peak_bytes_live` depends on how many
-    // parallel iterations happen to overlap in time, so it is excluded;
-    // everything else — including the per-op counters — must agree.)
-    let mut c = compiled.counters;
-    let mut r = interp.counters;
-    c.peak_bytes_live = 0;
-    r.peak_bytes_live = 0;
-    assert_eq!(
-        c, r,
-        "{what}: counters diverge between compiled and interpreting backends"
-    );
 }
 
 proptest! {
@@ -144,6 +157,34 @@ fn vectorized_bilateral_grid_agrees_across_backends() {
         2,
         "bilateral grid (tuned, vectorized)",
     );
+}
+
+/// Every benchmark app under its naive and tuned schedules, through the
+/// full backend × optimizer-level matrix. Odd sizes so split/vectorize
+/// boundary (tail) paths are exercised, not just whole tiles.
+#[test]
+fn every_app_agrees_across_backends_and_opt_levels() {
+    use halide::pipelines::{apps::ScheduleChoice, AppKind};
+    let (w, h) = (67, 49);
+    for app in AppKind::ALL {
+        for (schedule, label) in [
+            (ScheduleChoice::Naive, "naive"),
+            (ScheduleChoice::Tuned, "tuned"),
+        ] {
+            let built = app
+                .build(w, h, schedule)
+                .unwrap_or_else(|e| panic!("{} ({label}): lowering failed: {e}", app.name()));
+            let input = app.make_input(w, h);
+            assert_backends_identical(
+                &built.module,
+                &built.input_name,
+                &input,
+                &app.output_extents(w, h),
+                2,
+                &format!("{} ({label})", app.name()),
+            );
+        }
+    }
 }
 
 /// A deep multi-stage app: interpolate, under its three schedule flavours

@@ -1,0 +1,136 @@
+//! Throughput and coverage statistics for the differential fuzzer
+//! (`halide-fuzz`): how fast cases generate, lower, and clear the full
+//! differential matrix, and what fraction of the grammar a seed range
+//! exercises. Run with `--cases N` / `--seed S`; `--json FILE` additionally
+//! writes the same numbers machine-readably for trend tracking.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use halide_fuzz::{grammar, run};
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    json: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        cases: 300,
+        seed: 0,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--cases" => out.cases = value().parse().expect("--cases"),
+            "--seed" => out.seed = value().parse().expect("--seed"),
+            "--json" => out.json = Some(value().into()),
+            other => panic!("unknown flag {other:?} (supported: --cases --seed --json)"),
+        }
+    }
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    let mut gen_time = Duration::ZERO;
+    let mut lower_time = Duration::ZERO;
+    let mut matrix_time = Duration::ZERO;
+    let mut stages = 0usize;
+    let mut op_hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut dir_hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut failures = 0u64;
+
+    for i in 0..args.cases {
+        let t = Instant::now();
+        let case = grammar::generate(args.seed + i);
+        gen_time += t.elapsed();
+        stages += case.stages.len();
+        for s in &case.stages {
+            *op_hist.entry(s.op.tag()).or_default() += 1;
+            for d in &s.directives {
+                *dir_hist.entry(d.tag()).or_default() += 1;
+            }
+        }
+        let t = Instant::now();
+        let module = match run::lower_case(&case) {
+            Ok(m) => m,
+            Err(_) => {
+                failures += 1;
+                continue;
+            }
+        };
+        lower_time += t.elapsed();
+        let t = Instant::now();
+        if run::run_case_lowered(&case, &module).is_err() {
+            failures += 1;
+        }
+        matrix_time += t.elapsed();
+    }
+
+    let total = gen_time + lower_time + matrix_time;
+    let per_sec = args.cases as f64 / total.as_secs_f64().max(1e-9);
+    println!(
+        "halide-fuzz throughput — {} cases from seed {}",
+        args.cases, args.seed
+    );
+    println!(
+        "  generate (valid-by-construction): {:>9.1} ms",
+        ms(gen_time)
+    );
+    println!(
+        "  lower (build + lower):            {:>9.1} ms",
+        ms(lower_time)
+    );
+    println!(
+        "  differential matrix (4 runs):     {:>9.1} ms",
+        ms(matrix_time)
+    );
+    println!(
+        "  total: {:.1} ms — {per_sec:.1} cases/s, {failures} failure(s)",
+        ms(total)
+    );
+    let fmt = |h: &BTreeMap<&str, usize>| {
+        h.iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!("  stages: {stages}  ops: {}", fmt(&op_hist));
+    println!("  directives: {}", fmt(&dir_hist));
+
+    if let Some(path) = &args.json {
+        let hist_json = |h: &BTreeMap<&str, usize>| {
+            h.iter()
+                .map(|(k, v)| format!("\"{k}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let json = format!(
+            "{{\n  \"cases\": {},\n  \"seed\": {},\n  \"stages\": {},\n  \"failures\": {},\n  \
+             \"gen_ms\": {:.3},\n  \"lower_ms\": {:.3},\n  \"matrix_ms\": {:.3},\n  \
+             \"cases_per_sec\": {:.2},\n  \"ops\": {{{}}},\n  \"directives\": {{{}}}\n}}\n",
+            args.cases,
+            args.seed,
+            stages,
+            failures,
+            ms(gen_time),
+            ms(lower_time),
+            ms(matrix_time),
+            per_sec,
+            hist_json(&op_hist),
+            hist_json(&dir_hist),
+        );
+        std::fs::write(path, json).expect("write --json file");
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,470 @@
+//! Turning a plain-data [`FuzzCase`] into things that run: its schedules
+//! (for the legality predicate) and a live `halide_lang::Pipeline`.
+//!
+//! Everything here is deterministic in the case, and the schedules the
+//! built pipeline carries are *exactly* the schedules the predicate
+//! validated (applied by the same code, differing only in the
+//! registry-uniquified function names).
+
+use std::collections::BTreeMap;
+
+use halide_ir::{Expr, Type};
+use halide_lang::{Func, ImageParam, Pipeline, RDom, Var};
+use halide_schedule::legality::{ConsumerEdge, FuncInfo, PipelineInfo};
+use halide_schedule::{FuncSchedule, LoopLevel, Result, ScheduleError};
+
+use crate::grammar::{CombineOp, Directive, FuzzCase, PointOp, Source, StageOp};
+
+/// The canonical (pre-uniquification) name of stage `i`.
+pub fn stage_name(i: usize) -> String {
+    format!("fz{i}")
+}
+
+/// Name of the input image bound at realization time.
+pub const INPUT_NAME: &str = "fuzz_in";
+
+/// Applies a stage's directive list to a schedule, mapping `ComputeAt`
+/// stage indices to function names via `consumer_name`. This is the single
+/// implementation used both for legality validation and for the real
+/// pipeline, so the two can never drift.
+///
+/// # Errors
+///
+/// Fails if a directive is inapplicable (unknown dim, bad reorder, ...).
+pub fn apply_directives(
+    schedule: &mut FuncSchedule,
+    directives: &[Directive],
+    consumer_name: impl Fn(usize) -> String,
+) -> Result<()> {
+    for d in directives {
+        match d {
+            Directive::Split { dim, factor } => {
+                schedule.split(dim, format!("{dim}_o"), format!("{dim}_i"), *factor)?;
+            }
+            Directive::Reorder(dims) => {
+                let refs: Vec<&str> = dims.iter().map(String::as_str).collect();
+                schedule.reorder(&refs)?;
+            }
+            Directive::Parallel(dim) => schedule.parallel(dim)?,
+            Directive::Vectorize(dim) => schedule.vectorize(dim)?,
+            Directive::Unroll(dim) => schedule.unroll(dim)?,
+            Directive::ComputeAt { consumer, dim } => {
+                let level = LoopLevel::at(consumer_name(*consumer), dim.clone());
+                schedule.compute_level = level.clone();
+                // Mirror `Func::compute_at`: storage follows unless a coarser
+                // level was already requested.
+                if schedule.store_level.is_root() || schedule.store_level.is_inline() {
+                    schedule.store_level = level;
+                }
+            }
+            Directive::ComputeInline => {
+                schedule.compute_level = LoopLevel::Inline;
+                schedule.store_level = LoopLevel::Inline;
+            }
+            Directive::StoreRoot => schedule.store_level = LoopLevel::Root,
+        }
+    }
+    Ok(())
+}
+
+fn xy_args() -> Vec<String> {
+    vec!["x".to_string(), "y".to_string()]
+}
+
+/// The schedule of every stage after applying its directives (canonical
+/// stage names).
+///
+/// # Errors
+///
+/// Fails on the first inapplicable directive.
+pub fn stage_schedules(case: &FuzzCase) -> Result<Vec<FuncSchedule>> {
+    case.stages
+        .iter()
+        .enumerate()
+        .map(|(i, stage)| {
+            let mut s = FuncSchedule::default_for_args(&xy_args());
+            apply_directives(&mut s, &stage.directives, stage_name)
+                .map_err(|e| ScheduleError::new(format!("stage {i}: {e}")))?;
+            Ok(s)
+        })
+        .collect()
+}
+
+/// Structural sanity of a case, independent of scheduling: extents and
+/// thread counts positive, sources acyclic (index < stage), op parameters
+/// in range, and update-stage ops only at the output (their fixed-coordinate
+/// writes are only guaranteed in bounds there — producer regions are sized
+/// by consumer *reads*).
+fn validate_structure(case: &FuzzCase) -> Result<()> {
+    let fail = |msg: String| Err(ScheduleError::new(msg));
+    if case.stages.is_empty() {
+        return fail("case has no stages".into());
+    }
+    if case.width < 1 || case.height < 1 {
+        return fail(format!(
+            "extents {}x{} must be >= 1",
+            case.width, case.height
+        ));
+    }
+    if case.threads < 1 {
+        return fail("threads must be >= 1".into());
+    }
+    let n = case.stages.len();
+    for (i, stage) in case.stages.iter().enumerate() {
+        let fail = |msg: String| Err(ScheduleError::new(format!("stage {i}: {msg}")));
+        for src in stage.op.sources() {
+            if let Source::Stage(j) = src {
+                if j >= i {
+                    return fail(format!("source stage {j} is not earlier than {i}"));
+                }
+            }
+        }
+        if stage.op.has_updates() && i + 1 != n {
+            return fail("reduce/scan stages are only allowed as the output".into());
+        }
+        match &stage.op {
+            StageOp::Stencil { taps, div, .. } => {
+                if taps.is_empty() {
+                    return fail("stencil has no taps".into());
+                }
+                if *div < 1 {
+                    return fail(format!("stencil divisor {div} must be >= 1"));
+                }
+            }
+            StageOp::Reduce { rx, ry, .. } => {
+                if *rx < 1 || *ry < 1 {
+                    return fail(format!("reduce window {rx}x{ry} must be >= 1"));
+                }
+            }
+            StageOp::Scan { extent, .. } => {
+                if *extent < 1 || *extent >= case.width {
+                    return fail(format!(
+                        "scan extent {extent} must be in [1, width) = [1, {})",
+                        case.width
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// The case as a [`PipelineInfo`] for the shared legality predicate.
+///
+/// # Errors
+///
+/// Fails on structural problems or inapplicable directives.
+pub fn case_info(case: &FuzzCase) -> Result<PipelineInfo> {
+    validate_structure(case)?;
+    let schedules = stage_schedules(case)?;
+    let n = case.stages.len();
+    let mut funcs = BTreeMap::new();
+    for (i, (stage, schedule)) in case.stages.iter().zip(schedules).enumerate() {
+        let known_extents = if i + 1 == n {
+            vec![Some(case.width), Some(case.height)]
+        } else {
+            vec![None, None]
+        };
+        // Consumers of stage i: every later stage whose op reads Stage(i).
+        let consumers = case
+            .stages
+            .iter()
+            .enumerate()
+            .skip(i + 1)
+            .filter(|(_, s)| s.op.sources().contains(&Source::Stage(i)))
+            .map(|(j, s)| ConsumerEdge {
+                consumer: stage_name(j),
+                pure_only: s.op.reads_pure_only(Source::Stage(i)),
+            })
+            .collect();
+        funcs.insert(
+            stage_name(i),
+            FuncInfo {
+                name: stage_name(i),
+                args: xy_args(),
+                known_extents,
+                schedule,
+                has_updates: stage.op.has_updates(),
+                consumers,
+            },
+        );
+    }
+    Ok(PipelineInfo {
+        output: stage_name(n - 1),
+        funcs,
+    })
+}
+
+/// The full validity predicate over a case: structure, directives, and the
+/// shared schedule-legality rules. Everything this accepts must lower and
+/// run on every engine.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_case(case: &FuzzCase) -> Result<()> {
+    case_info(case)?.validate()
+}
+
+/// A case built into a live pipeline, ready to lower.
+pub struct BuiltCase {
+    /// The pipeline rooted at the case's output stage.
+    pub pipeline: Pipeline,
+    /// Name to bind the input image under.
+    pub input_name: String,
+    /// Output extents (`[width, height]`).
+    pub extents: Vec<i64>,
+}
+
+fn point_expr(s: Expr, op: PointOp) -> Expr {
+    match op {
+        PointOp::AddC(k) => s + k as f32,
+        PointOp::MulC(k) => s * k as f32,
+        PointOp::Threshold(k) => Expr::select(
+            Expr::gt(s.clone(), Expr::f32(k as f32)),
+            s.clone() * 2.0f32,
+            s + 1.0f32,
+        ),
+        PointOp::ClampC(k) => Expr::min(Expr::max(s, Expr::f32(-(k as f32))), Expr::f32(k as f32)),
+        PointOp::AbsDiff(k) => (s - k as f32).abs(),
+    }
+}
+
+/// Builds the case into real `Func`s with the validated schedules applied.
+///
+/// # Errors
+///
+/// Fails if the case is invalid ([`validate_case`]).
+pub fn build_pipeline(case: &FuzzCase) -> Result<BuiltCase> {
+    validate_case(case)?;
+    let input = ImageParam::new(INPUT_NAME, Type::f32(), 2);
+    let (x, y) = (Var::new("x"), Var::new("y"));
+    let funcs: Vec<Func> = (0..case.stages.len())
+        .map(|i| Func::new(stage_name(i)))
+        .collect();
+    let read = |src: Source, cx: Expr, cy: Expr| -> Expr {
+        match src {
+            Source::Input => input.at_clamped(vec![cx, cy]),
+            Source::Stage(j) => funcs[j].at(vec![cx, cy]),
+        }
+    };
+    for (i, stage) in case.stages.iter().enumerate() {
+        let f = &funcs[i];
+        let args = [x.clone(), y.clone()];
+        match &stage.op {
+            StageOp::Point { src, op } => {
+                f.define(&args, point_expr(read(*src, x.expr(), y.expr()), *op));
+            }
+            StageOp::Stencil { src, taps, div } => {
+                let mut sum: Option<Expr> = None;
+                for (dx, dy, w) in taps {
+                    let term = read(
+                        *src,
+                        x.expr() + Expr::int(*dx as i32),
+                        y.expr() + Expr::int(*dy as i32),
+                    ) * (*w as f32);
+                    sum = Some(match sum {
+                        None => term,
+                        Some(acc) => acc + term,
+                    });
+                }
+                f.define(
+                    &args,
+                    sum.expect("validated: taps non-empty") / (*div as f32),
+                );
+            }
+            StageOp::Combine { a, b, op } => {
+                let ea = read(*a, x.expr(), y.expr());
+                let eb = read(*b, x.expr(), y.expr());
+                let v = match op {
+                    CombineOp::Add => ea + eb,
+                    CombineOp::Sub => ea - eb,
+                    CombineOp::Mul => ea * eb,
+                    CombineOp::Min => Expr::min(ea, eb),
+                    CombineOp::Max => Expr::max(ea, eb),
+                };
+                f.define(&args, v);
+            }
+            StageOp::Reduce { src, rx, ry } => {
+                f.define(&args, Expr::f32(0.0));
+                let r = RDom::new(
+                    format!("r{i}"),
+                    vec![
+                        (Expr::int(0), Expr::int(*rx as i32)),
+                        (Expr::int(0), Expr::int(*ry as i32)),
+                    ],
+                );
+                f.update(
+                    vec![x.expr(), y.expr()],
+                    f.at(vec![x.expr(), y.expr()])
+                        + read(*src, x.expr() + r.x().expr(), y.expr() + r.y().expr()),
+                    Some(r),
+                );
+            }
+            StageOp::Scan { src, extent } => {
+                f.define(&args, read(*src, x.expr(), y.expr()));
+                let r = RDom::over(format!("r{i}"), 0, *extent as i32);
+                f.update(
+                    vec![r.x().expr() + 1, y.expr()],
+                    f.at(vec![r.x().expr() + 1, y.expr()]) + f.at(vec![r.x().expr(), y.expr()]),
+                    Some(r),
+                );
+            }
+        }
+    }
+    for (i, stage) in case.stages.iter().enumerate() {
+        let mut s = funcs[i].schedule();
+        apply_directives(&mut s, &stage.directives, |j| funcs[j].name())
+            .map_err(|e| ScheduleError::new(format!("stage {i}: {e}")))?;
+        funcs[i].set_schedule(s);
+    }
+    Ok(BuiltCase {
+        pipeline: Pipeline::new(funcs.last().expect("validated: non-empty")),
+        input_name: INPUT_NAME.to_string(),
+        extents: vec![case.width, case.height],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Stage;
+
+    fn point_case() -> FuzzCase {
+        FuzzCase {
+            seed: 0,
+            width: 8,
+            height: 6,
+            threads: 1,
+            stages: vec![
+                Stage {
+                    op: StageOp::Point {
+                        src: Source::Input,
+                        op: PointOp::MulC(2),
+                    },
+                    directives: vec![],
+                },
+                Stage {
+                    op: StageOp::Point {
+                        src: Source::Stage(0),
+                        op: PointOp::AddC(1),
+                    },
+                    directives: vec![Directive::Split {
+                        dim: "x".to_string(),
+                        factor: 4,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_case_builds_and_lowers() {
+        let case = point_case();
+        assert!(validate_case(&case).is_ok());
+        let built = build_pipeline(&case).unwrap();
+        assert_eq!(built.pipeline.len(), 2);
+        halide_lower::lower(&built.pipeline).expect("validated case must lower");
+    }
+
+    #[test]
+    fn structural_violations_are_rejected() {
+        let mut c = point_case();
+        c.width = 0;
+        assert!(validate_case(&c).is_err());
+
+        let mut c = point_case();
+        c.stages[0].op = StageOp::Point {
+            src: Source::Stage(0),
+            op: PointOp::AddC(1),
+        };
+        assert!(validate_case(&c).is_err());
+
+        // interior reduce
+        let mut c = point_case();
+        c.stages[0].op = StageOp::Reduce {
+            src: Source::Input,
+            rx: 2,
+            ry: 2,
+        };
+        assert!(validate_case(&c).is_err());
+
+        // scan writes past the output width
+        let mut c = point_case();
+        c.stages[1].op = StageOp::Scan {
+            src: Source::Stage(0),
+            extent: 8,
+        };
+        assert!(validate_case(&c).is_err());
+    }
+
+    #[test]
+    fn illegal_schedules_are_rejected_by_the_shared_predicate() {
+        // Vectorize of a symbolic-extent dim.
+        let mut c = point_case();
+        c.stages[0]
+            .directives
+            .push(Directive::Vectorize("x".to_string()));
+        assert!(validate_case(&c).is_err());
+
+        // Split wider than the output extent.
+        let mut c = point_case();
+        c.stages[1].directives = vec![Directive::Split {
+            dim: "x".to_string(),
+            factor: 16,
+        }];
+        assert!(validate_case(&c).is_err());
+
+        // compute_at into a reduce's window (update-stage call site).
+        let mut c = point_case();
+        c.stages[1].op = StageOp::Reduce {
+            src: Source::Stage(0),
+            rx: 2,
+            ry: 2,
+        };
+        c.stages[1].directives.clear();
+        c.stages[0].directives = vec![Directive::ComputeAt {
+            consumer: 1,
+            dim: "y".to_string(),
+        }];
+        assert!(validate_case(&c).is_err());
+        c.stages[0].directives.clear();
+        assert!(validate_case(&c).is_ok());
+    }
+
+    #[test]
+    fn built_schedules_match_validated_schedules() {
+        let mut case = point_case();
+        // Split/vectorize live on the (root-computed) output; the producer
+        // carries the compute_at, whose consumer index must map to the
+        // uniquified Func name. (Splits on an At-computed producer are
+        // illegal — its realized footprint can be constant and tiny.)
+        case.stages[0].directives = vec![Directive::ComputeAt {
+            consumer: 1,
+            dim: "y".to_string(),
+        }];
+        case.stages[1].directives = vec![
+            Directive::Split {
+                dim: "x".to_string(),
+                factor: 4,
+            },
+            Directive::Vectorize("x_i".to_string()),
+        ];
+        assert!(validate_case(&case).is_ok());
+        let canonical = stage_schedules(&case).unwrap();
+        let built = build_pipeline(&case).unwrap();
+        let order = built.pipeline.realization_order();
+        // Producer: compute level maps to the uniquified consumer name.
+        let producer = built.pipeline.func(&order[0]).unwrap().schedule();
+        assert_eq!(producer.dims, canonical[0].dims);
+        match (&producer.compute_level, &canonical[0].compute_level) {
+            (LoopLevel::At { var: a, .. }, LoopLevel::At { var: b, .. }) => assert_eq!(a, b),
+            (a, b) => panic!("compute levels diverge: {a} vs {b}"),
+        }
+        // Output: identical dims and splits.
+        let output = built.pipeline.func(&order[1]).unwrap().schedule();
+        assert_eq!(output.dims, canonical[1].dims);
+        assert_eq!(output.splits, canonical[1].splits);
+    }
+}

@@ -1,0 +1,211 @@
+//! Driving one case through the full differential contract.
+//!
+//! Every case is lowered once and realized four ways with identical
+//! bindings:
+//!
+//! 1. `Backend::Interp` — the reference semantics;
+//! 2. `Backend::Compiled` at `OptLevel::None` (raw linearize → emit);
+//! 3. `Backend::Compiled` at `OptLevel::Default` (full pass pipeline);
+//! 4. like 3, but realized *into* a recycled buffer from a [`BufferPool`].
+//!
+//! All four must produce **bit-identical** outputs, and 2–4 must match the
+//! interpreter's counters exactly (`peak_bytes_live` excluded — it depends
+//! on parallel timing; the pooled run additionally excludes the pool
+//! hit/miss counters its acquisition path touches).
+//!
+//! A legality-validated case that fails to lower or realize is also a
+//! failure: the predicate is supposed to be sound, so any rejection
+//! downstream is a bug in one layer or the other.
+
+use std::sync::Arc;
+
+use halide_exec::{Backend, OptLevel, Realizer};
+use halide_ir::ScalarType;
+use halide_lower::Module;
+use halide_runtime::{Buffer, BufferPool, CounterSnapshot};
+
+use crate::build;
+use crate::grammar::FuzzCase;
+
+/// The deterministic input image for a case: small mixed-sign values,
+/// exactly representable in f32, independent of the seed so corpus cases
+/// are self-contained.
+pub fn make_input(width: i64, height: i64) -> Buffer {
+    Buffer::from_fn_2d(ScalarType::Float(32), width, height, |x, y| {
+        ((x * 31 + y * 17) % 13) as f64 - 6.0
+    })
+}
+
+fn counters_for_compare(mut c: CounterSnapshot, pooled: bool) -> CounterSnapshot {
+    c.peak_bytes_live = 0;
+    if pooled {
+        c.pool_hits = 0;
+        c.pool_misses = 0;
+    }
+    c
+}
+
+fn compare_outputs(label: &str, got: &Buffer, want: &[f64]) -> Result<(), String> {
+    let a = got.to_f64_vec();
+    if a.len() != want.len() {
+        return Err(format!(
+            "{label}: output has {} elements, interpreter produced {}",
+            a.len(),
+            want.len()
+        ));
+    }
+    for (i, (x, y)) in a.iter().zip(want.iter()).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!(
+                "{label}: outputs diverge at flat index {i}: got {x}, interpreter says {y}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn compare_counters(
+    label: &str,
+    got: CounterSnapshot,
+    want: &CounterSnapshot,
+    pooled: bool,
+) -> Result<(), String> {
+    let got = counters_for_compare(got, pooled);
+    if &got != want {
+        return Err(format!(
+            "{label}: counters diverge from the interpreter:\n  got:  {got:?}\n  want: {want:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Lowers `case` and runs the full differential matrix.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence (or lowering/realization
+/// error) found. Any `Err` from a case that passed
+/// [`build::validate_case`] is a bug somewhere in the stack.
+pub fn run_case(case: &FuzzCase) -> Result<(), String> {
+    let module = lower_case(case)?;
+    run_case_lowered(case, &module)
+}
+
+/// Builds and lowers a case (shared with the stats harness, which wants
+/// per-phase timing).
+///
+/// # Errors
+///
+/// Propagates build/lowering failures as strings.
+pub fn lower_case(case: &FuzzCase) -> Result<Module, String> {
+    let built = build::build_pipeline(case).map_err(|e| format!("build: {e}"))?;
+    halide_lower::lower(&built.pipeline).map_err(|e| format!("lower: {e}"))
+}
+
+/// The realize-and-compare half of [`run_case`], on an already-lowered
+/// module.
+///
+/// # Errors
+///
+/// Same contract as [`run_case`].
+pub fn run_case_lowered(case: &FuzzCase, module: &Module) -> Result<(), String> {
+    let input = make_input(case.width, case.height);
+    let extents = [case.width, case.height];
+    let run = |backend: Backend, opt: OptLevel| {
+        Realizer::new(module)
+            .input(build::INPUT_NAME, input.clone())
+            .threads(case.threads)
+            .backend(backend)
+            .opt_level(opt)
+            .realize(&extents)
+    };
+
+    let interp = run(Backend::Interp, OptLevel::Default)
+        .map_err(|e| format!("interp: realization failed: {e}"))?;
+    let want = interp.output.to_f64_vec();
+    let want_counters = counters_for_compare(interp.counters, false);
+    let want_counters_pooled = counters_for_compare(want_counters.clone(), true);
+
+    for (label, opt) in [
+        ("compiled opt=none", OptLevel::None),
+        ("compiled opt=default", OptLevel::Default),
+    ] {
+        let got =
+            run(Backend::Compiled, opt).map_err(|e| format!("{label}: realization failed: {e}"))?;
+        compare_outputs(label, &got.output, &want)?;
+        compare_counters(label, got.counters, &want_counters, false)?;
+    }
+
+    // Pooled output: dirty a pooled buffer, recycle it, and realize into it.
+    // Zero-fill-on-acquire makes this indistinguishable from a fresh buffer;
+    // if it is not, either the pool or an engine is lying.
+    let label = "compiled opt=default pooled-output";
+    let pool = Arc::new(BufferPool::default());
+    let dirty = pool.acquire(ScalarType::Float(32), &extents);
+    dirty.set_coords_f64(&[0, 0], 999.0);
+    drop(dirty);
+    let out = pool.acquire(ScalarType::Float(32), &extents).detach();
+    let pooled = Realizer::new(module)
+        .input(build::INPUT_NAME, input.clone())
+        .threads(case.threads)
+        .backend(Backend::Compiled)
+        .opt_level(OptLevel::Default)
+        .realize_into(out)
+        .map_err(|e| format!("{label}: realization failed: {e}"))?;
+    compare_outputs(label, &pooled.output, &want)?;
+    compare_counters(label, pooled.counters, &want_counters_pooled, true)?;
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{self, Directive, PointOp, Source, Stage, StageOp};
+
+    #[test]
+    fn a_simple_case_passes_the_matrix() {
+        let case = FuzzCase {
+            seed: 0,
+            width: 7,
+            height: 5,
+            threads: 2,
+            stages: vec![
+                Stage {
+                    op: StageOp::Stencil {
+                        src: Source::Input,
+                        taps: vec![(-1, 0, 1), (0, 0, 2), (1, 0, 1)],
+                        div: 4,
+                    },
+                    directives: vec![Directive::ComputeAt {
+                        consumer: 1,
+                        dim: "y".to_string(),
+                    }],
+                },
+                Stage {
+                    op: StageOp::Point {
+                        src: Source::Stage(0),
+                        op: PointOp::Threshold(1),
+                    },
+                    directives: vec![
+                        Directive::Split {
+                            dim: "x".to_string(),
+                            factor: 4,
+                        },
+                        Directive::Vectorize("x_i".to_string()),
+                    ],
+                },
+            ],
+        };
+        run_case(&case).unwrap();
+    }
+
+    #[test]
+    fn generated_cases_pass_the_matrix() {
+        // A quick smoke sweep; the binary and CI run far more.
+        for seed in 0..25u64 {
+            let case = grammar::generate(seed);
+            run_case(&case).unwrap_or_else(|e| panic!("seed {seed}: {e}\ncase: {case:#?}"));
+        }
+    }
+}

@@ -232,6 +232,12 @@ impl SlidingPass<'_> {
         body: &Stmt,
     ) -> Stmt {
         // Find the serial loop directly containing the produce of this func.
+        // Every loop *between* the storage level and that loop must itself be
+        // serial: both optimizations assume the iterations covering the
+        // shared allocation run in order, one at a time. A parallel loop in
+        // between hands each thread the same (slid-into or folded) storage —
+        // a data race — so the walk refuses to descend through any
+        // non-serial loop.
         fn find_serial_loop(s: &Stmt, func: &str) -> Option<(String, Expr)> {
             match s.node() {
                 StmtNode::For {
@@ -241,12 +247,11 @@ impl SlidingPass<'_> {
                     body,
                     ..
                 } => {
+                    if *kind != ForKind::Serial {
+                        return None;
+                    }
                     if directly_contains_produce(body, func) {
-                        if *kind == ForKind::Serial {
-                            Some((name.clone(), min.clone()))
-                        } else {
-                            None
-                        }
+                        Some((name.clone(), min.clone()))
                     } else {
                         find_serial_loop(body, func)
                     }
@@ -503,6 +508,42 @@ mod tests {
         let (_, report) = sliding_and_folding(&stmt, &env, true, true);
         assert!(report.slid.is_empty());
         assert!(report.folded.is_empty());
+    }
+
+    #[test]
+    fn no_optimization_across_a_parallel_loop() {
+        // store_root + compute_at inside a *parallel* consumer loop: folding
+        // the storage to one scanline (or sliding into it) would make every
+        // thread share the same window — a data race the fuzzer caught
+        // (seeds 918 and 1050). The pass must leave such realizations alone.
+        let input = ImageParam::new("slide_par_in", Type::f32(), 2);
+        let (x, y) = (Var::new("x"), Var::new("y"));
+        let blurx = Func::new("slide_par_blurx");
+        blurx.define(
+            &[x.clone(), y.clone()],
+            input.at_clamped(vec![x.expr(), y.expr() - 1])
+                + input.at_clamped(vec![x.expr(), y.expr() + 1]),
+        );
+        let outf = Func::new("slide_par_out");
+        outf.define(
+            &[x.clone(), y.clone()],
+            blurx.at(vec![x.expr(), y.expr() - 1]) + blurx.at(vec![x.expr(), y.expr() + 1]),
+        );
+        // Compute sits inside the serial x loop, one level *below* the
+        // parallel y loop; storage is at root, so the parallel loop lies
+        // between storage and compute.
+        blurx.compute_at(&outf, "x");
+        blurx.store_root();
+        outf.parallelize("y");
+        let out = outf.name();
+        let p = Pipeline::new(&outf);
+        let env = snapshot_pipeline(&p);
+        let order = p.realization_order();
+        let stmt = build_pipeline_stmt(&env, &order, &out).unwrap();
+        let (optimized, report) = sliding_and_folding(&stmt, &env, true, true);
+        assert!(report.slid.is_empty(), "slid across a parallel loop");
+        assert!(report.folded.is_empty(), "folded across a parallel loop");
+        assert_eq!(optimized.to_string(), stmt.to_string());
     }
 
     #[test]

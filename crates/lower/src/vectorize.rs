@@ -19,12 +19,15 @@ use halide_ir::{
 use crate::error::{LowerError, Result};
 
 /// The widest vector the backend accepts. Wider vectorize factors are almost
-/// certainly schedule bugs (or autotuner excess) and are rejected.
-pub const MAX_VECTOR_LANES: i64 = 64;
+/// certainly schedule bugs (or autotuner excess) and are rejected. Shared
+/// with the ahead-of-time legality predicate (`halide_schedule::legality`)
+/// so schedule generators and this pass can never disagree on the limit.
+pub use halide_schedule::legality::MAX_VECTOR_LANES;
 
 /// How many times a loop may be unrolled before we refuse (guards against
-/// code-size explosion from careless schedules).
-pub const MAX_UNROLL: i64 = 64;
+/// code-size explosion from careless schedules). Shared with
+/// `halide_schedule::legality` like [`MAX_VECTOR_LANES`].
+pub use halide_schedule::legality::MAX_UNROLL;
 
 struct VectorizeUnroll {
     error: Option<LowerError>,

@@ -1,0 +1,205 @@
+//! Model-based property tests for [`halide_runtime::BufferPool`].
+//!
+//! A reference model mirrors the pool's documented contract — size-classed
+//! free lists per storage kind (class = `ceil(log2(elements))`, LIFO within
+//! a class, ascending class search), byte-accurate idle accounting against
+//! the idle-byte cap, and hit/miss/return/drop counters — and a random
+//! acquire/release script checks the real pool against it after every step.
+//! Independently of the model, every acquired buffer must be zero-filled
+//! and shaped exactly as requested, whether it was recycled or fresh.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use halide_ir::ScalarType;
+use halide_runtime::{Buffer, BufferPool};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes each element of a pooled allocation occupies for the two storage
+/// kinds this test drives (`Float(32)` and `Int(32)` both store 4-byte
+/// elements, in distinct storage kinds that must never cross).
+const BYTES_PER_ELEM: usize = 4;
+
+fn class_for_request(len: usize) -> u32 {
+    len.max(1).next_power_of_two().trailing_zeros()
+}
+
+fn class_for_capacity(capacity: usize) -> u32 {
+    (usize::BITS - 1).saturating_sub(capacity.max(1).leading_zeros())
+}
+
+/// The reference model: free lists of capacities, byte ledger, counters.
+#[derive(Default)]
+struct Model {
+    /// (kind tag, size class) → capacities of idle allocations, LIFO.
+    free: BTreeMap<(u8, u32), Vec<usize>>,
+    idle_bytes: usize,
+    max_bytes: usize,
+    hits: u64,
+    misses: u64,
+    returns: u64,
+    dropped: u64,
+}
+
+impl Model {
+    fn new(max_bytes: usize) -> Self {
+        Model {
+            max_bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Returns the capacity (in elements) of the allocation backing the
+    /// acquired buffer and whether it was recycled, mirroring the pool's
+    /// search-then-allocate policy.
+    fn acquire(&mut self, kind: u8, len: usize) -> (usize, bool) {
+        for class in class_for_request(len)..=40 {
+            if let Some(list) = self.free.get_mut(&(kind, class)) {
+                if let Some(cap) = list.pop() {
+                    self.idle_bytes -= cap * BYTES_PER_ELEM;
+                    self.hits += 1;
+                    return (cap, true);
+                }
+            }
+        }
+        self.misses += 1;
+        (len.max(1).next_power_of_two(), false)
+    }
+
+    fn release(&mut self, kind: u8, capacity: usize) {
+        self.returns += 1;
+        let bytes = capacity * BYTES_PER_ELEM;
+        if self.idle_bytes + bytes > self.max_bytes {
+            self.dropped += 1;
+            return;
+        }
+        self.idle_bytes += bytes;
+        self.free
+            .entry((kind, class_for_capacity(capacity)))
+            .or_default()
+            .push(capacity);
+    }
+}
+
+fn check_stats(pool: &BufferPool, model: &Model, step: usize) {
+    let s = pool.stats();
+    assert_eq!(s.hits, model.hits, "hits diverge at step {step}");
+    assert_eq!(s.misses, model.misses, "misses diverge at step {step}");
+    assert_eq!(s.returns, model.returns, "returns diverge at step {step}");
+    assert_eq!(s.dropped, model.dropped, "dropped diverge at step {step}");
+    assert_eq!(
+        s.idle_bytes, model.idle_bytes as u64,
+        "idle-byte ledger diverges at step {step}"
+    );
+    assert!(
+        s.idle_bytes <= model.max_bytes as u64,
+        "idle bytes {} exceed the cap {} at step {step}",
+        s.idle_bytes,
+        model.max_bytes
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random acquire/release scripts: the pool tracks the model exactly —
+    /// counters, byte ledger, cap eviction — and every acquired buffer is
+    /// zero-filled with the requested shape, hit or miss.
+    #[test]
+    fn pool_matches_the_reference_model(
+        seed in 0u64..1_000_000,
+        cap_kb in 1usize..64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_bytes = cap_kb * 1024;
+        let pool = Arc::new(BufferPool::new(max_bytes));
+        let mut model = Model::new(max_bytes);
+        // Live buffers the script may later release: (kind, capacity, buf).
+        let mut live: Vec<(u8, usize, Buffer)> = Vec::new();
+
+        for step in 0..200 {
+            let release = !live.is_empty() && rng.gen_bool(0.45);
+            if release {
+                let idx = rng.gen_range(0..live.len());
+                let (kind, capacity, buf) = live.swap_remove(idx);
+                pool.release(buf);
+                model.release(kind, capacity);
+            } else {
+                // Odd extents exercise the padding-to-class policy; the two
+                // types map to distinct storage kinds that must not cross.
+                let (ty, kind) = if rng.gen_bool(0.5) {
+                    (ScalarType::Float(32), 0u8)
+                } else {
+                    (ScalarType::Int(32), 1u8)
+                };
+                let extents = [rng.gen_range(1i64..40), rng.gen_range(1i64..12)];
+                let len = (extents[0] * extents[1]) as usize;
+                let (buf, hit) = pool.acquire_raw(ty, &extents);
+                let (capacity, model_hit) = model.acquire(kind, len);
+                assert_eq!(
+                    hit, model_hit,
+                    "hit/miss prediction diverges at step {step}"
+                );
+                assert_eq!(
+                    buf.ty(), ty,
+                    "acquired buffer has the wrong type at step {step}"
+                );
+                assert_eq!(
+                    buf.len(), len,
+                    "acquired buffer has the wrong shape at step {step}"
+                );
+                assert!(
+                    buf.to_f64_vec().iter().all(|&v| v == 0.0),
+                    "acquired buffer not zero-filled at step {step} (hit={hit})"
+                );
+                assert!(
+                    capacity >= len,
+                    "recycled allocation smaller than the request at step {step}"
+                );
+                live.push((kind, capacity, buf));
+            }
+            check_stats(&pool, &model, step);
+        }
+
+        // Drain everything; the ledger must stay balanced to the end.
+        for (kind, capacity, buf) in live.drain(..) {
+            pool.release(buf);
+            model.release(kind, capacity);
+        }
+        check_stats(&pool, &model, usize::MAX);
+
+        // clear() empties the ledger but keeps the counters.
+        let before = pool.stats();
+        pool.clear();
+        let after = pool.stats();
+        assert_eq!(after.idle_bytes, 0);
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.returns, before.returns);
+    }
+
+    /// Zero-fill survives adversarial dirtying: a buffer scribbled over
+    /// before release always comes back spotless on the next acquire.
+    #[test]
+    fn zero_fill_on_acquire_after_dirtying(
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = Arc::new(BufferPool::default());
+        for _ in 0..50 {
+            let extents = [rng.gen_range(1i64..32), rng.gen_range(1i64..8)];
+            let buf = pool.acquire(ScalarType::Float(32), &extents);
+            for i in 0..buf.len() {
+                buf.set_flat_f64(i, rng.gen_range(1.0..100.0));
+            }
+            drop(buf); // returns the dirty allocation to the pool
+            let again = pool.acquire(ScalarType::Float(32), &extents);
+            assert!(
+                again.to_f64_vec().iter().all(|&v| v == 0.0),
+                "recycled buffer leaked prior contents"
+            );
+        }
+        assert!(pool.stats().hits >= 49, "steady state must recycle");
+    }
+}

@@ -65,6 +65,7 @@
 
 pub use halide_autotune as autotune;
 pub use halide_exec as exec;
+pub use halide_fuzz as fuzz;
 pub use halide_ir as ir;
 pub use halide_lang as lang;
 pub use halide_lower as lower_crate;

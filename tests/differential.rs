@@ -187,6 +187,73 @@ fn every_app_agrees_across_backends_and_opt_levels() {
     }
 }
 
+/// Odd and sub-vector output extents under vectorized schedules: shapes
+/// where the vector width never divides the extent (7×5 with factor 4 is
+/// one whole vector plus a 3-lane tail per row; 5×4 leaves a single-lane
+/// tail), degenerate single-row images (9×1), and a single-column image
+/// (1×23, vectorized along y because a split factor may not exceed the
+/// extent it splits). Every realize hits the predicated masked-lane tail
+/// path on most or all iterations. The fuzzer found its first real
+/// miscompilations near this corner, so the matrix is pinned here
+/// deterministically too.
+#[test]
+fn odd_and_sub_vector_extents_agree_across_backends() {
+    // (width, height, vectorized dim, factor): factor ≤ extent, never
+    // dividing it, so the tail predicate is live in every case.
+    for &(w, h, dim, factor) in &[
+        (7i64, 5i64, "x", 4i64),
+        (7, 5, "x", 2),
+        (5, 4, "x", 4),
+        (9, 1, "x", 4),
+        (1, 23, "y", 4),
+        (1, 23, "y", 8),
+    ] {
+        for &par in &[false, true] {
+            let input = make_input(w, h);
+            let app = BlurApp::new();
+            let (outer, inner) = (format!("{dim}o"), format!("{dim}i"));
+            app.out
+                .split_dim(dim, &outer, &inner, factor)
+                .vectorize_dim(&inner);
+            // Parallelize whichever spatial dim was not vectorized.
+            if par {
+                app.out.parallelize(if dim == "x" { "y" } else { "x" });
+            }
+            app.blurx.compute_root();
+            let module = halide::lower(&app.pipeline()).expect("valid schedule must lower");
+            assert_backends_identical(
+                &module,
+                "blur_input",
+                &input,
+                &[w, h],
+                2,
+                &format!("blur {w}x{h} vec {dim} by {factor} par={par} (tail-heavy vectorization)"),
+            );
+        }
+    }
+}
+
+/// The same odd shapes through a compute_at producer, so the *producer's*
+/// per-consumer-iteration region also lands on odd sub-vector extents.
+#[test]
+fn odd_extents_with_fused_producer_agree_across_backends() {
+    for &(w, h) in &[(7i64, 5i64), (5, 4), (9, 3)] {
+        let input = make_input(w, h);
+        let app = BlurApp::new();
+        app.out.split_dim("x", "xo", "xi", 4).vectorize_dim("xi");
+        app.blurx.compute_at(&app.out, "y");
+        let module = halide::lower(&app.pipeline()).expect("valid schedule must lower");
+        assert_backends_identical(
+            &module,
+            "blur_input",
+            &input,
+            &[w, h],
+            2,
+            &format!("blur {w}x{h} fused producer, vectorized consumer"),
+        );
+    }
+}
+
 /// A deep multi-stage app: interpolate, under its three schedule flavours
 /// (including the simulated-GPU one, which must also report identical
 /// kernel-launch and copy counters).

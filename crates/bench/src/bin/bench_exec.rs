@@ -5,16 +5,25 @@
 //!
 //! ```text
 //! cargo run --release -p halide-bench --bin bench_exec -- --quick
-//! cargo run --release -p halide-bench --bin bench_exec -- --quick --out BENCH_exec.json
+//! cargo run --release -p halide-bench --bin bench_exec -- --full --out BENCH_exec.json
+//! cargo run --release -p halide-bench --bin bench_exec -- --full --12mp   # dev machines
 //! ```
+//!
+//! The interp-vs-compiled comparison rows always run at the quick size
+//! (192x128): interpreter rows at production sizes would take hours, and
+//! the relative speedups are size-stable. `--full` instead adds the
+//! **full-resolution tier** — every tuned schedule on the compiled
+//! backend at 1920x1080 (one rep, the size real traffic ships), plus
+//! 12MP (4000x3000) with `--12mp` — emitted as the `full_res` section.
 //!
 //! Per (app, schedule) the wall time of each backend is the best of
 //! several runs (instrumentation off); the JSON carries per-row and
 //! per-app speedups plus the headline `blur_speedup`. A separate
 //! instrumented pass over every tuned schedule records the per-op table
 //! (dense/strided/gather loads, dense/strided/scatter stores, masked
-//! selects) so a speedup change is attributable to the operations that
-//! moved — see the counter table in `docs/execution.md`.
+//! selects, masked loads/stores) so a speedup change is attributable to
+//! the operations that moved — see the counter table in
+//! `docs/execution.md`.
 //!
 //! The emitter is also the perf gate: it asserts the compiled engine's
 //! speedup over the interpreter on blur (whole app) and on the tuned
@@ -22,7 +31,12 @@
 //! rows the predicated vector paths exist for — plus the pre-codegen
 //! optimizer's contract: on every app the optimized instruction count is
 //! no larger than the unoptimized one, and on the tuned camera pipe the
-//! optimizer removes at least 10% of the instructions.
+//! optimizer removes at least 10% of the instructions. Two gates guard
+//! the predicated-tail vectorizer specifically: every tuned schedule
+//! must report `dense_loads > 0` (no silently-scalar "tuned" schedules),
+//! and on the pyramid apps (interpolate, local Laplacian) — whose odd,
+//! halving extents only vectorize through tail strategies — the tuned
+//! compiled schedule must beat the scalar naive one by at least 2x.
 //!
 //! `--dump-pir` additionally prints each app's optimized linear program IR
 //! (the final snapshot of `Program::compile_traced`) to stdout; see
@@ -47,6 +61,17 @@ struct Row {
     compiled: Duration,
 }
 
+/// One row of the full-resolution tier: a tuned schedule on the compiled
+/// backend at a production image size (single rep — at these sizes one run
+/// is long enough that scheduling noise is immaterial).
+struct FullResRow {
+    app: &'static str,
+    width: i64,
+    height: i64,
+    compiled_ms: f64,
+    mpix_per_s: f64,
+}
+
 fn best_time(
     app: AppKind,
     cfg: &HarnessConfig,
@@ -65,8 +90,16 @@ fn best_time(
 }
 
 fn main() {
-    let cfg = HarnessConfig::from_args();
+    let mut cfg = HarnessConfig::from_args();
+    // The comparison rows are pinned at the quick size regardless of
+    // `--full` (see the module docs): the interpreter rows dominate the
+    // runtime and would take hours at production sizes. `--full` selects
+    // the compiled-only full-resolution tier below instead.
+    cfg.width = 192;
+    cfg.height = 128;
     let args: Vec<String> = std::env::args().collect();
+    let full_tier = args.iter().any(|a| a == "--full");
+    let twelve_mp = args.iter().any(|a| a == "--12mp");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -145,6 +178,38 @@ fn main() {
         pir.push((app.name(), report));
     }
 
+    // Full-resolution tier: tuned schedules on the compiled backend at the
+    // sizes real traffic ships. One rep each — a 12MP local Laplacian runs
+    // for tens of seconds, which buries scheduling noise on its own.
+    let mut full_res: Vec<FullResRow> = Vec::new();
+    if full_tier {
+        let mut sizes = vec![(1920i64, 1080i64)];
+        if twelve_mp {
+            sizes.push((4000, 3000));
+        }
+        for app in AppKind::ALL {
+            for &(w, h) in &sizes {
+                let (result, _) = app
+                    .run_with_backend(w, h, ScheduleChoice::Tuned, cfg.threads, Backend::Compiled)
+                    .expect("tuned schedule lowers at full resolution");
+                let r = result.expect("tuned schedule runs at full resolution");
+                let ms = r.wall_time.as_secs_f64() * 1e3;
+                let mpix = (w * h) as f64 / 1e6 / r.wall_time.as_secs_f64().max(1e-12);
+                eprintln!(
+                    "{:<20} tuned  {w}x{h} compiled {ms:>10.2}ms  ({mpix:.1} MPix/s)",
+                    app.name()
+                );
+                full_res.push(FullResRow {
+                    app: app.name(),
+                    width: w,
+                    height: h,
+                    compiled_ms: ms,
+                    mpix_per_s: mpix,
+                });
+            }
+        }
+    }
+
     // Per-app aggregate: total interpreter time over total compiled time for
     // the app's schedules (the time to run that app's benchmark set on each
     // backend).
@@ -190,16 +255,18 @@ fn main() {
     for (i, (name, c)) in ops.iter().enumerate() {
         let _ = write!(
             json,
-            "    \"{name}\": {{ \"arith\": {}, \"loads\": {}, \"dense_loads\": {}, \"strided_loads\": {}, \"gather_loads\": {}, \"stores\": {}, \"dense_stores\": {}, \"strided_stores\": {}, \"scatter_stores\": {}, \"masked_selects\": {} }}",
+            "    \"{name}\": {{ \"arith\": {}, \"loads\": {}, \"dense_loads\": {}, \"strided_loads\": {}, \"gather_loads\": {}, \"masked_loads\": {}, \"stores\": {}, \"dense_stores\": {}, \"strided_stores\": {}, \"scatter_stores\": {}, \"masked_stores\": {}, \"masked_selects\": {} }}",
             c.arith_ops,
             c.loads,
             c.dense_loads,
             c.strided_loads,
             c.gather_loads,
+            c.masked_loads,
             c.stores,
             c.dense_stores,
             c.strided_stores,
             c.scatter_stores,
+            c.masked_stores,
             c.masked_selects,
         );
         json.push_str(if i + 1 < ops.len() { ",\n" } else { "\n" });
@@ -223,6 +290,16 @@ fn main() {
         json.push_str(if i + 1 < pir.len() { ",\n" } else { "\n" });
     }
     json.push_str("  },\n");
+    json.push_str("  \"full_res\": [\n");
+    for (i, r) in full_res.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"app\": \"{}\", \"width\": {}, \"height\": {}, \"compiled_ms\": {:.3}, \"mpix_per_s\": {:.1} }}",
+            r.app, r.width, r.height, r.compiled_ms, r.mpix_per_s,
+        );
+        json.push_str(if i + 1 < full_res.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"app_speedups\": {\n");
     let apps: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
     for (i, name) in apps.iter().enumerate() {
@@ -251,6 +328,49 @@ fn main() {
         assert!(
             s >= 5.0,
             "the compiled backend must be at least 5x faster than the interpreter on the tuned {app} schedule, got {s:.2}x"
+        );
+    }
+    // No silently-scalar "tuned" schedules: every app's tuned schedule must
+    // issue dense vector loads. The pyramid apps sat at zero for several
+    // releases because their odd, halving extents defeated divisibility-only
+    // vectorization; predicated tails removed that excuse.
+    for (name, c) in &ops {
+        println!("{name} tuned dense loads: {}", c.dense_loads);
+        assert!(
+            c.dense_loads > 0,
+            "the tuned {name} schedule performs no dense vector loads — it is \
+             silently scalar; vectorize it (non-dividing extents take a tail \
+             strategy: guard_with_if, predicate, or round_up)"
+        );
+    }
+    // The pyramid apps only vectorize through tail strategies; the tuned
+    // schedule must beat the scalar naive one by >= 2x on the compiled
+    // backend or the predicated-tail path has regressed.
+    for app in ["Interpolate", "Local Laplacian"] {
+        let naive = rows
+            .iter()
+            .find(|r| r.app == app && r.schedule == "naive")
+            .expect("every (app, schedule) pair was measured")
+            .compiled
+            .as_secs_f64();
+        let tuned = rows
+            .iter()
+            .find(|r| r.app == app && r.schedule == "tuned")
+            .expect("every (app, schedule) pair was measured")
+            .compiled
+            .as_secs_f64();
+        let s = naive / tuned.max(1e-12);
+        println!("{app} tuned over naive (compiled): {s:.2}x");
+        assert!(
+            s >= 2.0,
+            "the vectorized tuned {app} schedule must be at least 2x faster than \
+             the scalar naive schedule on the compiled backend, got {s:.2}x"
+        );
+    }
+    if full_tier {
+        assert!(
+            full_res.iter().filter(|r| r.width == 1920).count() == AppKind::ALL.len(),
+            "--full must measure every app at 1080p"
         );
     }
     // The optimizer's gates: it must never grow a program, and on the tuned

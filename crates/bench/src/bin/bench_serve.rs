@@ -33,6 +33,11 @@
 //! (the camera pipe) warm throughput must be at least 3x the cold
 //! (compile-per-request) throughput, and the steady-state pool hit rate
 //! must exceed 90%.
+//!
+//! `--full` additionally measures the **full-resolution tier**: warm-path
+//! latency per app at 1920x1080 (best of two requests after priming, one
+//! thread per request) — the re-baselined production-size warm latencies
+//! the `full_res` section of `BENCH_serve.json` records.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -231,6 +236,32 @@ fn main() {
         });
     }
 
+    // ---- full-resolution warm latency (`--full`) ------------------------
+    // Production-size requests through the warm path: cached program,
+    // pooled buffers, one thread per request. Best of two measured
+    // requests after one priming call — at 2MPix a single request runs
+    // long enough that scheduling noise is immaterial.
+    const FULL_RES_SIZE: (i64, i64) = (1920, 1080);
+    let full_tier = args.iter().any(|a| a == "--full");
+    let mut full_res: Vec<(&'static str, f64)> = Vec::new();
+    if full_tier {
+        let (w, h) = FULL_RES_SIZE;
+        for app in APPS {
+            let srv = server(1);
+            let input = Arc::new(app.make_input(w, h));
+            let req = Request::new(app, ScheduleChoice::Tuned, Arc::clone(&input));
+            srv.call(&req).expect("full-resolution warm-up request");
+            let mut best = f64::MAX;
+            for _ in 0..2 {
+                let resp = srv.call(&req).expect("full-resolution warm request");
+                assert!(resp.cold_compile.is_none());
+                best = best.min(resp.latency.as_secs_f64() * 1e3);
+            }
+            eprintln!("{:<20} warm {w}x{h} {best:>10.2}ms", app.name());
+            full_res.push((app.name(), best));
+        }
+    }
+
     // ---- emit ------------------------------------------------------------
     let gate_names: Vec<&'static str> = GATE_APPS.iter().map(|a| a.name()).collect();
     let cold_total: f64 = rows
@@ -289,6 +320,16 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"full_res\": [\n");
+    for (i, (name, ms)) in full_res.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"app\": \"{name}\", \"width\": {}, \"height\": {}, \"warm_ms\": {ms:.3} }}",
+            FULL_RES_SIZE.0, FULL_RES_SIZE.1,
+        );
+        json.push_str(if i + 1 < full_res.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(json, "  \"pool_hit_rate\": {:.4},", pool_hit_rate);
     let _ = writeln!(
         json,
@@ -312,6 +353,12 @@ fn main() {
          (hit rate > 90%), got {:.1}%",
         100.0 * pool_hit_rate
     );
+    if full_tier {
+        assert!(
+            full_res.len() == APPS.len(),
+            "--full must measure every served app at 1080p"
+        );
+    }
     for s in &scaling {
         println!(
             "{}: 4-client scaling {:.2}x over 1 client (raw-thread ceiling on this \

@@ -144,6 +144,15 @@ pub(crate) enum CExpr {
         lo: Box<CExpr>,
         hi: Box<CExpr>,
     },
+    /// Predicated (masked) load: lanes whose mask lane is false are not
+    /// read (and not bounds-checked) and yield zero. The dense/strided/
+    /// gather masked forms are dispatched from the runtime index shape,
+    /// like [`CExpr::Load`].
+    LoadMasked {
+        buf: u32,
+        index: Box<CExpr>,
+        mask: Box<CExpr>,
+    },
     /// Intrinsic call through a resolved function pointer.
     Intrinsic { f: CIntrinsic, args: Vec<CExpr> },
 }
@@ -191,6 +200,14 @@ pub(crate) enum CStmt {
         value: CExpr,
         base: CExpr,
         lanes: u16,
+    },
+    /// Predicated (masked) store: lanes whose mask lane is false are
+    /// skipped entirely — not written, not bounds-checked.
+    StoreMasked {
+        buf: u32,
+        value: CExpr,
+        index: CExpr,
+        mask: CExpr,
     },
     /// Scoped allocation bound to a buffer index.
     Allocate {

@@ -328,6 +328,18 @@ impl Emitter<'_> {
                     true,
                 )
             }
+            POp::LoadMasked { buf, index, mask } => {
+                let (ei, _) = cx.take(*index);
+                let (em, _) = cx.take(*mask);
+                (
+                    CExpr::LoadMasked {
+                        buf: *buf,
+                        index: bx(ei),
+                        mask: bx(em),
+                    },
+                    true,
+                )
+            }
             POp::Intrinsic { f, args, .. } => {
                 let mut loads = false;
                 let mut es = Vec::with_capacity(args.len());
@@ -446,6 +458,23 @@ impl Emitter<'_> {
                         value: val,
                         base: base_e,
                         lanes: *lanes,
+                    });
+                }
+                POp::StoreMasked {
+                    buf,
+                    value,
+                    index,
+                    mask,
+                } => {
+                    let (val, _) = cx.take(*value);
+                    let (idx, _) = cx.take(*index);
+                    let (m, _) = cx.take(*mask);
+                    flush(&mut cx, &mut out, false);
+                    out.push(CStmt::StoreMasked {
+                        buf: *buf,
+                        value: val,
+                        index: idx,
+                        mask: m,
                     });
                 }
                 POp::Assert { cond, message } => {

@@ -345,8 +345,20 @@ pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
             inner.env.push(name.clone(), v);
             eval_expr(body, &inner, ctx)
         }
-        ExprNode::Load { name, index, .. } => {
+        ExprNode::Load {
+            name,
+            index,
+            predicate,
+            ..
+        } => {
             let idx = eval_expr(index, frame, ctx)?;
+            let mask = match predicate {
+                Some(p) => {
+                    let m = eval_expr(p, frame, ctx)?;
+                    Some(m.broadcast(idx.lanes()))
+                }
+                None => None,
+            };
             let buf = frame.buffer(name)?;
             if ctx.gpu_used.load(Ordering::Relaxed) {
                 ctx.gpu.ensure_on_host(name, &ctx.counters);
@@ -360,12 +372,28 @@ pub fn eval_expr(e: &Expr, frame: &Frame, ctx: &Context) -> Result<Value> {
                             &idx.to_int_lanes(),
                         ));
                 }
+                if mask.is_some() {
+                    ctx.counters.add_masked_load();
+                }
             }
             let len = buf.len();
             let mut out_i: Vec<i64> = Vec::with_capacity(lanes);
             let mut out_f: Vec<f64> = Vec::with_capacity(lanes);
             let is_float = buf.ty().is_float();
             for lane in 0..lanes {
+                // A masked-off lane is not read (and not bounds-checked);
+                // it yields zero, which the predicate guarantees is never
+                // observed by an enabled computation.
+                if let Some(m) = &mask {
+                    if m.lane_int(lane) == 0 {
+                        if is_float {
+                            out_f.push(0.0);
+                        } else {
+                            out_i.push(0);
+                        }
+                        continue;
+                    }
+                }
                 let i = idx.lane_int(lane);
                 if i < 0 || i as usize >= len {
                     return Err(ExecError::new(format!(
@@ -579,7 +607,12 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
                 }
             }
         }
-        StmtNode::Store { name, value, index } => {
+        StmtNode::Store {
+            name,
+            value,
+            index,
+            predicate,
+        } => {
             let idx = eval_expr(index, frame, ctx)?;
             let val = eval_expr(value, frame, ctx)?;
             let buf = frame.buffer(name)?;
@@ -588,6 +621,13 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
             }
             let lanes = idx.lanes().max(val.lanes());
             let idx = idx.broadcast(lanes);
+            let mask = match predicate {
+                Some(p) => {
+                    let m = eval_expr(p, frame, ctx)?;
+                    Some(m.broadcast(lanes))
+                }
+                None => None,
+            };
             if ctx.instrument {
                 ctx.counters.add_store(lanes as u64);
                 if lanes > 1 {
@@ -596,9 +636,19 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
                             &idx.to_int_lanes(),
                         ));
                 }
+                if mask.is_some() {
+                    ctx.counters.add_masked_store();
+                }
             }
             let len = buf.len();
             for lane in 0..lanes {
+                // A masked-off lane is skipped entirely: not written, not
+                // bounds-checked.
+                if let Some(m) = &mask {
+                    if m.lane_int(lane) == 0 {
+                        continue;
+                    }
+                }
                 let i = idx.lane_int(lane);
                 if i < 0 || i as usize >= len {
                     return Err(ExecError::new(format!(

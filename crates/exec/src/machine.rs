@@ -509,6 +509,21 @@ pub(crate) fn eval(prog: &Program, e: &CExpr, m: &mut Machine, ctx: &Context) ->
             let hi_v = eval(prog, hi, m, ctx)?.as_int()?;
             clamped_load(prog, *buf, idx, lo_v, hi_v, m, ctx)
         }
+        CExpr::LoadMasked { buf, index, mask } => {
+            let idx = eval(prog, index, m, ctx)?;
+            let mv = eval(prog, mask, m, ctx)?;
+            let buffer = m.buffer(prog, *buf)?;
+            if ctx.gpu_in_use() {
+                ctx.gpu
+                    .ensure_on_host(&prog.buf_names[*buf as usize], &ctx.counters);
+            }
+            let lanes = idx.lanes();
+            if ctx.instrument {
+                count_load(ctx, &idx, lanes);
+                ctx.counters.add_masked_load();
+            }
+            masked_load(prog, *buf, buffer, idx, mv, lanes)
+        }
         CExpr::Intrinsic { f, args } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -610,6 +625,145 @@ fn strided_load(
             .map(Value::Int)
             .map_err(|i| oob(prog, buf, "load from", i, buffer.len()))?
     }))
+}
+
+/// Reads lane `lane` of a vector predicate. A mask narrower than the
+/// operation is uniform across every lane — the broadcast the interpreter
+/// materializes before its lane loop.
+fn mask_lane(mask: &CValue, lane: usize) -> bool {
+    match mask {
+        CValue::S(s) => s.as_i64() != 0,
+        CValue::R {
+            base,
+            stride,
+            lanes,
+        } => {
+            let l = if (*lanes as usize) <= 1 {
+                0
+            } else {
+                lane as i64
+            };
+            base + stride * l != 0
+        }
+        CValue::V(v) => {
+            let l = if v.lanes() <= 1 { 0 } else { lane };
+            v.lane_int(l) != 0
+        }
+    }
+}
+
+fn mask_all_true(mask: &CValue, lanes: usize) -> bool {
+    (0..lanes).all(|l| mask_lane(mask, l))
+}
+
+/// A load with a lane predicate: a disabled lane is neither read nor
+/// bounds-checked and yields zero; enabled lanes behave exactly like the
+/// unmasked forms (an enabled out-of-bounds lane is still an error). An
+/// all-true mask falls through to the bulk dispatches, so a predicated
+/// tail whose guard happens to pass everywhere costs one bulk read.
+#[inline(never)]
+fn masked_load(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    idx: CValue,
+    mask: CValue,
+    lanes: usize,
+) -> Result<CValue> {
+    if mask_all_true(&mask, lanes) {
+        if let CValue::S(s) = &idx {
+            let i = s.as_i64();
+            let len = buffer.len();
+            if i < 0 || i as usize >= len {
+                return Err(oob(prog, buf, "load from", i, len));
+            }
+            return Ok(CValue::S(buffer.get_flat_scalar(i as usize)));
+        }
+        if let CValue::R {
+            base: base_v,
+            stride,
+            ..
+        } = idx
+        {
+            if stride == 1 {
+                return dense_load(prog, buf, buffer, base_v, lanes);
+            }
+            return strided_load(prog, buf, buffer, base_v, stride, lanes);
+        }
+        let idx = idx.into_value();
+        return Ok(vv(gather(prog, buf, buffer, &idx, lanes)?));
+    }
+    // A mixed mask: the reference per-lane loop, skipping disabled lanes
+    // before their bounds checks.
+    let len = buffer.len();
+    let is_float = buffer.ty().is_float();
+    let idx = idx.into_value().broadcast(lanes);
+    let mut out_i: Vec<i64> = Vec::with_capacity(if is_float { 0 } else { lanes });
+    let mut out_f: Vec<f64> = Vec::with_capacity(if is_float { lanes } else { 0 });
+    for lane in 0..lanes {
+        if !mask_lane(&mask, lane) {
+            if is_float {
+                out_f.push(0.0);
+            } else {
+                out_i.push(0);
+            }
+            continue;
+        }
+        let i = idx.lane_int(lane);
+        if i < 0 || i as usize >= len {
+            return Err(oob(prog, buf, "load from", i, len));
+        }
+        if is_float {
+            out_f.push(buffer.get_flat_f64(i as usize));
+        } else {
+            out_i.push(buffer.get_flat_i64(i as usize));
+        }
+    }
+    Ok(vv(if is_float {
+        Value::Float(out_f)
+    } else {
+        Value::Int(out_i)
+    }))
+}
+
+/// A store with a lane predicate: a disabled lane is neither written nor
+/// bounds-checked. An all-true mask falls through to the unmasked bulk
+/// dispatches.
+#[inline(never)]
+fn masked_store(
+    prog: &Program,
+    buf: u32,
+    buffer: &Buffer,
+    idx: CValue,
+    val: CValue,
+    mask: CValue,
+    lanes: usize,
+) -> Result<()> {
+    let len = buffer.len();
+    if mask_all_true(&mask, lanes) {
+        if let (CValue::S(i), CValue::S(v)) = (&idx, &val) {
+            let i = i.as_i64();
+            if i < 0 || i as usize >= len {
+                return Err(oob(prog, buf, "store to", i, len));
+            }
+            buffer.set_flat_scalar(i as usize, *v);
+            return Ok(());
+        }
+        return vector_store(prog, buf, buffer, idx, val, lanes);
+    }
+    let idx = idx.into_value().broadcast(lanes);
+    let val = val.into_value();
+    for lane in 0..lanes {
+        if !mask_lane(&mask, lane) {
+            continue;
+        }
+        let i = idx.lane_int(lane);
+        if i < 0 || i as usize >= len {
+            return Err(oob(prog, buf, "store to", i, len));
+        }
+        buffer.set_flat_lane(i as usize, &val, lane);
+    }
+    Ok(())
 }
 
 /// Stores `val` through a non-unit-stride ramp as one bulk strided write.
@@ -1119,6 +1273,26 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
                 return Ok(());
             }
             vector_store(prog, *buf, buffer, idx, val, lanes)
+        }
+        CStmt::StoreMasked {
+            buf,
+            value,
+            index,
+            mask,
+        } => {
+            let idx = eval(prog, index, m, ctx)?;
+            let val = eval(prog, value, m, ctx)?;
+            let mv = eval(prog, mask, m, ctx)?;
+            let buffer = m.buffer(prog, *buf)?;
+            if ctx.gpu_in_use() {
+                ctx.gpu.mark_host_dirty(&prog.buf_names[*buf as usize]);
+            }
+            let lanes = idx.lanes().max(val.lanes());
+            if ctx.instrument {
+                count_store(ctx, &idx, lanes);
+                ctx.counters.add_masked_store();
+            }
+            masked_store(prog, *buf, buffer, idx, val, mv, lanes)
         }
         CStmt::StoreDense {
             buf,
@@ -1685,6 +1859,111 @@ mod tests {
             ),
         ]);
         assert_backends_agree(&s, &[("src", 16), ("out", 24)]);
+    }
+
+    #[test]
+    fn masked_dense_and_strided_ops_agree() {
+        // Predicated (masked) loads and stores — the form predicate-tail
+        // vectorization emits — on unit-stride and strided ramps with a
+        // mixed mask: the compiled engine's bulk masked paths against the
+        // interpreter's per-lane loop, values and masked-op counters alike.
+        let dense = Expr::ramp(Expr::var_i32("i") * 4, Expr::int(1), 4);
+        let strided = Expr::ramp(Expr::var_i32("i") * 8, Expr::int(2), 4);
+        for idx in [dense, strided] {
+            let mask = Expr::lt(idx.clone() % 3, Expr::broadcast(Expr::int(2), 4));
+            let value =
+                Expr::load_predicated(Type::f32(), "src", idx.clone(), mask.clone()) * 2.0f32;
+            let s = Stmt::block_of(vec![
+                fill_loop("src", 32),
+                Stmt::for_loop(
+                    "i",
+                    Expr::int(0),
+                    Expr::int(4),
+                    ForKind::Serial,
+                    Stmt::store_predicated("out", value, idx, mask),
+                ),
+            ]);
+            assert_backends_agree(&s, &[("src", 32), ("out", 32)]);
+        }
+
+        // An all-true mask falls through to the unmasked bulk dispatch on
+        // both engines — same values, same (unmasked) counters.
+        let idx = Expr::ramp(Expr::var_i32("i") * 4, Expr::int(1), 4);
+        let mask = Expr::lt(idx.clone(), Expr::broadcast(Expr::int(100), 4));
+        let value = Expr::load_predicated(Type::f32(), "src", idx.clone(), mask.clone()) + 1.0f32;
+        let s = Stmt::block_of(vec![
+            fill_loop("src", 16),
+            Stmt::for_loop(
+                "i",
+                Expr::int(0),
+                Expr::int(4),
+                ForKind::Serial,
+                Stmt::store_predicated("out", value, idx, mask),
+            ),
+        ]);
+        assert_backends_agree(&s, &[("src", 16), ("out", 16)]);
+    }
+
+    #[test]
+    fn masked_oob_lanes_skip_checks_only_when_disabled() {
+        // A ramp whose last two lanes run past the allocation — the shape
+        // of a predicated tail. With those lanes masked off, both engines
+        // skip them: no fault, disabled load lanes yield zero, disabled
+        // store lanes stay untouched.
+        let idx = Expr::ramp(Expr::int(4), Expr::int(1), 4); // lanes 4..8 of a 6-buffer
+        let in_range = Expr::lt(idx.clone(), Expr::broadcast(Expr::int(6), 4));
+        let value =
+            Expr::load_predicated(Type::f32(), "src", idx.clone(), in_range.clone()) + 1.0f32;
+        let ok = Stmt::block_of(vec![
+            fill_loop("src", 6),
+            Stmt::store_predicated("out", value, idx.clone(), in_range),
+        ]);
+        assert_backends_agree(&ok, &[("src", 6), ("out", 6)]);
+
+        // The same lanes *enabled* must fault — the mask, not luck, is what
+        // licenses the overhang — and both engines must report the very
+        // same error, for the store and for the load.
+        let enabled = Expr::lt(idx.clone(), Expr::broadcast(Expr::int(100), 4));
+        let bad_store = Stmt::store_predicated(
+            "out",
+            Expr::broadcast(Expr::f32(1.0), 4),
+            idx.clone(),
+            enabled.clone(),
+        );
+        let bad_load = Stmt::store(
+            "out",
+            Expr::load_predicated(Type::f32(), "src", idx.clone() + 100, enabled),
+            Expr::ramp(Expr::int(0), Expr::int(1), 4),
+        );
+        for s in [bad_store, bad_load] {
+            let prog = Program::compile_stmt(&s).unwrap();
+            let cctx = ctx();
+            let mut m = Machine::new(&prog);
+            for name in ["src", "out"] {
+                if let Some(b) = prog.free_buf(name) {
+                    m.set_buf(
+                        b,
+                        Arc::new(Buffer::with_extents(ScalarType::Float(32), &[6])),
+                    );
+                }
+            }
+            let compiled_err = exec(&prog, &prog.body, &mut m, &cctx).unwrap_err();
+            assert!(
+                compiled_err.to_string().contains("outside the allocation"),
+                "{compiled_err}"
+            );
+
+            let ictx = ctx();
+            let mut frame = Frame::default();
+            for name in ["src", "out"] {
+                frame.insert_buffer(
+                    name.to_string(),
+                    Arc::new(Buffer::with_extents(ScalarType::Float(32), &[6])),
+                );
+            }
+            let interp_err = eval_stmt(&s, &mut frame, &ictx).unwrap_err();
+            assert_eq!(compiled_err.to_string(), interp_err.to_string());
+        }
     }
 
     #[test]

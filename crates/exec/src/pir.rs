@@ -118,6 +118,11 @@ pub(crate) enum POp {
         lo: Reg,
         hi: Reg,
     },
+    /// Predicated (masked) load: lanes whose `mask` lane is false are not
+    /// read (and not bounds-checked) and yield zero. The machine dispatches
+    /// dense/strided/gather forms from the runtime index shape, like
+    /// [`POp::Load`].
+    LoadMasked { buf: u32, index: Reg, mask: Reg },
     /// Intrinsic call (counted). `name` is kept for printing and CSE keys.
     Intrinsic {
         f: CIntrinsic,
@@ -132,6 +137,14 @@ pub(crate) enum POp {
         value: Reg,
         base: Reg,
         lanes: u16,
+    },
+    /// Predicated (masked) store: lanes whose `mask` lane is false are
+    /// skipped entirely — not written, not bounds-checked.
+    StoreMasked {
+        buf: u32,
+        value: Reg,
+        index: Reg,
+        mask: Reg,
     },
     /// Runtime check; failure aborts execution with `message`.
     Assert { cond: Reg, message: String },
@@ -264,6 +277,17 @@ impl POp {
                 f(*lo);
                 f(*hi);
             }
+            POp::LoadMasked { index, mask, .. } => {
+                f(*index);
+                f(*mask);
+            }
+            POp::StoreMasked {
+                value, index, mask, ..
+            } => {
+                f(*value);
+                f(*index);
+                f(*mask);
+            }
             POp::Intrinsic { args, .. } => {
                 for a in args {
                     f(*a);
@@ -324,6 +348,17 @@ impl POp {
                 g(index);
                 g(lo);
                 g(hi);
+            }
+            POp::LoadMasked { index, mask, .. } => {
+                g(index);
+                g(mask);
+            }
+            POp::StoreMasked {
+                value, index, mask, ..
+            } => {
+                g(value);
+                g(index);
+                g(mask);
             }
             POp::Intrinsic { args, .. } => {
                 for a in args {
@@ -524,6 +559,9 @@ fn print_inst(inst: &PInst) -> String {
         POp::LoadClamped { buf, index, lo, hi } => {
             write!(s, "load.clamped b{buf}[r{index} clamp r{lo}, r{hi}]")
         }
+        POp::LoadMasked { buf, index, mask } => {
+            write!(s, "load.masked b{buf}[r{index} if r{mask}]")
+        }
         POp::Intrinsic { name, args, .. } => {
             let args: Vec<String> = args.iter().map(|a| format!("r{a}")).collect();
             write!(s, "call {name}({})", args.join(", "))
@@ -535,6 +573,12 @@ fn print_inst(inst: &PInst) -> String {
             base,
             lanes,
         } => write!(s, "store.dense b{buf}[r{base}, x{lanes}] = r{value}"),
+        POp::StoreMasked {
+            buf,
+            value,
+            index,
+            mask,
+        } => write!(s, "store.masked b{buf}[r{index} if r{mask}] = r{value}"),
         POp::Assert { cond, message } => write!(s, "assert r{cond}, {message:?}"),
         POp::For {
             var,
@@ -1021,8 +1065,29 @@ impl Linearizer {
                 self.unbind_var(name);
                 rb?
             }
-            ExprNode::Load { name, index, .. } => {
+            ExprNode::Load {
+                name,
+                index,
+                predicate,
+                ..
+            } => {
                 let buf = self.buf(name);
+                if let Some(p) = predicate {
+                    // Predicated loads keep the general index: the machine
+                    // dispatches the dense/strided/gather masked form from
+                    // the runtime index shape, like the generic Load path.
+                    let ri = self.expr(index)?;
+                    let rm = self.expr(p)?;
+                    return Ok(self.value(
+                        POp::LoadMasked {
+                            buf,
+                            index: ri,
+                            mask: rm,
+                        },
+                        self.vec_of(ri),
+                        PKind::Unknown,
+                    ));
+                }
                 if let Some((base, lanes)) = dense_ramp(index) {
                     let rb = self.expr(base)?;
                     self.value(
@@ -1235,8 +1300,28 @@ impl Linearizer {
                     },
                 );
             }
-            StmtNode::Store { name, value, index } => {
+            StmtNode::Store {
+                name,
+                value,
+                index,
+                predicate,
+            } => {
                 let buf = self.buf(name);
+                if let Some(p) = predicate {
+                    let rv = self.expr(value)?;
+                    let ri = self.expr(index)?;
+                    let rm = self.expr(p)?;
+                    self.push(
+                        None,
+                        POp::StoreMasked {
+                            buf,
+                            value: rv,
+                            index: ri,
+                            mask: rm,
+                        },
+                    );
+                    return Ok(());
+                }
                 if let Some((base, lanes)) = dense_ramp(index) {
                     let rb = self.expr(base)?;
                     let rv = self.expr(value)?;

@@ -38,8 +38,14 @@ pub fn apply_directives(
 ) -> Result<()> {
     for d in directives {
         match d {
-            Directive::Split { dim, factor } => {
-                schedule.split(dim, format!("{dim}_o"), format!("{dim}_i"), *factor)?;
+            Directive::Split { dim, factor, tail } => {
+                schedule.split_with_tail(
+                    dim,
+                    format!("{dim}_o"),
+                    format!("{dim}_i"),
+                    *factor,
+                    *tail,
+                )?;
             }
             Directive::Reorder(dims) => {
                 let refs: Vec<&str> = dims.iter().map(String::as_str).collect();
@@ -353,6 +359,7 @@ mod tests {
                     directives: vec![Directive::Split {
                         dim: "x".to_string(),
                         factor: 4,
+                        tail: Default::default(),
                     }],
                 },
             ],
@@ -413,6 +420,7 @@ mod tests {
         c.stages[1].directives = vec![Directive::Split {
             dim: "x".to_string(),
             factor: 16,
+            tail: Default::default(),
         }];
         assert!(validate_case(&c).is_err());
 
@@ -448,6 +456,7 @@ mod tests {
             Directive::Split {
                 dim: "x".to_string(),
                 factor: 4,
+                tail: Default::default(),
             },
             Directive::Vectorize("x_i".to_string()),
         ];

@@ -23,6 +23,8 @@
 
 use std::fmt::Write as _;
 
+use halide_schedule::TailStrategy;
+
 use crate::grammar::{CombineOp, Directive, FuzzCase, PointOp, Source, Stage, StageOp};
 
 /// Header line identifying the format (and its version).
@@ -88,7 +90,13 @@ pub fn to_text(case: &FuzzCase) -> String {
     for (i, stage) in case.stages.iter().enumerate() {
         for d in &stage.directives {
             let line = match d {
-                Directive::Split { dim, factor } => format!("split {dim} {factor}"),
+                Directive::Split { dim, factor, tail } => {
+                    if *tail == TailStrategy::default() {
+                        format!("split {dim} {factor}")
+                    } else {
+                        format!("split {dim} {factor} {tail}")
+                    }
+                }
                 Directive::Reorder(dims) => format!("reorder {}", dims.join(" ")),
                 Directive::Parallel(dim) => format!("parallel {dim}"),
                 Directive::Vectorize(dim) => format!("vectorize {dim}"),
@@ -219,6 +227,18 @@ pub fn from_text(text: &str) -> Result<FuzzCase, String> {
                     ("split", 5) => Directive::Split {
                         dim: toks[3].to_string(),
                         factor: parse_num(toks[4], "split factor")?,
+                        tail: TailStrategy::default(),
+                    },
+                    ("split", 6) => Directive::Split {
+                        dim: toks[3].to_string(),
+                        factor: parse_num(toks[4], "split factor")?,
+                        tail: match toks[5] {
+                            "shift_inwards" => TailStrategy::ShiftInwards,
+                            "guard_with_if" => TailStrategy::GuardWithIf,
+                            "predicate" => TailStrategy::Predicate,
+                            "round_up" => TailStrategy::RoundUp,
+                            other => return err(format!("unknown tail strategy {other:?}")),
+                        },
                     },
                     ("reorder", n) if n >= 4 => {
                         Directive::Reorder(toks[3..].iter().map(|s| s.to_string()).collect())

@@ -11,6 +11,7 @@
 //! legality predicate (`halide_schedule::legality`), the same rules the
 //! compiler enforces while lowering.
 
+use halide_schedule::TailStrategy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -163,6 +164,8 @@ pub enum Directive {
         dim: String,
         /// The split factor.
         factor: i64,
+        /// How the split covers an extent the factor does not divide.
+        tail: TailStrategy,
     },
     /// Reorder (a subset of) the dims, outermost first.
     Reorder(Vec<String>),
@@ -416,9 +419,20 @@ fn gen_directives(rng: &mut StdRng, case: &mut FuzzCase, stage: usize) {
         let d = match rng.gen_range(0u8..6) {
             0..=1 => {
                 let inner = format!("{dim}_i");
+                // Extents are odd-biased, so most splits do not divide; half
+                // of them draw an explicit tail strategy and exercise the
+                // partitioned/predicated lowering paths (legality filters
+                // round_up off the output and re-splits of partitioned dims).
+                let tail = match rng.gen_range(0u8..6) {
+                    0..=2 => TailStrategy::ShiftInwards,
+                    3 => TailStrategy::GuardWithIf,
+                    4 => TailStrategy::Predicate,
+                    _ => TailStrategy::RoundUp,
+                };
                 let split = Directive::Split {
                     dim,
                     factor: pick(rng, &FACTOR_CHOICES),
+                    tail,
                 };
                 // Only split-inner dims have lowering-constant extents, so a
                 // fresh split is the one reliable chance to vectorize or

@@ -191,6 +191,7 @@ mod tests {
                         Directive::Split {
                             dim: "x".to_string(),
                             factor: 4,
+                            tail: Default::default(),
                         },
                         Directive::Vectorize("x_i".to_string()),
                     ],

@@ -101,6 +101,22 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         }
     }
 
+    // Simplify tail strategies back to the default: a failure that survives
+    // this did not need the partitioned/predicated lowering path.
+    for (i, stage) in case.stages.iter().enumerate() {
+        for (d, dir) in stage.directives.iter().enumerate() {
+            if let Directive::Split { tail, .. } = dir {
+                if *tail != Default::default() {
+                    let mut c = case.clone();
+                    if let Directive::Split { tail, .. } = &mut c.stages[i].directives[d] {
+                        *tail = Default::default();
+                    }
+                    out.push(c);
+                }
+            }
+        }
+    }
+
     // Simplify ops: stencil taps one at a time, then whole ops to the
     // identity point op over their first source.
     for (i, stage) in case.stages.iter().enumerate() {

@@ -129,7 +129,16 @@ pub enum ExprNode {
         body: Expr,
     },
     /// Load `ty` from the flattened buffer `name` at `index` (post-flattening).
-    Load { ty: Type, name: String, index: Expr },
+    /// When `predicate` is present (a boolean of the same lane count as the
+    /// index), lanes whose predicate is false are not read and yield zero;
+    /// only enabled lanes are bounds-checked. Produced by predicated tail
+    /// vectorization.
+    Load {
+        ty: Type,
+        name: String,
+        index: Expr,
+        predicate: Option<Expr>,
+    },
     /// A call: to another Halide func (multi-dimensional, pre-flattening), to
     /// an input image, to an intrinsic, or to an extern function.
     Call {
@@ -437,6 +446,25 @@ impl Expr {
             ty,
             name: name.into(),
             index,
+            predicate: None,
+        }
+        .into()
+    }
+
+    /// A predicated (masked) buffer load: lanes whose `predicate` is false
+    /// are not read and yield zero. Produced by predicated tail
+    /// vectorization; see [`ExprNode::Load`].
+    pub fn load_predicated(
+        ty: Type,
+        name: impl Into<String>,
+        index: Expr,
+        predicate: Expr,
+    ) -> Expr {
+        ExprNode::Load {
+            ty,
+            name: name.into(),
+            index,
+            predicate: Some(predicate),
         }
         .into()
     }
@@ -703,7 +731,15 @@ impl fmt::Display for Expr {
             ExprNode::Let { name, value, body } => {
                 write!(f, "(let {name} = {value} in {body})")
             }
-            ExprNode::Load { name, index, .. } => write!(f, "{name}[{index}]"),
+            ExprNode::Load {
+                name,
+                index,
+                predicate,
+                ..
+            } => match predicate {
+                None => write!(f, "{name}[{index}]"),
+                Some(p) => write!(f, "{name}[{index}] if {p}"),
+            },
             ExprNode::Call { name, args, .. } => {
                 write!(f, "{name}(")?;
                 for (i, a) in args.iter().enumerate() {

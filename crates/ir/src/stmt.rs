@@ -127,10 +127,15 @@ pub enum StmtNode {
         args: Vec<Expr>,
     },
     /// One-dimensional store into buffer `name` (post-flattening form).
+    /// When `predicate` is present (a boolean of the same lane count as the
+    /// index), lanes whose predicate is false are skipped entirely — not
+    /// written and not bounds-checked. Produced by predicated tail
+    /// vectorization.
     Store {
         name: String,
         value: Expr,
         index: Expr,
+        predicate: Option<Expr>,
     },
     /// Allocates a multi-dimensional region for func `name` spanning `bounds`,
     /// live for the duration of `body` (pre-flattening form).
@@ -272,6 +277,25 @@ impl Stmt {
             name: name.into(),
             value,
             index,
+            predicate: None,
+        }
+        .into()
+    }
+
+    /// A predicated (masked) store: lanes whose `predicate` is false are
+    /// skipped — not written and not bounds-checked. Produced by predicated
+    /// tail vectorization; see [`StmtNode::Store`].
+    pub fn store_predicated(
+        name: impl Into<String>,
+        value: Expr,
+        index: Expr,
+        predicate: Expr,
+    ) -> Stmt {
+        StmtNode::Store {
+            name: name.into(),
+            value,
+            index,
+            predicate: Some(predicate),
         }
         .into()
     }
@@ -396,9 +420,17 @@ fn fmt_stmt(s: &Stmt, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
             }
             writeln!(f, ") = {value}")
         }
-        StmtNode::Store { name, value, index } => {
+        StmtNode::Store {
+            name,
+            value,
+            index,
+            predicate,
+        } => {
             indent(f, level)?;
-            writeln!(f, "{name}[{index}] = {value}")
+            match predicate {
+                None => writeln!(f, "{name}[{index}] = {value}"),
+                Some(p) => writeln!(f, "{name}[{index}] = {value} if {p}"),
+            }
         }
         StmtNode::Realize {
             name,

@@ -53,7 +53,14 @@ pub fn visit_expr_children<V: IrVisitor + ?Sized>(v: &mut V, e: &Expr) {
             v.visit_expr(value);
             v.visit_expr(body);
         }
-        ExprNode::Load { index, .. } => v.visit_expr(index),
+        ExprNode::Load {
+            index, predicate, ..
+        } => {
+            v.visit_expr(index);
+            if let Some(p) = predicate {
+                v.visit_expr(p);
+            }
+        }
         ExprNode::Call { args, .. } => {
             for a in args {
                 v.visit_expr(a);
@@ -85,9 +92,17 @@ pub fn visit_stmt_children<V: IrVisitor + ?Sized>(v: &mut V, s: &Stmt) {
                 v.visit_expr(a);
             }
         }
-        StmtNode::Store { value, index, .. } => {
+        StmtNode::Store {
+            value,
+            index,
+            predicate,
+            ..
+        } => {
             v.visit_expr(value);
             v.visit_expr(index);
+            if let Some(p) = predicate {
+                v.visit_expr(p);
+            }
         }
         StmtNode::Realize { bounds, body, .. } => {
             for r in bounds {
@@ -255,15 +270,22 @@ pub fn mutate_expr_children<M: IrMutator + ?Sized>(m: &mut M, e: &Expr) -> Expr 
                 .into()
             }
         }
-        ExprNode::Load { ty, name, index } => {
+        ExprNode::Load {
+            ty,
+            name,
+            index,
+            predicate,
+        } => {
             let ni = m.mutate_expr(index);
-            if ni == *index {
+            let np = predicate.as_ref().map(|p| m.mutate_expr(p));
+            if ni == *index && np == *predicate {
                 e.clone()
             } else {
                 ExprNode::Load {
                     ty: *ty,
                     name: name.clone(),
                     index: ni,
+                    predicate: np,
                 }
                 .into()
             }
@@ -374,15 +396,22 @@ pub fn mutate_stmt_children<M: IrMutator + ?Sized>(m: &mut M, s: &Stmt) -> Stmt 
                 .into()
             }
         }
-        StmtNode::Store { name, value, index } => {
+        StmtNode::Store {
+            name,
+            value,
+            index,
+            predicate,
+        } => {
             let (nv, ni) = (m.mutate_expr(value), m.mutate_expr(index));
-            if nv == *value && ni == *index {
+            let np = predicate.as_ref().map(|p| m.mutate_expr(p));
+            if nv == *value && ni == *index && np == *predicate {
                 s.clone()
             } else {
                 StmtNode::Store {
                     name: name.clone(),
                     value: nv,
                     index: ni,
+                    predicate: np,
                 }
                 .into()
             }

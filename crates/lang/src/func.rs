@@ -285,6 +285,26 @@ impl Func {
         self.edit_schedule(|s| s.split(old, outer, inner, factor))
     }
 
+    /// Splits dimension `old` into `outer`/`inner` with an explicit
+    /// [`TailStrategy`](halide_schedule::TailStrategy) for the iterations
+    /// past the last full tile; this is what makes vectorizing
+    /// non-divisible extents legal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split is invalid (unknown dimension, bad factor, name
+    /// collision).
+    pub fn split_dim_tail(
+        &self,
+        old: &str,
+        outer: &str,
+        inner: &str,
+        factor: i64,
+        tail: halide_schedule::TailStrategy,
+    ) -> &Self {
+        self.edit_schedule(|s| s.split_with_tail(old, outer, inner, factor, tail))
+    }
+
     /// Reorders dimensions; `order` is outermost-first.
     ///
     /// # Panics

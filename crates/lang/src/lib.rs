@@ -47,6 +47,7 @@ pub mod var;
 
 pub use analysis::{analyze, PipelineStats};
 pub use func::{Func, UpdateDef};
+pub use halide_schedule::TailStrategy;
 pub use image::{buffer_field_var, ImageParam, Param};
 pub use pipeline::{called_funcs, called_images, definition_exprs, Pipeline};
 pub use rdom::{RDom, RVar};

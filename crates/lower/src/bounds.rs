@@ -148,7 +148,14 @@ impl RegionWalker<'_> {
                 self.visit_expr(body);
                 self.scope.pop(name);
             }
-            ExprNode::Load { index, .. } => self.visit_expr(index),
+            ExprNode::Load {
+                index, predicate, ..
+            } => {
+                self.visit_expr(index);
+                if let Some(p) = predicate {
+                    self.visit_expr(p);
+                }
+            }
             ExprNode::Call { args, .. } => {
                 for a in args {
                     self.visit_expr(a);
@@ -202,9 +209,17 @@ impl RegionWalker<'_> {
                     self.visit_expr(a);
                 }
             }
-            StmtNode::Store { value, index, .. } => {
+            StmtNode::Store {
+                value,
+                index,
+                predicate,
+                ..
+            } => {
                 self.visit_expr(value);
                 self.visit_expr(index);
+                if let Some(p) = predicate {
+                    self.visit_expr(p);
+                }
             }
             StmtNode::Realize { bounds, body, .. } => {
                 for r in bounds {

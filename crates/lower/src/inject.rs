@@ -28,7 +28,7 @@
 //! are bound by the executor from the output buffer supplied at realization
 //! time, which is why producers and the output can share one naming scheme.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use halide_ir::{
     simplify, simplify_stmt, CallType, Expr, ExprNode, IrMutator, Range, Stmt, StmtNode, Type,
@@ -359,26 +359,40 @@ fn level_loop_name(env: &BTreeMap<String, FuncDef>, level: &LoopLevel) -> Result
     }
 }
 
-/// Per-dimension allocation padding for the shift-inwards tail strategy of
-/// split loops: the sum of factors of splits rooted (transitively) at each
-/// pure argument. Padding the allocation by this much guarantees the shifted
-/// tail iterations can never store outside it, even when a required extent
-/// is smaller than a split factor.
+/// Per-dimension allocation padding for split loops: how far past the
+/// required extent the loop nest can store. Padding the allocation by this
+/// much guarantees tail iterations can never store outside it —
+/// shift-inwards tails when a required extent is smaller than a split
+/// factor, and round_up tails whose last tile runs up to one factor past
+/// the required region.
+///
+/// Walking the split chain *backwards*, `pad(d)` bounds the overrun of
+/// dimension `d`'s traversal given the splits later applied to its halves
+/// (an outer half re-split with `round_up` multiplies: each extra outer
+/// iteration covers a whole factor of `d`). Partitioned tails
+/// (`guard_with_if`/`predicate`) never overrun — their stores are confined
+/// to the required region by construction — and their halves cannot be
+/// re-split, so they reset the overrun to zero.
 fn split_padding(func: &FuncDef) -> Vec<i64> {
+    use halide_schedule::TailStrategy;
+    let mut pad: HashMap<&str, i64> = HashMap::new();
+    for s in func.schedule.splits.iter().rev() {
+        let po = pad.get(s.outer.as_str()).copied().unwrap_or(0);
+        let pi = pad.get(s.inner.as_str()).copied().unwrap_or(0);
+        let p = match s.tail {
+            // old = min(outer*f, max(e-f, 0)) + inner: the min clamps any
+            // outer overrun; a required extent smaller than the factor
+            // still reaches f-1, plus whatever the inner's splits add.
+            TailStrategy::ShiftInwards => (s.factor - 1) + pi,
+            // old = outer*f + inner with outer < ceil(e/f) + po.
+            TailStrategy::RoundUp => (s.factor - 1) + po * s.factor + pi,
+            TailStrategy::GuardWithIf | TailStrategy::Predicate => 0,
+        };
+        pad.insert(s.old.as_str(), p);
+    }
     func.args
         .iter()
-        .map(|arg| {
-            let mut involved: Vec<&str> = vec![arg.as_str()];
-            let mut pad: i64 = 0;
-            for s in &func.schedule.splits {
-                if involved.contains(&s.old.as_str()) {
-                    pad += s.factor;
-                    involved.push(s.outer.as_str());
-                    involved.push(s.inner.as_str());
-                }
-            }
-            pad
-        })
+        .map(|a| pad.get(a.as_str()).copied().unwrap_or(0))
         .collect()
 }
 
@@ -406,8 +420,26 @@ pub fn build_pipeline_stmt(
     // The output buffer is supplied by the caller and cannot be padded, so
     // the shift-inwards tail strategy requires each split dimension of the
     // output to be at least one split factor wide. Check it at run time.
+    // The guard_with_if/predicate strategies handle any extent (that is
+    // their purpose), so their splits are exempt.
     let mut guards = Vec::new();
     for split in &out_def.schedule.splits {
+        if split.tail == halide_schedule::TailStrategy::RoundUp {
+            // Rounding up traverses (and stores) past the required region
+            // into the allocation's padding — but the output buffer is
+            // caller-allocated and exact, so there is no padding to run into.
+            return Err(LowerError::new(format!(
+                "split of {:?} in the output function {} uses tail strategy round_up, \
+                 which stores past the caller-allocated output buffer; use \
+                 guard_with_if or predicate on the output",
+                split.old, out_def.name
+            ))
+            .in_func(&out_def.name)
+            .in_dim(&split.old));
+        }
+        if split.tail != halide_schedule::TailStrategy::ShiftInwards {
+            continue;
+        }
         if out_def.args.contains(&split.old) {
             let extent = Expr::var_i32(format!("{}.{}.extent", out_def.name, split.old));
             guards.push(Stmt::assert_stmt(

@@ -236,9 +236,17 @@ pub fn stmt_interface(stmt: &Stmt) -> (Vec<String>, Vec<String>) {
                     self.expr(body);
                     self.bound.pop(name);
                 }
-                ExprNode::Load { name, index, .. } => {
+                ExprNode::Load {
+                    name,
+                    index,
+                    predicate,
+                    ..
+                } => {
                     self.touch_buffer(name);
                     self.expr(index);
+                    if let Some(p) = predicate {
+                        self.expr(p);
+                    }
                 }
                 _ => {
                     let mut children = Vec::new();
@@ -278,10 +286,18 @@ pub fn stmt_interface(stmt: &Stmt) -> (Vec<String>, Vec<String>) {
                     self.stmt(body);
                     self.allocated.pop(name);
                 }
-                StmtNode::Store { name, value, index } => {
+                StmtNode::Store {
+                    name,
+                    value,
+                    index,
+                    predicate,
+                } => {
                     self.touch_buffer(name);
                     self.expr(value);
                     self.expr(index);
+                    if let Some(p) = predicate {
+                        self.expr(p);
+                    }
                 }
                 StmtNode::Assert { condition, .. } => self.expr(condition),
                 StmtNode::Producer { body, .. } => self.stmt(body),

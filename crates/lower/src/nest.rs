@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use halide_ir::{Expr, ForKind, Range, Stmt};
+use halide_schedule::TailStrategy;
 
 use crate::error::{LowerError, Result};
 use crate::inject::FuncDef;
@@ -97,7 +98,21 @@ pub fn validate_splits(func: &FuncDef, region: &[Range]) -> Result<()> {
         .cloned()
         .zip(region.iter().map(|r| r.extent.as_const_int()))
         .collect();
+    // Dimensions produced by a tail-partitioned split: the loop pair is
+    // duplicated into a main and a tail copy, so re-splitting either half
+    // has no single loop to act on.
+    let mut partitioned: Vec<String> = Vec::new();
     for split in &func.schedule.splits {
+        if partitioned.contains(&split.old) {
+            return Err(LowerError::new(format!(
+                "cannot split {:?} in {}: it comes from a guard_with_if/predicate \
+                 split, whose loops are partitioned into a main and a tail copy; \
+                 apply the tail strategy to the last split of a dimension instead",
+                split.old, func.name
+            ))
+            .in_func(&func.name)
+            .in_dim(&split.old));
+        }
         let old = extents.remove(&split.old).ok_or_else(|| {
             LowerError::new(format!(
                 "split of unknown dimension {:?} in {}",
@@ -106,15 +121,67 @@ pub fn validate_splits(func: &FuncDef, region: &[Range]) -> Result<()> {
             .in_func(&func.name)
             .in_dim(&split.old)
         })?;
-        if let Some(e) = old {
-            if e < split.factor {
+        // Only shift-inwards requires the extent to cover one whole factor;
+        // the other strategies are exactly what makes smaller or non-dividing
+        // extents legal.
+        if split.tail == TailStrategy::ShiftInwards {
+            if let Some(e) = old {
+                if e < split.factor {
+                    return Err(LowerError::new(format!(
+                        "split of {:?} in {} by {} exceeds its constant extent {e}; \
+                         the traversed region would overrun the required region \
+                         (use a tail strategy: guard_with_if, predicate, or round_up)",
+                        split.old, func.name, split.factor
+                    ))
+                    .in_func(&func.name)
+                    .in_dim(&split.old));
+                }
+            }
+        }
+        if matches!(
+            split.tail,
+            TailStrategy::GuardWithIf | TailStrategy::Predicate
+        ) {
+            partitioned.push(split.outer.clone());
+            partitioned.push(split.inner.clone());
+            // The tail copy covers the remainder by overriding the inner
+            // loop's extent (guard_with_if) or guarding on the recombined
+            // variable (predicate); both assume the inner loop is nested
+            // inside the partitioned outer loop.
+            let (o, i) = (
+                func.schedule.dim_index(&split.outer),
+                func.schedule.dim_index(&split.inner),
+            );
+            if !matches!((o, i), (Some(o), Some(i)) if o < i) {
                 return Err(LowerError::new(format!(
-                    "split of {:?} in {} by {} exceeds its constant extent {e}; \
-                     the traversed region would overrun the required region",
-                    split.old, func.name, split.factor
+                    "{} split of {:?} in {}: the inner loop {:?} must stay nested \
+                     inside the outer loop {:?}; reordering it outside breaks the \
+                     main/tail partition",
+                    split.tail, split.old, func.name, split.inner, split.outer
                 ))
                 .in_func(&func.name)
                 .in_dim(&split.old));
+            }
+            // A vectorized predicate tail masks every memory op under the
+            // guard with a vector over the *inner* dim's lanes; a second
+            // vectorized loop nested inside would give those ops a
+            // different lane count than the mask.
+            if split.tail == TailStrategy::Predicate {
+                let i = i.expect("checked above");
+                let dims = &func.schedule.dims;
+                if dims[i].kind == ForKind::Vectorized {
+                    if let Some(v) = dims[i + 1..].iter().find(|d| d.kind == ForKind::Vectorized) {
+                        return Err(LowerError::new(format!(
+                            "predicate split of {:?} in {}: its vectorized inner loop \
+                             {:?} masks stores with {}-lane predicates, but the \
+                             vectorized loop {:?} nested inside would give them a \
+                             different lane count; vectorize one or the other",
+                            split.old, func.name, split.inner, split.factor, v.name
+                        ))
+                        .in_func(&func.name)
+                        .in_dim(&v.name));
+                    }
+                }
             }
         }
         let outer = old.map(|e| (e + split.factor - 1) / split.factor);
@@ -122,6 +189,42 @@ pub fn validate_splits(func: &FuncDef, region: &[Range]) -> Result<()> {
         extents.insert(split.inner.clone(), Some(split.factor));
     }
     Ok(())
+}
+
+/// A guard_with_if or predicate split: the loop over `outer_dim` is emitted
+/// twice — a main copy over the full tiles and a tail copy over the
+/// remainder — instead of shifting the last tile inwards.
+struct Partition {
+    /// Dimension (in the loop order) whose loop is partitioned.
+    inner_dim: String,
+    /// `<func>.<old>` — the let-bound name of the pre-split variable.
+    old_loop_var: String,
+    old_min: Expr,
+    old_extent: Expr,
+    factor: i64,
+    strategy: TailStrategy,
+    /// Position in `schedule.splits`, so this split's `old` definition can
+    /// be ordered against the other splits' definitions at the leaf.
+    split_idx: usize,
+}
+
+/// Everything that differs between the main and tail copies of a
+/// partitioned loop: extra `old`-variable definitions, accumulated store
+/// predicates, and bound/kind overrides for the tail's inner loop.
+#[derive(Clone, Default)]
+struct BranchCtx {
+    /// Definitions of partitioned splits' `old` variables on this branch,
+    /// tagged with the split's application index: an earlier split's
+    /// definition may reference a later split's variable (e.g. `x` split
+    /// into `x_o`/`x_i`, then `x_i` split with a tail strategy), so all
+    /// definitions are merged and wrapped earliest-innermost at the leaf.
+    defs: Vec<(usize, String, Expr)>,
+    /// Predicate-tail guards; the provide is wrapped in one `if` over their
+    /// conjunction, which vectorization turns into load/store masks.
+    guards: Vec<Expr>,
+    /// Tail-copy overrides of an inner dimension's (extent, kind): the
+    /// guard_with_if epilogue runs the remainder serially.
+    overrides: HashMap<String, (Expr, ForKind)>,
 }
 
 fn build_pure_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
@@ -139,17 +242,21 @@ fn build_pure_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
         .iter()
         .map(|a| Expr::var_i32(loop_var(&func.name, a)))
         .collect();
-    let mut body = Stmt::provide(func.name.clone(), value, coords);
+    let provide = Stmt::provide(func.name.clone(), value, coords);
 
     // Compute loop bounds for every dimension, applying splits.
     // `bounds` maps dimension name -> (loop min, loop extent).
     let mut bounds: HashMap<String, (Expr, Expr)> = region_map(func, region);
-    // Definitions of split-away variables, in application order.
-    let mut split_defs: Vec<(String, Expr)> = Vec::new();
+    // Definitions of split-away variables, tagged with application order.
+    let mut split_defs: Vec<(usize, String, Expr)> = Vec::new();
+    // Tail-partitioned splits, keyed by their outer dimension (where the
+    // main/tail loop pair is emitted).
+    let mut partitions: HashMap<String, Partition> = HashMap::new();
 
-    for split in &schedule.splits {
-        // Split existence and constant-extent legality were already checked
-        // by `validate_splits`; this lookup cannot fail after it passes.
+    for (split_idx, split) in schedule.splits.iter().enumerate() {
+        // Split existence, constant-extent legality and re-splits of
+        // partitioned dimensions were already checked by `validate_splits`;
+        // this lookup cannot fail after it passes.
         let (old_min, old_extent) = bounds.remove(&split.old).ok_or_else(|| {
             LowerError::new(format!(
                 "split of unknown dimension {:?} in {}",
@@ -163,37 +270,188 @@ fn build_pure_nest(func: &FuncDef, region: &[Range]) -> Result<Stmt> {
             halide_ir::simplify(&((old_extent.clone() + (factor.clone() - 1)) / factor.clone()));
         bounds.insert(split.outer.clone(), (Expr::int(0), outer_extent));
         bounds.insert(split.inner.clone(), (Expr::int(0), factor.clone()));
-        // Shift-inwards: old = old_min + min(outer*factor, max(extent-factor, 0)) + inner
         let outer_var = Expr::var_i32(loop_var(&func.name, &split.outer));
         let inner_var = Expr::var_i32(loop_var(&func.name, &split.inner));
-        let base = Expr::min(
-            outer_var * factor.clone(),
-            Expr::max(old_extent.clone() - factor, Expr::int(0)),
+        match split.tail {
+            TailStrategy::ShiftInwards => {
+                // old = old_min + min(outer*factor, max(extent-factor, 0)) + inner
+                let base = Expr::min(
+                    outer_var * factor.clone(),
+                    Expr::max(old_extent.clone() - factor, Expr::int(0)),
+                );
+                split_defs.push((
+                    split_idx,
+                    loop_var(&func.name, &split.old),
+                    old_min + base + inner_var,
+                ));
+            }
+            TailStrategy::RoundUp => {
+                // old = old_min + outer*factor + inner; the last tile runs
+                // past the required region, into the allocation padding.
+                split_defs.push((
+                    split_idx,
+                    loop_var(&func.name, &split.old),
+                    old_min + outer_var * factor + inner_var,
+                ));
+            }
+            TailStrategy::GuardWithIf | TailStrategy::Predicate => {
+                partitions.insert(
+                    split.outer.clone(),
+                    Partition {
+                        inner_dim: split.inner.clone(),
+                        old_loop_var: loop_var(&func.name, &split.old),
+                        old_min,
+                        old_extent,
+                        factor: split.factor,
+                        strategy: split.tail,
+                        split_idx,
+                    },
+                );
+            }
+        }
+    }
+
+    wrap_dims(
+        func,
+        0,
+        &bounds,
+        &partitions,
+        &split_defs,
+        &provide,
+        BranchCtx::default(),
+    )
+}
+
+/// Wraps `provide` in the loops of `func.schedule.dims[idx..]`, innermost
+/// copies built first via recursion. A dimension that is the outer half of a
+/// tail-partitioned split is emitted as a main loop over the full tiles plus
+/// a tail copy of everything inside it:
+///
+/// * `guard_with_if` — a copy with the split's inner loop replaced by a
+///   *serial* loop over the remainder (the scalar epilogue),
+/// * `predicate` — one more full-width iteration, entered only when the
+///   extent does not divide, with the provide guarded by
+///   `old < old_min + old_extent` (which vectorization lowers to store/load
+///   masks).
+fn wrap_dims(
+    func: &FuncDef,
+    idx: usize,
+    bounds: &HashMap<String, (Expr, Expr)>,
+    partitions: &HashMap<String, Partition>,
+    split_defs: &[(usize, String, Expr)],
+    provide: &Stmt,
+    ctx: BranchCtx,
+) -> Result<Stmt> {
+    let dims = &func.schedule.dims;
+    if idx == dims.len() {
+        let mut body = provide.clone();
+        if let Some(guard) = ctx
+            .guards
+            .iter()
+            .cloned()
+            .reduce(|a, b| halide_ir::Expr::and(a, b))
+        {
+            body = Stmt::if_then_else(guard, body, None);
+        }
+        // All `old`-variable definitions — shared and branch-local alike —
+        // in application order, earliest innermost: an earlier split's
+        // definition may reference a variable a *later* split defines
+        // (splitting `x`, then re-splitting `x_i`), so the later definition
+        // must be the outer let.
+        let mut defs: Vec<&(usize, String, Expr)> =
+            ctx.defs.iter().chain(split_defs.iter()).collect();
+        defs.sort_by_key(|(idx, _, _)| *idx);
+        for (_, name, def) in defs {
+            body = Stmt::let_stmt(name.clone(), def.clone(), body);
+        }
+        return Ok(body);
+    }
+    let dim = &dims[idx];
+    if let Some(p) = partitions.get(&dim.name) {
+        let outer_var = Expr::var_i32(loop_var(&func.name, &dim.name));
+        let inner_var = Expr::var_i32(loop_var(&func.name, &p.inner_dim));
+        let factor = Expr::int(p.factor as i32);
+        let full_tiles = halide_ir::simplify(&(p.old_extent.clone() / factor.clone()));
+        let covered = halide_ir::simplify(&(full_tiles.clone() * factor.clone()));
+
+        // Main copy: full tiles only, exact coordinates, no guard.
+        let mut main_ctx = ctx.clone();
+        main_ctx.defs.push((
+            p.split_idx,
+            p.old_loop_var.clone(),
+            p.old_min.clone() + outer_var * factor + inner_var.clone(),
+        ));
+        let main_body = wrap_dims(
+            func,
+            idx + 1,
+            bounds,
+            partitions,
+            split_defs,
+            provide,
+            main_ctx,
+        )?;
+        let main = Stmt::for_loop(
+            loop_var(&func.name, &dim.name),
+            Expr::int(0),
+            full_tiles,
+            dim.kind,
+            main_body,
         );
-        let def = old_min + base + inner_var;
-        split_defs.push((loop_var(&func.name, &split.old), def));
+
+        let tail_base = p.old_min.clone() + covered.clone();
+        let tail = match p.strategy {
+            TailStrategy::GuardWithIf => {
+                // Scalar epilogue: the inner loop runs serially over the
+                // remainder (extent zero when the factor divides).
+                let mut t = ctx.clone();
+                t.defs
+                    .push((p.split_idx, p.old_loop_var.clone(), tail_base + inner_var));
+                let remainder = halide_ir::simplify(&(p.old_extent.clone() - covered.clone()));
+                t.overrides
+                    .insert(p.inner_dim.clone(), (remainder, ForKind::Serial));
+                wrap_dims(func, idx + 1, bounds, partitions, split_defs, provide, t)?
+            }
+            TailStrategy::Predicate => {
+                // One more full-width iteration, with the provide guarded so
+                // out-of-range lanes are masked off; entered only when the
+                // factor does not divide the extent.
+                let mut t = ctx.clone();
+                t.defs
+                    .push((p.split_idx, p.old_loop_var.clone(), tail_base + inner_var));
+                t.guards.push(Expr::lt(
+                    Expr::var_i32(p.old_loop_var.clone()),
+                    p.old_min.clone() + p.old_extent.clone(),
+                ));
+                let tail_body =
+                    wrap_dims(func, idx + 1, bounds, partitions, split_defs, provide, t)?;
+                Stmt::if_then_else(Expr::lt(covered, p.old_extent.clone()), tail_body, None)
+            }
+            _ => unreachable!("only guard_with_if/predicate splits are partitioned"),
+        };
+        return Ok(Stmt::block(main, tail));
     }
 
-    // Wrap the body in lets defining the split-away variables. Wrapping in
-    // application order places later splits' definitions outermost, so a
-    // variable split twice resolves correctly.
-    for (name, def) in &split_defs {
-        body = Stmt::let_stmt(name.clone(), def.clone(), body);
+    let (min, mut extent) = bounds.get(&dim.name).cloned().ok_or_else(|| {
+        LowerError::new(format!(
+            "schedule of {} has dimension {:?} with no bounds (was it split away?)",
+            func.name, dim.name
+        ))
+        .in_func(&func.name)
+        .in_dim(&dim.name)
+    })?;
+    let mut kind = dim.kind;
+    if let Some((ext, k)) = ctx.overrides.get(&dim.name) {
+        extent = ext.clone();
+        kind = *k;
     }
-
-    // Wrap in loops, innermost (last dim) first.
-    for dim in schedule.dims.iter().rev() {
-        let (min, extent) = bounds.get(&dim.name).cloned().ok_or_else(|| {
-            LowerError::new(format!(
-                "schedule of {} has dimension {:?} with no bounds (was it split away?)",
-                func.name, dim.name
-            ))
-            .in_func(&func.name)
-            .in_dim(&dim.name)
-        })?;
-        body = Stmt::for_loop(loop_var(&func.name, &dim.name), min, extent, dim.kind, body);
-    }
-    Ok(body)
+    let body = wrap_dims(func, idx + 1, bounds, partitions, split_defs, provide, ctx)?;
+    Ok(Stmt::for_loop(
+        loop_var(&func.name, &dim.name),
+        min,
+        extent,
+        kind,
+        body,
+    ))
 }
 
 fn build_update_nest(

@@ -12,7 +12,8 @@
 //! copies of its body with the loop variable bound to `min + i`.
 
 use halide_ir::{
-    const_int, simplify_stmt, substitute_in_stmt, Expr, ForKind, IrMutator, LetResolver, Stmt,
+    const_int, mutate_expr_children, mutate_stmt_children, simplify_stmt, substitute_in_stmt,
+    visit_expr_children, Expr, ExprNode, ForKind, IrMutator, IrVisitor, LetResolver, Stmt,
     StmtNode,
 };
 
@@ -73,7 +74,12 @@ impl IrMutator for VectorizeUnroll {
                 ForKind::Vectorized => {
                     let Some(n) = self.extent_const(extent) else {
                         self.error = Some(LowerError::new(format!(
-                            "vectorized loop {name:?} must have a constant extent, got {extent}"
+                            "vectorized loop {name:?} must have a constant extent, but its \
+                             extent is {extent}; split the dimension by a constant factor and \
+                             vectorize the inner half. If the factor does not divide the \
+                             extent, pick a tail strategy on the split: guard_with_if (scalar \
+                             epilogue, works anywhere), predicate (masked full-width tail, \
+                             works anywhere), or round_up (no tail, interior functions only)"
                         )));
                         return s.clone();
                     };
@@ -121,20 +127,166 @@ impl IrMutator for VectorizeUnroll {
     }
 }
 
+/// True when `e` is (or contains) a vector value: a ramp or broadcast node,
+/// or a variable let-bound to one. `lets` is the stack of enclosing
+/// statement-level bindings with their vectorness; lookups take the last
+/// (innermost, shadowing) entry.
+fn contains_vector(e: &Expr, lets: &[(String, bool)]) -> bool {
+    struct Finder<'a> {
+        lets: &'a [(String, bool)],
+        found: bool,
+    }
+    impl IrVisitor for Finder<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if self.found {
+                return;
+            }
+            match e.node() {
+                ExprNode::Ramp { .. } | ExprNode::Broadcast { .. } => {
+                    self.found = true;
+                    return;
+                }
+                ExprNode::Var { name, .. } => {
+                    if let Some((_, v)) = self.lets.iter().rev().find(|(n, _)| n == name) {
+                        if *v {
+                            self.found = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            visit_expr_children(self, e);
+        }
+    }
+    let mut f = Finder { lets, found: false };
+    f.visit_expr(e);
+    f.found
+}
+
+/// Rewrites every load and store in a subtree to carry `cond` as (part of)
+/// its lane predicate. Applied to the body of an `if` whose condition became
+/// a vector after ramp substitution: a disabled lane must neither fault on
+/// an out-of-range access nor write its result.
+struct Predicator {
+    cond: Expr,
+}
+
+impl IrMutator for Predicator {
+    fn mutate_expr(&mut self, e: &Expr) -> Expr {
+        let e = mutate_expr_children(self, e);
+        if let ExprNode::Load {
+            ty,
+            name,
+            index,
+            predicate,
+        } = e.node()
+        {
+            let p = match predicate {
+                Some(p) => Expr::and(p.clone(), self.cond.clone()),
+                None => self.cond.clone(),
+            };
+            return Expr::load_predicated(*ty, name.clone(), index.clone(), p);
+        }
+        e
+    }
+
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        let s = mutate_stmt_children(self, s);
+        if let StmtNode::Store {
+            name,
+            value,
+            index,
+            predicate,
+        } = s.node()
+        {
+            let p = match predicate {
+                Some(p) => Expr::and(p.clone(), self.cond.clone()),
+                None => self.cond.clone(),
+            };
+            return Stmt::store_predicated(name.clone(), value.clone(), index.clone(), p);
+        }
+        s
+    }
+}
+
+/// Converts `if`s whose condition became a vector (a predicate-tail guard
+/// after ramp substitution) into predicated loads and stores: the branch
+/// body executes full-width with the condition as every memory operation's
+/// lane mask, and the `if` itself disappears. Pure arithmetic on disabled
+/// lanes is harmless — it is never stored, and masked loads feed it zeros
+/// instead of faulting.
+struct PredicateIfs {
+    error: Option<LowerError>,
+    /// Enclosing statement-level lets and whether each binds a vector.
+    lets: Vec<(String, bool)>,
+}
+
+impl IrMutator for PredicateIfs {
+    fn mutate_stmt(&mut self, s: &Stmt) -> Stmt {
+        if self.error.is_some() {
+            return s.clone();
+        }
+        match s.node() {
+            StmtNode::LetStmt { name, value, body } => {
+                let is_vec = contains_vector(value, &self.lets);
+                self.lets.push((name.clone(), is_vec));
+                let nb = self.mutate_stmt(body);
+                self.lets.pop();
+                if nb == *body {
+                    s.clone()
+                } else {
+                    Stmt::let_stmt(name.clone(), value.clone(), nb)
+                }
+            }
+            StmtNode::IfThenElse {
+                condition,
+                then_case,
+                else_case,
+            } if contains_vector(condition, &self.lets) => {
+                if else_case.is_some() {
+                    self.error = Some(LowerError::new(format!(
+                        "an if over the vectorized condition {condition} has an else branch, \
+                         which cannot be predicated"
+                    )));
+                    return s.clone();
+                }
+                // Inner vector ifs first, so nested guards AND together.
+                let t = self.mutate_stmt(then_case);
+                Predicator {
+                    cond: condition.clone(),
+                }
+                .mutate_stmt(&t)
+            }
+            _ => mutate_stmt_children(self, s),
+        }
+    }
+}
+
 /// Replaces vectorized and unrolled loops with vector expressions and
-/// replicated bodies respectively.
+/// replicated bodies respectively, then lowers `if`s whose condition became
+/// a vector (predicate-tail guards) into predicated loads and stores.
 ///
 /// # Errors
 ///
 /// Fails if a vectorized or unrolled loop has a non-constant or unreasonable
-/// extent (the schedule should split by a constant factor first).
+/// extent (the schedule should split by a constant factor first, picking a
+/// tail strategy when the factor does not divide), or if a vector condition
+/// guards an `if` with an else branch.
 pub fn vectorize_and_unroll(stmt: &Stmt) -> Result<Stmt> {
     let mut pass = VectorizeUnroll {
         error: None,
         lets: LetResolver::new(256),
     };
     let out = pass.mutate_stmt(stmt);
-    match pass.error {
+    if let Some(e) = pass.error {
+        return Err(e);
+    }
+    let mut pred = PredicateIfs {
+        error: None,
+        lets: Vec::new(),
+    };
+    let out = pred.mutate_stmt(&out);
+    match pred.error {
         Some(e) => Err(e),
         None => Ok(simplify_stmt(&out)),
     }

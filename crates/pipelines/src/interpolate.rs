@@ -8,7 +8,7 @@
 
 use halide_exec::{Realization, Realizer, Result as ExecResult};
 use halide_ir::{Expr, ScalarType, Type};
-use halide_lang::{Func, ImageParam, Pipeline, Var};
+use halide_lang::{Func, ImageParam, Pipeline, TailStrategy, Var};
 use halide_lower::{lower, Module, Result as LowerResult};
 use halide_runtime::Buffer;
 
@@ -113,16 +113,30 @@ impl InterpolateApp {
         Pipeline::new(&self.out)
     }
 
-    /// A good CPU schedule: every pyramid level computed at root and
-    /// parallelized over rows, the output tiled and parallelized.
+    /// A good CPU schedule: every stage of every pyramid level — including
+    /// the `*_downx`/`*_upx` resampling helpers `downsample`/`upsample`
+    /// create — computed at root, parallelized over rows, and vectorized
+    /// across columns. The level extents are symbolic (they halve per level
+    /// and rarely divide the vector width), so the interior stages round
+    /// their x loop up to full vectors — the allocations are padded by
+    /// lowering, no tail is needed — while the caller-allocated output takes
+    /// a scalar epilogue via `guard_with_if`.
     pub fn schedule_good(&self) {
-        for f in self.downsampled.iter().skip(1) {
-            f.compute_root().parallelize("y");
+        let pipeline = self.pipeline();
+        for f in pipeline.funcs() {
+            if f.name() == self.out.name() {
+                continue;
+            }
+            f.compute_root()
+                .parallelize("y")
+                .split_dim_tail("x", "xo", "xi", 16, TailStrategy::RoundUp)
+                .vectorize_dim("xi");
         }
-        for f in self.interpolated.iter().take(self.levels - 1) {
-            f.compute_root().parallelize("y");
-        }
-        self.out.split_dim("y", "yo", "yi", 8).parallelize("yo");
+        self.out
+            .split_dim("y", "yo", "yi", 8)
+            .parallelize("yo")
+            .split_dim_tail("x", "xo", "xi", 16, TailStrategy::GuardWithIf)
+            .vectorize_dim("xi");
     }
 
     /// A simulated-GPU schedule: each pyramid level becomes a kernel.

@@ -9,7 +9,7 @@
 
 use halide_exec::{Realization, Realizer, Result as ExecResult};
 use halide_ir::{Expr, ScalarType, Type};
-use halide_lang::{Func, ImageParam, Pipeline, Var};
+use halide_lang::{Func, ImageParam, Pipeline, TailStrategy, Var};
 use halide_lower::{lower, Module, Result as LowerResult};
 use halide_runtime::Buffer;
 
@@ -190,20 +190,29 @@ impl LocalLaplacianApp {
         self.pipeline().len()
     }
 
-    /// A good CPU schedule: pyramid levels computed at root and parallelized
-    /// over rows; the fine levels' remapped family is computed per strip to
-    /// keep the working set small.
+    /// A good CPU schedule: every stage of every pyramid level — including
+    /// the `*_downx`/`*_upx` resampling helpers `downsample`/`upsample`
+    /// create — computed at root, parallelized over rows, and vectorized
+    /// across columns. The level extents are symbolic and rarely divide the
+    /// vector width, so interior stages round their x loop up to full
+    /// vectors (lowering pads the allocations); the caller-allocated output
+    /// takes a scalar epilogue via `guard_with_if`.
     pub fn schedule_good(&self) {
-        for f in self
-            .g_pyramid
-            .iter()
-            .chain(self.in_g_pyramid.iter())
-            .chain(self.out_g_pyramid.iter())
-            .chain(self.out_l_pyramid.iter())
-        {
-            f.compute_root().parallelize("y");
+        let pipeline = self.pipeline();
+        for f in pipeline.funcs() {
+            if f.name() == self.out.name() {
+                continue;
+            }
+            f.compute_root()
+                .parallelize("y")
+                .split_dim_tail("x", "xo", "xi", 16, TailStrategy::RoundUp)
+                .vectorize_dim("xi");
         }
-        self.out.split_dim("y", "yo", "yi", 8).parallelize("yo");
+        self.out
+            .split_dim("y", "yo", "yi", 8)
+            .parallelize("yo")
+            .split_dim_tail("x", "xo", "xi", 16, TailStrategy::GuardWithIf)
+            .vectorize_dim("xi");
     }
 
     /// Compiles with the current schedule.

@@ -60,6 +60,8 @@ pub struct Counters {
     strided_stores: AtomicU64,
     scatter_stores: AtomicU64,
     masked_selects: AtomicU64,
+    masked_loads: AtomicU64,
+    masked_stores: AtomicU64,
     allocations: AtomicU64,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
@@ -136,6 +138,19 @@ impl Counters {
         self.masked_selects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a predicated (masked) bulk load — one per load instruction,
+    /// on top of the [`Counters::add_load`] / pattern accounting, which
+    /// still classifies the full-width index vector.
+    pub fn add_masked_load(&self) {
+        self.masked_loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a predicated (masked) bulk store, mirroring
+    /// [`Counters::add_masked_load`].
+    pub fn add_masked_store(&self) {
+        self.masked_stores.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records an allocation of `bytes` bytes.
     pub fn add_allocation(&self, bytes: u64) {
         self.allocations.fetch_add(1, Ordering::Relaxed);
@@ -195,6 +210,8 @@ impl Counters {
             strided_stores: self.strided_stores.load(Ordering::Relaxed),
             scatter_stores: self.scatter_stores.load(Ordering::Relaxed),
             masked_selects: self.masked_selects.load(Ordering::Relaxed),
+            masked_loads: self.masked_loads.load(Ordering::Relaxed),
+            masked_stores: self.masked_stores.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
@@ -235,6 +252,11 @@ pub struct CounterSnapshot {
     pub scatter_stores: u64,
     /// `select`s evaluated with a multi-lane condition (masked blends).
     pub masked_selects: u64,
+    /// Predicated (masked) bulk loads — tail iterations of predicated
+    /// vectorization.
+    pub masked_loads: u64,
+    /// Predicated (masked) bulk stores.
+    pub masked_stores: u64,
     /// Number of buffer allocations performed.
     pub allocations: u64,
     /// Scratch-buffer acquisitions recycled from a buffer pool.
@@ -282,6 +304,8 @@ impl CounterSnapshot {
             strided_stores: self.strided_stores - earlier.strided_stores,
             scatter_stores: self.scatter_stores - earlier.scatter_stores,
             masked_selects: self.masked_selects - earlier.masked_selects,
+            masked_loads: self.masked_loads - earlier.masked_loads,
+            masked_stores: self.masked_stores - earlier.masked_stores,
             allocations: self.allocations - earlier.allocations,
             pool_hits: self.pool_hits - earlier.pool_hits,
             pool_misses: self.pool_misses - earlier.pool_misses,
@@ -299,7 +323,7 @@ impl fmt::Display for CounterSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "arith={} loads={} (dense={} strided={} gather={}) stores={} (dense={} strided={} scatter={}) masked_sel={} alloc={} ({} B, peak live {} B, pool {}/{}) tasks={} kernels={} copies={} ({} B)",
+            "arith={} loads={} (dense={} strided={} gather={}) stores={} (dense={} strided={} scatter={}) masked_sel={} masked_ld={} masked_st={} alloc={} ({} B, peak live {} B, pool {}/{}) tasks={} kernels={} copies={} ({} B)",
             self.arith_ops,
             self.loads,
             self.dense_loads,
@@ -310,6 +334,8 @@ impl fmt::Display for CounterSnapshot {
             self.strided_stores,
             self.scatter_stores,
             self.masked_selects,
+            self.masked_loads,
+            self.masked_stores,
             self.allocations,
             self.bytes_allocated,
             self.peak_bytes_live,

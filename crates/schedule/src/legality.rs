@@ -20,7 +20,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{ForKind, FuncSchedule, LoopLevel, Result, ScheduleError};
+use crate::{ForKind, FuncSchedule, LoopLevel, Result, ScheduleError, TailStrategy};
 
 /// Widest vector a `vectorize` may produce. The lowering pass
 /// (`halide-lower`'s vectorizer) re-exports and enforces this same limit, so
@@ -134,7 +134,18 @@ pub fn dim_extents(
         .cloned()
         .zip(known_extents.iter().map(|e| DimExtent::Symbolic(*e)))
         .collect();
+    // Dims produced by a guard_with_if/predicate split: their loops are
+    // duplicated into a main and a tail copy during lowering, so splitting
+    // them again is rejected there — mirror that here.
+    let mut partitioned: Vec<&str> = Vec::new();
     for split in &schedule.splits {
+        if partitioned.contains(&split.old.as_str()) {
+            return Err(ScheduleError::new(format!(
+                "cannot split {:?}: it comes from a guard_with_if/predicate \
+                 split, whose loops are partitioned into a main and a tail copy",
+                split.old
+            )));
+        }
         let old = extents.remove(&split.old).ok_or_else(|| {
             ScheduleError::new(format!(
                 "split of {:?} applies to no known dimension",
@@ -147,12 +158,18 @@ pub fn dim_extents(
                 split.old, split.factor
             )));
         }
-        if let Some(e) = old.known() {
-            if e < split.factor {
-                return Err(ScheduleError::new(format!(
-                    "split of {:?} by {} exceeds its constant extent {e}",
-                    split.old, split.factor
-                )));
+        // Shift-inwards needs at least one full tile to shift into; the
+        // tail-aware strategies partition or pad instead, so any extent is
+        // fine for them.
+        if split.tail == TailStrategy::ShiftInwards {
+            if let Some(e) = old.known() {
+                if e < split.factor {
+                    return Err(ScheduleError::new(format!(
+                        "split of {:?} by {} exceeds its constant extent {e} \
+                         (use a tail strategy: guard_with_if, predicate, or round_up)",
+                        split.old, split.factor
+                    )));
+                }
             }
         }
         let ceil = |e: i64| (e + split.factor - 1) / split.factor;
@@ -164,6 +181,13 @@ pub fn dim_extents(
         };
         extents.insert(split.outer.clone(), outer);
         extents.insert(split.inner.clone(), DimExtent::Const(split.factor));
+        if matches!(
+            split.tail,
+            TailStrategy::GuardWithIf | TailStrategy::Predicate
+        ) {
+            partitioned.push(&split.outer);
+            partitioned.push(&split.inner);
+        }
     }
     Ok(extents)
 }
@@ -243,6 +267,50 @@ pub fn validate_func(info: &FuncInfo) -> Result<()> {
             return fail(format!("dimension {name:?} has bounds but no loop"));
         }
     }
+    // A partitioned split's tail copy covers the remainder by overriding
+    // the inner loop (guard_with_if) or guarding the recombined variable
+    // (predicate); both require the inner loop to stay nested inside the
+    // partitioned outer loop — a reorder that hoists it outside is rejected
+    // by lowering and so here too.
+    for split in &info.schedule.splits {
+        if !matches!(
+            split.tail,
+            TailStrategy::GuardWithIf | TailStrategy::Predicate
+        ) {
+            continue;
+        }
+        let (o, i) = (
+            info.schedule.dim_index(&split.outer),
+            info.schedule.dim_index(&split.inner),
+        );
+        if !matches!((o, i), (Some(o), Some(i)) if o < i) {
+            return fail(format!(
+                "{} split of {:?}: the inner loop {:?} must stay nested inside \
+                 the outer loop {:?}; reordering it outside breaks the main/tail \
+                 partition",
+                split.tail, split.old, split.inner, split.outer
+            ));
+        }
+        // A vectorized predicate tail masks every memory op under the guard
+        // with a vector over the *inner* dim's lanes; a second vectorized
+        // loop nested inside would give those ops a different lane count
+        // than the mask. (Mirrors the lowering-time rejection.)
+        if split.tail == TailStrategy::Predicate {
+            let i = i.expect("checked above");
+            let dims = &info.schedule.dims;
+            if dims[i].kind == ForKind::Vectorized {
+                if let Some(v) = dims[i + 1..].iter().find(|d| d.kind == ForKind::Vectorized) {
+                    return fail(format!(
+                        "predicate split of {:?}: its vectorized inner loop {:?} \
+                         masks stores with {}-lane predicates, but the vectorized \
+                         loop {:?} nested inside would give them a different lane \
+                         count; vectorize one or the other",
+                        split.old, split.inner, split.factor, v.name
+                    ));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -318,6 +386,22 @@ impl PipelineInfo {
                     dim.name, dim.kind
                 ));
             }
+            // A guard_with_if/predicate split duplicates the partitioned
+            // loop's body into a main and a tail copy; a compute level at or
+            // inside that loop then names two places, and the injected
+            // realization (placed at one) would not enclose the call sites
+            // in the other.
+            if let Some(s) = c.schedule.splits.iter().find(|s| {
+                s.outer == dim.name
+                    && matches!(s.tail, TailStrategy::GuardWithIf | TailStrategy::Predicate)
+            }) {
+                return fail(format!(
+                    "loop {:?} enclosing the compute level is partitioned into a main \
+                     and a tail copy by the {} split of {:?}; producers cannot be \
+                     realized at or inside a partitioned loop",
+                    dim.name, s.tail, s.old
+                ));
+            }
         }
         // Enclosure: the consumer's loop over `var` must contain every call
         // site. Conservatively: all effective consumers are `consumer`, via
@@ -363,6 +447,26 @@ impl PipelineInfo {
         for (name, f) in &self.funcs {
             validate_func(f)?;
             let fail = |msg: String| Err(ScheduleError::new(format!("{name}: {msg}")));
+            if name == &self.output {
+                // RoundUp overruns the traversed domain past the required
+                // region and relies on bounds inference padding the
+                // allocation; the output buffer is caller-allocated and
+                // exact, so the overhanging stores would land out of
+                // bounds.
+                if let Some(s) = f
+                    .schedule
+                    .splits
+                    .iter()
+                    .find(|s| s.tail == TailStrategy::RoundUp)
+                {
+                    return fail(format!(
+                        "split of {:?} uses tail strategy round_up, which overruns the \
+                         caller-allocated output buffer; use guard_with_if or predicate \
+                         on the output function",
+                        s.old
+                    ));
+                }
+            }
             match &f.schedule.compute_level {
                 LoopLevel::Inline => {
                     if name == &self.output {
@@ -527,6 +631,41 @@ mod tests {
         out.schedule.vectorize("xi").unwrap();
         let err = info.validate().unwrap_err().to_string();
         assert!(err.contains("exceeds its constant extent"), "{err}");
+    }
+
+    #[test]
+    fn tail_strategies_relax_extent_checks() {
+        // With a tail strategy, an output split larger than the known
+        // extent is fine — the loop is partitioned or predicated.
+        for tail in [TailStrategy::GuardWithIf, TailStrategy::Predicate] {
+            let mut info = two_stage();
+            let out = info.funcs.get_mut("out").unwrap();
+            out.schedule
+                .split_with_tail("x", "xo", "xi", 128, tail)
+                .unwrap();
+            assert!(info.validate().is_ok(), "{tail}");
+        }
+    }
+
+    #[test]
+    fn round_up_is_illegal_on_the_output() {
+        let mut info = two_stage();
+        let out = info.funcs.get_mut("out").unwrap();
+        out.schedule
+            .split_with_tail("x", "xo", "xi", 8, TailStrategy::RoundUp)
+            .unwrap();
+        let err = info.validate().unwrap_err().to_string();
+        assert!(err.contains("round_up"), "{err}");
+        assert!(err.contains("caller-allocated"), "{err}");
+
+        // ...but fine on a producer, whose allocation the compiler pads.
+        let mut info = two_stage();
+        let p = info.funcs.get_mut("p").unwrap();
+        p.schedule
+            .split_with_tail("x", "xo", "xi", 8, TailStrategy::RoundUp)
+            .unwrap();
+        p.schedule.vectorize("xi").unwrap();
+        assert!(info.validate().is_ok());
     }
 
     #[test]

@@ -54,6 +54,47 @@ impl std::error::Error for ScheduleError {}
 /// Result alias for schedule operations.
 pub type Result<T> = std::result::Result<T, ScheduleError>;
 
+/// How a split handles the tail iterations when the dimension's extent is
+/// not a multiple of the factor. The choice trades code size, redundant
+/// recompute, and allocation padding against each other; all four lower to
+/// loop nests with identical results over the required region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TailStrategy {
+    /// The last tile is shifted inwards to overlap its predecessor so every
+    /// tile is full-width and in bounds: `old = min + min(outer*f, e-f) +
+    /// inner`. Recomputes up to `f-1` values. Requires `extent >= factor`
+    /// (asserted at runtime for the output function). The historical
+    /// default.
+    #[default]
+    ShiftInwards,
+    /// The loop is partitioned into a main loop over the full tiles and a
+    /// scalar epilogue loop over the runtime remainder. No recompute, no
+    /// overrun; works for any extent, but the epilogue is not vectorized.
+    GuardWithIf,
+    /// Like [`TailStrategy::GuardWithIf`], but the tail is a single extra
+    /// full-width iteration whose body is guarded per-lane: after
+    /// vectorization the guard becomes a vector predicate and loads/stores
+    /// in the tail are masked. No recompute; stays a bulk operation.
+    Predicate,
+    /// The traversed domain is rounded up to the next multiple of the
+    /// factor with no guard at all. Bounds inference enlarges the
+    /// producer's allocation to cover the overhang, so it is only legal on
+    /// functions whose storage the compiler allocates — not on the output
+    /// function, whose buffer is caller-allocated and exact.
+    RoundUp,
+}
+
+impl fmt::Display for TailStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TailStrategy::ShiftInwards => write!(f, "shift_inwards"),
+            TailStrategy::GuardWithIf => write!(f, "guard_with_if"),
+            TailStrategy::Predicate => write!(f, "predicate"),
+            TailStrategy::RoundUp => write!(f, "round_up"),
+        }
+    }
+}
+
 /// A dimension split: `old` is replaced by `outer * factor + inner`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Split {
@@ -66,6 +107,9 @@ pub struct Split {
     /// The split factor. The traversed domain is rounded up to a multiple of
     /// this factor, as in the paper (Sec. 4.1).
     pub factor: i64,
+    /// How tail iterations are handled when the factor does not divide the
+    /// extent.
+    pub tail: TailStrategy,
 }
 
 /// One loop dimension in a function's domain order.
@@ -198,6 +242,27 @@ impl FuncSchedule {
         inner: impl Into<String>,
         factor: i64,
     ) -> Result<()> {
+        self.split_with_tail(old, outer, inner, factor, TailStrategy::default())
+    }
+
+    /// Like [`FuncSchedule::split`], but with an explicit [`TailStrategy`]
+    /// governing the iterations past the last full tile. `GuardWithIf` and
+    /// `Predicate` make the split legal on dimensions whose extent is
+    /// smaller than (or simply not a multiple of) the factor; `RoundUp`
+    /// additionally keeps the whole traversal full-width but is only legal
+    /// on compiler-allocated (non-output) functions.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`FuncSchedule::split`].
+    pub fn split_with_tail(
+        &mut self,
+        old: &str,
+        outer: impl Into<String>,
+        inner: impl Into<String>,
+        factor: i64,
+        tail: TailStrategy,
+    ) -> Result<()> {
         let outer = outer.into();
         let inner = inner.into();
         if factor < 1 {
@@ -237,6 +302,7 @@ impl FuncSchedule {
             outer,
             inner,
             factor,
+            tail,
         });
         Ok(())
     }
@@ -448,8 +514,19 @@ impl FuncSchedule {
                 format!("{k}{}", d.name)
             })
             .collect();
+        let tails: Vec<String> = self
+            .splits
+            .iter()
+            .filter(|s| s.tail != TailStrategy::ShiftInwards)
+            .map(|s| format!("{}:{}", s.old, s.tail))
+            .collect();
+        let tails = if tails.is_empty() {
+            String::new()
+        } else {
+            format!(" tail({})", tails.join(", "))
+        };
         format!(
-            "compute {} store {} order({})",
+            "compute {} store {} order({}){tails}",
             self.compute_level,
             self.store_level,
             dims.join(", ")
@@ -579,6 +656,20 @@ mod tests {
         let d = s.describe();
         assert!(d.contains("root"));
         assert!(d.contains("par y"));
+    }
+
+    #[test]
+    fn split_with_tail_records_strategy() {
+        let mut s = xy();
+        s.split_with_tail("x", "xo", "xi", 8, TailStrategy::GuardWithIf)
+            .unwrap();
+        assert_eq!(s.splits[0].tail, TailStrategy::GuardWithIf);
+        // Plain split defaults to shift-inwards (the historical behavior).
+        s.split("y", "yo", "yi", 4).unwrap();
+        assert_eq!(s.splits[1].tail, TailStrategy::ShiftInwards);
+        let d = s.describe();
+        assert!(d.contains("tail(x:guard_with_if)"), "{d}");
+        assert!(!d.contains("y:"), "{d}");
     }
 
     #[test]

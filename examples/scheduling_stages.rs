@@ -16,6 +16,8 @@ use std::fmt::Write as _;
 
 use halide::ir::{Expr, ExprNode, Stmt, StmtNode};
 use halide::pipelines::camera_pipe::CameraPipeApp;
+use halide::pipelines::interpolate::InterpolateApp;
+use halide::TailStrategy;
 
 /// The five schedules of the walkthrough. Stage 1 is the naive
 /// breadth-first default; each later stage adds one directive; stage 5 is
@@ -75,6 +77,69 @@ fn stages() -> Vec<(&'static str, String)> {
         "corrected-masks",
         find_produce_skeleton(&module.stmt, "camera_corrected")
             .expect("camera_corrected has a produce nest"),
+    ));
+
+    out.extend(pyramid_stages());
+    out
+}
+
+/// The "Vectorizing pyramids" chapter's excerpts: one interior downsample
+/// level of the interpolate pipeline scalar vs. rounded up to full vectors,
+/// the guarded main/tail partition of the output split, and a predicated
+/// tail store.
+fn pyramid_stages() -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+
+    // Scalar baseline: every stage at root with parallel rows, nothing
+    // vectorized — the schedule the pyramid apps shipped with while
+    // divisibility-only vectorization kept their odd extents scalar.
+    let app = InterpolateApp::new(3);
+    for f in app.pipeline().funcs() {
+        if f.name() != app.out.name() {
+            f.compute_root().parallelize("y");
+        }
+    }
+    let module = halide::lower(&app.pipeline()).expect("scalar interpolate lowers");
+    out.push((
+        "pyramid-scalar",
+        find_produce_skeleton(&module.stmt, "interp_down_1")
+            .expect("interp_down_1 has a produce nest"),
+    ));
+
+    // The tuned schedule: interior levels round up, the output guards.
+    let app = InterpolateApp::new(3);
+    app.schedule_good();
+    let module = halide::lower(&app.pipeline()).expect("tuned interpolate lowers");
+    out.push((
+        "pyramid-roundup",
+        find_produce_skeleton(&module.stmt, "interp_down_1")
+            .expect("interp_down_1 has a produce nest"),
+    ));
+    out.push((
+        "pyramid-output-guard",
+        find_produce_skeleton(&module.stmt, "interp_out").expect("interp_out has a produce nest"),
+    ));
+
+    // The predicate variant of the output split: the tail copy stores
+    // full-width with a lane mask instead of narrowing the loop.
+    let app = InterpolateApp::new(3);
+    for f in app.pipeline().funcs() {
+        if f.name() == app.out.name() {
+            continue;
+        }
+        f.compute_root()
+            .parallelize("y")
+            .split_dim_tail("x", "xo", "xi", 16, TailStrategy::RoundUp)
+            .vectorize_dim("xi");
+    }
+    app.out
+        .split_dim_tail("x", "xo", "xi", 16, TailStrategy::Predicate)
+        .vectorize_dim("xi");
+    let module = halide::lower(&app.pipeline()).expect("predicated interpolate lowers");
+    out.push((
+        "pyramid-predicate-store",
+        find_predicated_store(&module.stmt, "interp_out")
+            .expect("the predicate tail stores interp_out with a mask"),
     ));
 
     out
@@ -375,6 +440,33 @@ fn find_store(s: &Stmt, buf: &str) -> Option<String> {
             ..
         } => find_store(then_case, buf)
             .or_else(|| else_case.as_ref().and_then(|e| find_store(e, buf))),
+        _ => None,
+    }
+}
+
+/// The full text of the first *predicated* `Store` into `buf` — the masked
+/// tail store a `TailStrategy::Predicate` split emits.
+fn find_predicated_store(s: &Stmt, buf: &str) -> Option<String> {
+    match s.node() {
+        StmtNode::Store {
+            name,
+            predicate: Some(_),
+            ..
+        } if base_name(name) == buf => Some(scrub(&wrap(&s.to_string(), 76))),
+        StmtNode::For { body, .. }
+        | StmtNode::Producer { body, .. }
+        | StmtNode::Allocate { body, .. }
+        | StmtNode::LetStmt { body, .. } => find_predicated_store(body, buf),
+        StmtNode::Block { stmts } => stmts.iter().find_map(|s| find_predicated_store(s, buf)),
+        StmtNode::IfThenElse {
+            then_case,
+            else_case,
+            ..
+        } => find_predicated_store(then_case, buf).or_else(|| {
+            else_case
+                .as_ref()
+                .and_then(|e| find_predicated_store(e, buf))
+        }),
         _ => None,
     }
 }

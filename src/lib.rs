@@ -80,5 +80,5 @@ pub use halide_ir::Expr;
 pub use halide_lang::{Func, ImageParam, Param, Pipeline, RDom, Var};
 pub use halide_lower::{lower, lower_with_options, LowerOptions, Module};
 pub use halide_runtime::{Buffer, BufferPool, CounterSnapshot};
-pub use halide_schedule::{FuncSchedule, LoopLevel};
+pub use halide_schedule::{FuncSchedule, LoopLevel, TailStrategy};
 pub use halide_serve::{PipelineServer, ServeConfig};

@@ -31,7 +31,7 @@ pub struct BufferDim {
     pub extent: i64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Storage {
     U8(Vec<u8>),
     U16(Vec<u16>),
@@ -144,6 +144,24 @@ impl Storage {
                 v.clear();
                 v.resize(len, 0.0);
             }
+        }
+    }
+
+    /// Bulk-copies another storage's elements into this one. Both sides must
+    /// be the same variant and length (callers guarantee this via the
+    /// buffer-level shape/type checks).
+    fn copy_from(&mut self, src: &Storage) {
+        match (self, src) {
+            (Storage::U8(d), Storage::U8(s)) => d.copy_from_slice(s),
+            (Storage::U16(d), Storage::U16(s)) => d.copy_from_slice(s),
+            (Storage::U32(d), Storage::U32(s)) => d.copy_from_slice(s),
+            (Storage::I8(d), Storage::I8(s)) => d.copy_from_slice(s),
+            (Storage::I16(d), Storage::I16(s)) => d.copy_from_slice(s),
+            (Storage::I32(d), Storage::I32(s)) => d.copy_from_slice(s),
+            (Storage::I64(d), Storage::I64(s)) => d.copy_from_slice(s),
+            (Storage::F32(d), Storage::F32(s)) => d.copy_from_slice(s),
+            (Storage::F64(d), Storage::F64(s)) => d.copy_from_slice(s),
+            _ => panic!("copying between storage variants"),
         }
     }
 
@@ -854,6 +872,23 @@ impl Buffer {
         self.set_flat_i64(i, v);
     }
 
+    /// Bulk-copies another buffer's elements into this one — one `memcpy`
+    /// per buffer instead of one store per element. This is the fan-out path
+    /// of coalesced serving: one realization's output is replicated into
+    /// each waiting request's pooled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element types or shapes differ.
+    pub fn copy_from(&self, src: &Buffer) {
+        assert_eq!(self.ty, src.ty, "copying between element types");
+        assert_eq!(self.dims, src.dims, "copying between shapes");
+        // SAFETY: see the module-level concurrency note — the destination is
+        // exclusively held by the copying thread, and the source's producer
+        // has been joined before the copy.
+        self.storage_mut().copy_from(unsafe { &*src.data.get() });
+    }
+
     /// Maximum absolute difference against another buffer of the same shape.
     ///
     /// # Panics
@@ -874,22 +909,14 @@ impl Buffer {
 
 impl Clone for Buffer {
     fn clone(&self) -> Self {
-        let b = Buffer::new(
-            self.ty,
-            &self
-                .dims
-                .iter()
-                .map(|d| (d.min, d.extent))
-                .collect::<Vec<_>>(),
-        );
-        for i in 0..self.len() {
-            if self.ty.is_float() {
-                b.set_flat_f64(i, self.get_flat_f64(i));
-            } else {
-                b.set_flat_i64(i, self.get_flat_i64(i));
-            }
+        // One allocation-plus-memcpy, not one dispatch per element.
+        // SAFETY: cloning reads every element; the producer that wrote them
+        // has been joined before a clone can be reached (module-level note).
+        Buffer {
+            ty: self.ty,
+            dims: self.dims.clone(),
+            data: UnsafeCell::new(unsafe { &*self.data.get() }.clone()),
         }
-        b
     }
 }
 
@@ -1066,6 +1093,38 @@ mod tests {
                 13
             );
         }
+    }
+
+    #[test]
+    fn copy_from_replicates_bit_exactly() {
+        for ty in [
+            ScalarType::UInt(8),
+            ScalarType::Int(32),
+            ScalarType::Float(32),
+            ScalarType::Float(64),
+        ] {
+            let src = Buffer::with_extents(ty, &[5, 3]);
+            for i in 0..src.len() {
+                src.set_flat_f64(i, (i as f64) * 1.5 - 3.0);
+            }
+            let dst = Buffer::with_extents(ty, &[5, 3]);
+            dst.copy_from(&src);
+            assert_eq!(dst.to_f64_vec(), src.to_f64_vec(), "{ty:?} copy_from");
+            // Clone takes the same storage-level path.
+            assert_eq!(src.clone().to_f64_vec(), src.to_f64_vec(), "{ty:?} clone");
+        }
+        // Non-zero mins survive a clone.
+        let b = Buffer::new(ScalarType::Int(32), &[(-2, 4)]);
+        b.set_coords_i64(&[-1], 9);
+        assert_eq!(b.clone().at_i64(&[-1]), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes")]
+    fn copy_from_rejects_shape_mismatch() {
+        let a = Buffer::with_extents(ScalarType::Float(32), &[4]);
+        let b = Buffer::with_extents(ScalarType::Float(32), &[5]);
+        a.copy_from(&b);
     }
 
     #[test]

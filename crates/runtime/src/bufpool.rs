@@ -177,6 +177,17 @@ impl BufferPool {
         }
     }
 
+    /// Acquires a pooled buffer shaped like `src` and bulk-copies `src`'s
+    /// elements into it — the fan-out path of coalesced serving, where one
+    /// realization's output is replicated into a pooled buffer per waiting
+    /// request. Bit-identical to realizing into the buffer directly.
+    pub fn acquire_copy_of(self: &Arc<Self>, src: &Buffer) -> PooledBuffer {
+        let extents: Vec<i64> = src.dims().iter().map(|d| d.extent).collect();
+        let out = self.acquire(src.ty(), &extents);
+        out.copy_from(src);
+        out
+    }
+
     /// Returns a buffer's allocation to the pool for reuse (dropped instead
     /// if the pool is already holding `max_bytes` of idle storage).
     pub fn release(&self, buf: Buffer) {
@@ -365,6 +376,20 @@ mod tests {
         // An unpooled guard drops its buffer silently.
         drop(PooledBuffer::unpooled(buf));
         assert_eq!(pool.stats().returns, 0);
+    }
+
+    #[test]
+    fn acquire_copy_of_is_bit_identical_and_pooled() {
+        let pool = Arc::new(BufferPool::default());
+        let src = Buffer::from_fn_2d(ScalarType::Float(32), 6, 4, |x, y| (x * 10 + y) as f64);
+        let a = pool.acquire_copy_of(&src);
+        assert_eq!(a.to_f64_vec(), src.to_f64_vec());
+        assert_eq!(a.ty(), src.ty());
+        drop(a);
+        // The copy's allocation recycles like any pooled buffer.
+        let b = pool.acquire_copy_of(&src);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(b.to_f64_vec(), src.to_f64_vec());
     }
 
     #[test]

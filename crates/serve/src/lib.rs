@@ -3,24 +3,42 @@
 //! A compile-once / realize-many **pipeline server** over the halide-rs
 //! compiler — the deployment shape the paper describes (Sec. 4.4: the
 //! compiler emits one entry point that is then invoked repeatedly on streams
-//! of images) scaled out to concurrent request traffic:
+//! of images) scaled out to concurrent request traffic, and hardened for
+//! overload:
 //!
 //! * a [`Registry`] of **named** pipeline variants (every paper app ×
 //!   naive/tuned schedule, plus GPU variants where defined);
 //! * a [`ProgramCache`] keyed by *(app, schedule, backend, shape, parameter
 //!   signature)* holding shared `Arc<Program>`s, so each distinct pipeline
-//!   compiles **once** and every thread realizes the same program;
+//!   compiles **once** — and, under a configured budget, a **cost-aware
+//!   LRU** ([`CostLru`]) that prefers evicting cheap-to-recompile programs
+//!   over expensive ones;
 //! * a shared [`BufferPool`](halide_runtime::BufferPool) that outputs and
 //!   scratch buffers cycle through, so steady-state requests perform **zero
 //!   large allocations** (hit rates are part of [`ServerStats`]);
-//! * bounded concurrent **admission**: `max_in_flight` requests execute at
-//!   once over persistent per-slot worker pools, `queue_capacity` more may
-//!   wait, and anything past that is rejected with
+//! * bounded concurrent **admission**: up to the concurrency limit executes
+//!   at once over persistent per-slot worker pools, `queue_capacity` more
+//!   may wait, and anything past that is rejected with
 //!   [`ServeError::Overloaded`] — backpressure, not collapse;
-//! * per-request **latency recording** (p50/p95/p99) and request counters.
+//! * **request coalescing**: concurrent requests for the same *(app,
+//!   schedule, shape, parameter values, input image)* share one realization
+//!   — one compile, one execution, every caller a bit-identical output;
+//! * per-request **deadlines** and two [`Priority`] classes: high-priority
+//!   waiters jump the queue, and a request whose deadline passes is shed
+//!   with [`ServeError::DeadlineExceeded`] instead of occupying a slot;
+//! * optional **AIMD adaptive concurrency** ([`AimdConfig`]): the effective
+//!   limit is discovered from observed p95 latency instead of trusted from
+//!   `max_in_flight`;
+//! * per-request **latency recording** (p50/p95/p99 over a bounded ring) and
+//!   request counters.
+//!
+//! Every time-dependent decision reads the injectable [`Clock`] seam, so
+//! deadline expiry, queue-jump, and AIMD cycles are all testable under a
+//! manual clock with no sleeping.
 //!
 //! See `docs/serving.md` for the design walkthrough and benchmark numbers
-//! (`bench_serve` emits `BENCH_serve.json`).
+//! (`bench_serve` emits `BENCH_serve.json`, including the overload
+//! scenario).
 //!
 //! # Quickstart
 //!
@@ -48,15 +66,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aimd;
 pub mod cache;
+pub mod clock;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use cache::{CompiledApp, ParamValue, ProgramCache, ProgramKey};
-pub use metrics::{LatencyRecorder, LatencyStats, ServerStats};
+pub use aimd::{AimdConfig, AimdController, AimdDecision};
+pub use cache::{CompiledApp, CostLru, CostLruStats, ParamValue, ProgramCache, ProgramKey};
+pub use clock::Clock;
+pub use metrics::{LatencyRecorder, LatencyStats, ServerStats, DEFAULT_LATENCY_WINDOW};
 pub use registry::{canonical_name, AppSpec, Registry};
-pub use server::{PipelineServer, Request, Response, ServeConfig};
+pub use server::{PipelineServer, Priority, Request, Response, ServeConfig};
 
 /// Everything that can go wrong while serving a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,10 +88,16 @@ pub enum ServeError {
     /// The server is saturated and its wait queue is full — retry later or
     /// shed load upstream.
     Overloaded {
-        /// The configured in-flight bound that was reached.
+        /// The concurrency limit in force when the request was refused.
         in_flight: usize,
         /// The configured wait-queue bound that was reached.
         queued: usize,
+    },
+    /// The request's deadline passed before it could execute; it was shed
+    /// without occupying an execution slot.
+    DeadlineExceeded {
+        /// How long the request had been waiting when it was shed.
+        waited: std::time::Duration,
     },
     /// The request's input cannot be served (wrong dimensionality etc.).
     Shape(String),
@@ -87,6 +115,9 @@ impl std::fmt::Display for ServeError {
                 f,
                 "server overloaded: {in_flight} requests in flight and {queued} queued"
             ),
+            ServeError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after waiting {waited:?}")
+            }
             ServeError::Shape(msg) => write!(f, "bad request shape: {msg}"),
             ServeError::Compile(msg) => write!(f, "compilation failed: {msg}"),
             ServeError::Exec(msg) => write!(f, "execution failed: {msg}"),

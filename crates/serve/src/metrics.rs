@@ -5,48 +5,104 @@ use std::time::Duration;
 
 use halide_runtime::PoolStats;
 
-/// Collects per-request latencies and summarizes them as percentiles.
+/// Samples a default [`LatencyRecorder`] retains. Percentiles are computed
+/// over the most recent window of this size; older samples age out.
+pub const DEFAULT_LATENCY_WINDOW: usize = 4096;
+
+/// Collects per-request latencies in a fixed-size ring and summarizes the
+/// retained window as percentiles.
 ///
-/// Recording is a lock plus a push; the percentile math happens only when a
-/// snapshot is taken, so the request path stays cheap.
-#[derive(Debug, Default)]
+/// Recording is a lock plus one slot write — **bounded memory no matter how
+/// long the server lives**. A long-lived server recording every request into
+/// a growing `Vec` would leak by design; the ring instead keeps the most
+/// recent `window` samples (old ones are overwritten), which is also the
+/// operationally useful distribution: percentiles over *current* traffic,
+/// not the whole process lifetime. The total-recorded count stays monotone.
+#[derive(Debug)]
 pub struct LatencyRecorder {
-    samples_ms: Mutex<Vec<f64>>,
+    state: Mutex<Ring>,
+    window: usize,
+}
+
+#[derive(Debug)]
+struct Ring {
+    samples_ms: Vec<f64>,
+    /// Next slot to overwrite once the ring is full.
+    next: usize,
+    /// Monotone count of everything ever recorded (survives aging-out).
+    total: u64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyRecorder {
-    /// Creates an empty recorder.
+    /// A recorder retaining the default window
+    /// ([`DEFAULT_LATENCY_WINDOW`] samples).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_window(DEFAULT_LATENCY_WINDOW)
     }
 
-    /// Records one request's latency.
+    /// A recorder retaining the most recent `window` samples (at least 1).
+    pub fn with_window(window: usize) -> Self {
+        LatencyRecorder {
+            state: Mutex::new(Ring {
+                samples_ms: Vec::new(),
+                next: 0,
+                total: 0,
+            }),
+            window: window.max(1),
+        }
+    }
+
+    /// Records one request's latency, overwriting the oldest retained sample
+    /// once the window is full.
     pub fn record(&self, latency: Duration) {
-        self.samples_ms
-            .lock()
-            .unwrap()
-            .push(latency.as_secs_f64() * 1e3);
+        let ms = latency.as_secs_f64() * 1e3;
+        let mut ring = self.state.lock().unwrap();
+        if ring.samples_ms.len() < self.window {
+            ring.samples_ms.push(ms);
+        } else {
+            let i = ring.next;
+            ring.samples_ms[i] = ms;
+        }
+        ring.next = (ring.next + 1) % self.window;
+        ring.total += 1;
     }
 
-    /// Drops every recorded sample (for phase-separated benchmarking).
+    /// Drops every retained sample and zeroes the total (for phase-separated
+    /// benchmarking).
     pub fn reset(&self) {
-        self.samples_ms.lock().unwrap().clear();
+        let mut ring = self.state.lock().unwrap();
+        ring.samples_ms.clear();
+        ring.next = 0;
+        ring.total = 0;
     }
 
-    /// Summarizes everything recorded so far.
+    /// Summarizes the retained window. `count` is the total ever recorded;
+    /// the percentiles describe the most recent `window` samples.
     pub fn snapshot(&self) -> LatencyStats {
-        let mut samples = self.samples_ms.lock().unwrap().clone();
+        let (mut samples, total) = {
+            let ring = self.state.lock().unwrap();
+            (ring.samples_ms.clone(), ring.total)
+        };
         samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        LatencyStats::from_sorted(&samples)
+        let mut stats = LatencyStats::from_sorted(&samples);
+        stats.count = total;
+        stats
     }
 }
 
 /// Percentile summary of a latency distribution, in milliseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyStats {
-    /// Number of samples.
+    /// Total samples ever recorded (monotone; may exceed the retained
+    /// window the percentiles are computed over).
     pub count: u64,
-    /// Arithmetic mean.
+    /// Arithmetic mean of the retained window.
     pub mean_ms: f64,
     /// Median.
     pub p50_ms: f64,
@@ -54,7 +110,7 @@ pub struct LatencyStats {
     pub p95_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
-    /// Worst observed.
+    /// Worst retained sample.
     pub max_ms: f64,
 }
 
@@ -89,10 +145,25 @@ pub struct ServerStats {
     pub requests: u64,
     /// Requests rejected with `Overloaded` (the backpressure signal).
     pub rejected: u64,
+    /// Requests shed with `DeadlineExceeded` before doing useful work.
+    pub shed: u64,
+    /// Requests served by fanning out another request's realization
+    /// (coalescing followers).
+    pub coalesced: u64,
+    /// Pipeline realizations actually executed (each coalesced batch
+    /// realizes once, however many requests it serves).
+    pub realizations: u64,
     /// Requests that had to lower + compile their program (cache cold).
     pub cold_compiles: u64,
     /// Entries currently in the compiled-program cache.
     pub cached_programs: u64,
+    /// Programs evicted from the cache to satisfy its budget.
+    pub evicted_programs: u64,
+    /// Estimated resident bytes of the program cache.
+    pub cache_bytes: u64,
+    /// The concurrency limit currently in force (fixed `max_in_flight`, or
+    /// the AIMD controller's discovered width when adaptive mode is on).
+    pub concurrency_limit: u64,
     /// Latency distribution over served requests.
     pub latency: LatencyStats,
     /// Buffer-pool accounting (outputs and scratch combined).
@@ -129,5 +200,42 @@ mod tests {
             (s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms),
             (7.0, 7.0, 7.0, 7.0)
         );
+    }
+
+    /// The ring bounds memory and computes percentiles over exactly the most
+    /// recent `window` samples — pinned by recording a known 1..=1000 ramp
+    /// into a 64-slot window, which must retain exactly 937..=1000.
+    #[test]
+    fn window_bounds_memory_and_tracks_recent_traffic() {
+        let rec = LatencyRecorder::with_window(64);
+        for ms in 1..=1000u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.count, 1000, "total count stays monotone past the window");
+        // Window holds 937..=1000; nearest-rank over 64 samples:
+        // p50 -> rank 32 -> 968, p95 -> rank 61 -> 997, p99 -> rank 64 -> 1000.
+        assert_eq!(s.p50_ms, 968.0);
+        assert_eq!(s.p95_ms, 997.0);
+        assert_eq!(s.p99_ms, 1000.0);
+        assert_eq!(s.max_ms, 1000.0);
+        assert!((s.mean_ms - 968.5).abs() < 1e-9);
+        // And the retained storage is the window, not the stream.
+        assert_eq!(rec.state.lock().unwrap().samples_ms.len(), 64);
+    }
+
+    /// Overwrite order is oldest-first: a ring of 4 fed 6 samples keeps the
+    /// last 4, regardless of wrap position.
+    #[test]
+    fn ring_overwrites_oldest_first() {
+        let rec = LatencyRecorder::with_window(4);
+        for ms in [10u64, 20, 30, 40, 50, 60] {
+            rec.record(Duration::from_millis(ms));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.p50_ms, 40.0); // retained: 30 40 50 60
+        assert_eq!(s.max_ms, 60.0);
+        assert_eq!((s.mean_ms * 10.0).round() / 10.0, 45.0);
     }
 }

@@ -77,12 +77,17 @@ fn main() {
     println!("\n== dashboard ==");
     println!("requests        {:>10}", stats.requests);
     println!("rejected        {:>10}", stats.rejected);
+    println!("shed (deadline) {:>10}", stats.shed);
+    println!("coalesced       {:>10}", stats.coalesced);
+    println!("realizations    {:>10}", stats.realizations);
+    println!("slot limit      {:>10}", stats.concurrency_limit);
     println!("throughput      {rps:>10.1} req/s");
     println!("latency p50     {:>10.2} ms", stats.latency.p50_ms);
     println!("latency p95     {:>10.2} ms", stats.latency.p95_ms);
     println!("latency p99     {:>10.2} ms", stats.latency.p99_ms);
     println!("cold compiles   {:>10}", stats.cold_compiles);
     println!("cached programs {:>10}", stats.cached_programs);
+    println!("evicted programs{:>10}", stats.evicted_programs);
     println!(
         "pool hit rate   {:>9.1}%  ({} hits / {} misses, {} idle bytes)",
         100.0 * stats.pool.hit_rate(),

@@ -160,3 +160,179 @@ fn server_under_concurrent_mixed_load_matches_direct_runs() {
     assert_eq!(stats.latency.count, (THREADS * ROUNDS) as u64);
     assert!(stats.latency.p50_ms <= stats.latency.p99_ms);
 }
+
+/// Coalescing correctness under real concurrency: many threads submit the
+/// *same* request (same app, schedule, shape, and input `Arc`) through a
+/// paused server, so the whole batch piles up and is provably coalesced —
+/// exactly one compile and one realization serve every thread, and each
+/// response is bit-identical to a direct single-threaded realization.
+#[test]
+fn coalesced_batch_is_bit_identical_and_realizes_once() {
+    let app = AppKind::Blur;
+    let (w, h) = (128, 96);
+    let built = app.build(w, h, ScheduleChoice::Tuned).unwrap();
+    let input = Arc::new(app.make_input(w, h));
+    let reference = Realizer::new(&built.module)
+        .input_shared(built.input_name.clone(), Arc::clone(&input))
+        .threads(1)
+        .instrument(false)
+        .realize(&app.output_extents(w, h))
+        .unwrap()
+        .output
+        .to_f64_vec();
+
+    let server = Arc::new(PipelineServer::with_registry(
+        ServeConfig {
+            max_in_flight: 4,
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+        Registry::with_paper_apps(),
+    ));
+
+    const BATCHES: usize = 3;
+    for batch in 0..BATCHES {
+        // Hold admission shut while every client enqueues: one leader waits
+        // for a slot, the rest attach to its flight.
+        server.pause();
+        let clients: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let req = Request::new(app, ScheduleChoice::Tuned, Arc::clone(&input));
+                std::thread::spawn(move || server.call(&req).unwrap())
+            })
+            .collect();
+        while server.queued() != 1 || server.coalesce_waiting() != (THREADS - 1) as u64 {
+            std::thread::yield_now();
+        }
+        server.resume();
+
+        let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(
+                resp.output.to_f64_vec(),
+                reference,
+                "batch {batch} client {i}: coalesced output diverged from direct realization"
+            );
+        }
+        let stats = server.stats();
+        assert_eq!(
+            stats.realizations,
+            (batch + 1) as u64,
+            "batch {batch}: each coalesced batch must realize exactly once"
+        );
+        assert_eq!(stats.cold_compiles, 1, "only the first batch compiles");
+        assert_eq!(
+            stats.coalesced,
+            ((batch + 1) * (THREADS - 1)) as u64,
+            "batch {batch}: every non-leader must be served by fan-out"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests, (BATCHES * THREADS) as u64);
+    assert_eq!(stats.rejected + stats.shed, 0);
+}
+
+/// Churn matrix: a tiny two-entry program cache forced to evict by a
+/// three-app request mix, a one-slot server with a short queue shedding
+/// load, and tight deadlines expiring queued work — all at once, from eight
+/// threads. Every request must terminate (no hangs) with `Ok`,
+/// `Overloaded`, or `DeadlineExceeded`; successful outputs stay
+/// bit-identical to direct realizations even when their program was evicted
+/// and recompiled mid-stream.
+#[test]
+fn eviction_and_shedding_churn_never_corrupts_results() {
+    use halide::serve::ServeError;
+    use std::time::Duration;
+
+    let apps = [AppKind::Blur, AppKind::Histogram, AppKind::BilateralGrid];
+    let (w, h) = (96, 64);
+    let references: Vec<Vec<f64>> = apps
+        .iter()
+        .map(|app| {
+            let built = app.build(w, h, ScheduleChoice::Tuned).unwrap();
+            Realizer::new(&built.module)
+                .input(built.input_name.clone(), app.make_input(w, h))
+                .threads(1)
+                .instrument(false)
+                .realize(&app.output_extents(w, h))
+                .unwrap()
+                .output
+                .to_f64_vec()
+        })
+        .collect();
+
+    let server = PipelineServer::with_registry(
+        ServeConfig {
+            max_in_flight: 1,
+            queue_capacity: 2,
+            cache_max_entries: 2, // three hot apps: guaranteed eviction churn
+            default_deadline: Some(Duration::from_secs(5)),
+            ..ServeConfig::default()
+        },
+        Registry::with_paper_apps(),
+    );
+    let inputs: Vec<Arc<_>> = apps.iter().map(|a| Arc::new(a.make_input(w, h))).collect();
+
+    let (mut ok, mut overloaded, mut shed) = (0u64, 0u64, 0u64);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..THREADS {
+            let (server, apps, inputs, references) = (&server, &apps, &inputs, &references);
+            workers.push(scope.spawn(move || {
+                let (mut ok, mut overloaded, mut shed) = (0u64, 0u64, 0u64);
+                for round in 0..ROUNDS {
+                    let i = (t + round) % apps.len();
+                    // A sprinkle of effectively-instant deadlines exercises
+                    // shedding alongside real traffic.
+                    let mut req =
+                        Request::new(apps[i], ScheduleChoice::Tuned, Arc::clone(&inputs[i]));
+                    if (t + round) % 7 == 0 {
+                        req = req.deadline(Duration::ZERO);
+                    }
+                    match server.call(&req) {
+                        Ok(resp) => {
+                            ok += 1;
+                            assert_eq!(
+                                resp.output.to_f64_vec(),
+                                references[i],
+                                "thread {t} round {round}: output diverged under churn"
+                            );
+                        }
+                        Err(ServeError::Overloaded { .. }) => overloaded += 1,
+                        Err(ServeError::DeadlineExceeded { .. }) => shed += 1,
+                        Err(other) => panic!("unexpected serve error under churn: {other}"),
+                    }
+                }
+                (ok, overloaded, shed)
+            }));
+        }
+        for worker in workers {
+            let (o, v, s) = worker.join().unwrap();
+            ok += o;
+            overloaded += v;
+            shed += s;
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(ok + overloaded + shed, (THREADS * ROUNDS) as u64);
+    assert_eq!(stats.requests, ok);
+    assert_eq!(stats.rejected, overloaded);
+    assert!(stats.shed >= shed, "every local shed is counted by the server");
+    assert!(ok > 0, "some requests must get through the churn");
+    assert!(
+        stats.cached_programs <= 2,
+        "cache budget violated: {} resident",
+        stats.cached_programs
+    );
+    // Three hot apps through two slots: evictions (and hence recompiles)
+    // must actually have happened for this test to mean anything.
+    assert!(
+        stats.evicted_programs > 0,
+        "expected cache churn, saw none (cold={}, evicted={})",
+        stats.cold_compiles,
+        stats.evicted_programs
+    );
+    assert!(stats.cold_compiles > 3, "evicted programs recompile on reuse");
+}

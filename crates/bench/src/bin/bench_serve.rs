@@ -59,6 +59,13 @@
 //!   compile once, realize once, and fan out to every client;
 //! * **adaptive** — an AIMD-limited server must discover a concurrency
 //!   limit wider than its starting width from p95 feedback alone.
+//!
+//! `--trace out.json` turns request-lifecycle tracing on for the whole
+//! run and writes the global sink's chrome://tracing export afterwards —
+//! queued/compile/realize/respond span trees for every request of every
+//! phase above (ring-buffered: a long run keeps the most recent spans).
+//! The export is syntax-validated and must contain serve-lane spans
+//! before it is written.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -66,9 +73,7 @@ use std::time::Instant;
 
 use halide_bench::HarnessConfig;
 use halide_pipelines::{AppKind, ScheduleChoice};
-use halide_serve::{
-    AimdConfig, PipelineServer, Priority, Request, ServeConfig, ServeError,
-};
+use halide_serve::{AimdConfig, PipelineServer, Priority, Request, ServeConfig, ServeError};
 
 /// The mixed app set measured cold vs. warm: two light pipelines (where the
 /// run dominates) and two deep ones (where compilation dominates — the
@@ -165,6 +170,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if trace_out.is_some() {
+        // The whole run is traced — the perf gates below then also prove
+        // that serving with tracing on still clears them.
+        halide_trace::set_enabled(true);
+    }
 
     // ---- cold vs. warm per app (thumbnail size) -------------------------
     let (w, h) = COLD_WARM_SIZE;
@@ -217,6 +232,8 @@ fn main() {
     let (w, h) = (cfg.width, cfg.height);
     let mut scaling: Vec<ScalingRow> = Vec::new();
     let mut pool_hit_rate = 0.0f64;
+    let mut pool_peak_bytes = 0u64;
+    let mut pool_peak_outstanding = 0u64;
     for app in SCALING_APPS {
         let mut rps_by_clients = Vec::new();
         let mut raw_by_clients = Vec::new();
@@ -251,6 +268,8 @@ fn main() {
             raw_by_clients.push(raw);
             let pool = srv.stats().pool;
             pool_hit_rate = pool_hit_rate.max(pool.hit_rate());
+            pool_peak_bytes = pool_peak_bytes.max(pool.peak_in_use_bytes);
+            pool_peak_outstanding = pool_peak_outstanding.max(pool.peak_outstanding);
             eprintln!(
                 "{:<20} {clients} client(s): {best:>8.1} req/s (raw-thread ceiling {raw:>8.1}, pool hit rate {:.1}%)",
                 app.name(),
@@ -387,6 +406,10 @@ fn main() {
     let _ = writeln!(json, "  \"pool_hit_rate\": {:.4},", pool_hit_rate);
     let _ = writeln!(
         json,
+        "  \"pool\": {{ \"peak_in_use_bytes\": {pool_peak_bytes}, \"peak_outstanding\": {pool_peak_outstanding} }},"
+    );
+    let _ = writeln!(
+        json,
         "  \"gate\": {{ \"apps\": {gate_names:?}, \"cold_ms_total\": {cold_total:.3}, \"warm_ms_total\": {warm_total:.3}, \"warm_over_cold\": {warm_over_cold:.2} }}"
     );
     json.push_str("}\n");
@@ -473,6 +496,27 @@ fn main() {
             s.raw_rps[2] / s.raw_rps[0],
             100.0 * s.rps[2] / s.raw_rps[2]
         );
+    }
+    println!(
+        "pool peaks across the scaling grid: {pool_peak_bytes} bytes in use, \
+         {pool_peak_outstanding} buffers outstanding"
+    );
+    assert!(
+        pool_peak_bytes > 0 && pool_peak_outstanding > 0,
+        "the scaling grid checks out pooled buffers, so the pool's peak \
+         gauges must have registered them"
+    );
+
+    if let Some(path) = trace_out {
+        let json = halide_trace::export_json();
+        halide_trace::validate_json_syntax(&json).expect("exported trace is well-formed JSON");
+        let events = halide_trace::global().events();
+        assert!(
+            events.iter().any(|e| e.pid == halide_trace::PID_SERVE),
+            "a traced serving run must record request-lifecycle spans"
+        );
+        std::fs::write(&path, &json).expect("writing the trace export");
+        println!("wrote {path} ({} events)", events.len());
     }
 }
 
@@ -685,7 +729,10 @@ fn run_overload_scenario() -> OverloadReport {
     let goodput_rps = ok as f64 / elapsed;
     let goodput_ratio = goodput_rps / capacity_rps;
     let stats = srv.stats();
-    assert_eq!(stats.requests, ok, "server agrees with the clients on goodput");
+    assert_eq!(
+        stats.requests, ok,
+        "server agrees with the clients on goodput"
+    );
     assert_eq!(stats.rejected, rejected);
     assert_eq!(stats.shed, shed);
 
@@ -698,8 +745,8 @@ fn run_overload_scenario() -> OverloadReport {
             for _ in 0..high_clients {
                 highs.push(scope.spawn(move || {
                     let input = Arc::new(APP.make_input(HIGH_SIZE.0, HIGH_SIZE.1));
-                    let req = Request::new(APP, ScheduleChoice::Tuned, input)
-                        .priority(Priority::High);
+                    let req =
+                        Request::new(APP, ScheduleChoice::Tuned, input).priority(Priority::High);
                     let mut lat_ms = Vec::with_capacity(HIGH_PER_CLIENT);
                     for _ in 0..HIGH_PER_CLIENT {
                         let resp = srv.call(&req).expect("high-priority request");

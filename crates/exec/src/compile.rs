@@ -229,6 +229,12 @@ pub(crate) enum CStmt {
     /// Counter compensation: bump the arithmetic counter by `arith` (two's
     /// complement; may be negative) when instrumented.
     Count { arith: i64 },
+    /// A produce nest for func `func` (an index into
+    /// [`Program::func_names`]): when a profiler is attached to the
+    /// execution context, entry publishes the func as the sampler's
+    /// current-func token (and counts one invocation) and exit restores
+    /// the previous token. Without a profiler this is a plain `body`.
+    Produce { func: u32, body: Box<CStmt> },
     /// Does nothing.
     NoOp,
 }
@@ -253,6 +259,9 @@ pub struct Program {
     pub(crate) free_slots: HashMap<String, u32>,
     /// Free buffers: name → index. All must be bound before running.
     pub(crate) free_bufs: HashMap<String, u32>,
+    /// Func index → func name for [`CStmt::Produce`] markers (the
+    /// per-Func profiler's id space).
+    pub(crate) func_names: Vec<String>,
     /// What the optimizer did (pass statistics; see [`OptReport`]).
     pub(crate) opt_report: OptReport,
 }
@@ -306,17 +315,29 @@ impl Program {
     }
 
     /// Compiles a bare statement at an explicit [`OptLevel`]: linearize to
-    /// PIR, run the optimizer, emit machine statements.
+    /// PIR, run the optimizer, emit machine statements. Each phase records
+    /// a `compile`-category span into the global trace sink when tracing
+    /// is enabled.
     pub(crate) fn compile_stmt_with(stmt: &Stmt, level: OptLevel) -> Result<Program> {
-        let mut pir = crate::pir::linearize(stmt)?;
-        let report = optimize(&mut pir, level, None);
+        let pir = {
+            let _span = halide_trace::span("compile/linearize", "compile");
+            crate::pir::linearize(stmt)?
+        };
+        let mut pir = pir;
+        let report = {
+            let _span = halide_trace::span("compile/optimize", "compile");
+            optimize(&mut pir, level, None)
+        };
         Program::assemble(pir, report)
     }
 
     /// Emits an optimized PIR program and packages it with its interface
     /// tables.
     fn assemble(pir: crate::pir::PirProgram, opt_report: OptReport) -> Result<Program> {
-        let body = crate::emit::emit(&pir)?;
+        let body = {
+            let _span = halide_trace::span("compile/emit", "compile");
+            crate::emit::emit(&pir)?
+        };
         Ok(Program {
             body,
             n_slots: pir.n_regs as usize,
@@ -324,6 +345,7 @@ impl Program {
             buf_names: pir.buf_names,
             free_slots: pir.free_slots,
             free_bufs: pir.free_bufs,
+            func_names: pir.func_names,
             opt_report,
         })
     }
@@ -343,5 +365,11 @@ impl Program {
     /// counters.
     pub fn opt_report(&self) -> &OptReport {
         &self.opt_report
+    }
+
+    /// Func names referenced by the program's produce markers — the name
+    /// space the per-Func profiler attributes time to.
+    pub fn func_names(&self) -> &[String] {
+        &self.func_names
     }
 }

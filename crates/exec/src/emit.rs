@@ -426,6 +426,12 @@ impl Emitter<'_> {
     fn block_stmts(&self, b: BlockId) -> Result<Vec<CStmt>> {
         let mut out: Vec<CStmt> = Vec::new();
         let mut cx = BlockCx::default();
+        // Produce markers are paired and well-nested within a block (the
+        // linearizer emits both sides into the same block), so nesting is
+        // rebuilt with a stack of output lists: `ProduceEnter` starts a
+        // fresh list, `ProduceExit` wraps it into a `CStmt::Produce` and
+        // resumes the enclosing one.
+        let mut produce_stack: Vec<(u32, Vec<CStmt>)> = Vec::new();
         let flush = |cx: &mut BlockCx, out: &mut Vec<CStmt>, all: bool| {
             for (r, e) in cx.drain(all) {
                 out.push(CStmt::SetSlot { slot: r, value: e });
@@ -434,6 +440,28 @@ impl Emitter<'_> {
         for inst in &self.p.blocks[b as usize] {
             match &inst.op {
                 POp::Count { arith } => out.push(CStmt::Count { arith: *arith }),
+                POp::ProduceEnter { func } => {
+                    produce_stack.push((*func, std::mem::take(&mut out)));
+                }
+                POp::ProduceExit => {
+                    let Some((func, outer)) = produce_stack.pop() else {
+                        return Err(ExecError::new(
+                            "internal error: unbalanced produce markers".to_string(),
+                        ));
+                    };
+                    let body_stmts = std::mem::replace(&mut out, outer);
+                    // An empty nest still emits: the profiler's invocation
+                    // counts must match the interpreter's exactly.
+                    let body = match body_stmts.len() {
+                        0 => CStmt::NoOp,
+                        1 => body_stmts.into_iter().next().unwrap(),
+                        _ => CStmt::Block(body_stmts),
+                    };
+                    out.push(CStmt::Produce {
+                        func,
+                        body: Box::new(body),
+                    });
+                }
                 POp::Store { buf, value, index } => {
                     let (val, _) = cx.take(*value);
                     let (idx, _) = cx.take(*index);
@@ -565,6 +593,11 @@ impl Emitter<'_> {
                     }
                 }
             }
+        }
+        if !produce_stack.is_empty() {
+            return Err(ExecError::new(
+                "internal error: produce marker left open at block end".to_string(),
+            ));
         }
         // Anything still pending (a zero-use pure definition the optimizer
         // did not run over) must still evaluate, in definition order.

@@ -36,6 +36,12 @@ pub struct Context {
     /// from this pool (and return them on scope exit) instead of hitting the
     /// allocator — the serving layer's steady-state zero-allocation path.
     pub buffer_pool: Option<Arc<BufferPool>>,
+    /// When present, produce nests publish the currently-running Func to the
+    /// sampling profiler, and scratch allocations are attributed to the Func
+    /// whose storage they back. `None` (the default) keeps the hot path
+    /// untouched: the cost of an unattached profiler is one pointer-sized
+    /// branch per produce entry, never per operation.
+    pub profiler: Option<Arc<halide_trace::Profiler>>,
     gpu_used: AtomicBool,
     error: Mutex<Option<ExecError>>,
     failed: AtomicBool,
@@ -50,6 +56,7 @@ impl Context {
             gpu: GpuDevice::new(),
             instrument,
             buffer_pool: None,
+            profiler: None,
             gpu_used: AtomicBool::new(false),
             error: Mutex::new(None),
             failed: AtomicBool::new(false),
@@ -60,6 +67,13 @@ impl Context {
     /// (`None` allocates fresh buffers, the default).
     pub fn with_buffer_pool(mut self, pool: Option<Arc<BufferPool>>) -> Self {
         self.buffer_pool = pool;
+        self
+    }
+
+    /// Attaches a sampling profiler; produce nests will publish the current
+    /// Func and scratch allocations will be attributed to it.
+    pub fn with_profiler(mut self, profiler: Option<Arc<halide_trace::Profiler>>) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -542,7 +556,21 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
                 Err(ExecError::new(format!("assertion failed: {message}")))
             }
         }
-        StmtNode::Producer { body, .. } => eval_stmt(body, frame, ctx),
+        StmtNode::Producer {
+            name,
+            is_produce,
+            body,
+        } => {
+            if *is_produce {
+                if let Some(p) = &ctx.profiler {
+                    let prev = p.enter_named(name);
+                    let r = eval_stmt(body, frame, ctx);
+                    p.exit(prev);
+                    return r;
+                }
+            }
+            eval_stmt(body, frame, ctx)
+        }
         StmtNode::For {
             name,
             min,
@@ -674,11 +702,17 @@ pub fn eval_stmt(s: &Stmt, frame: &mut Frame, ctx: &Context) -> Result<()> {
             let buf = Arc::new(ctx.alloc_scratch(ty.scalar(), &[n]));
             let bytes = buf.size_bytes() as u64;
             ctx.counters.add_allocation(bytes);
+            if let Some(p) = &ctx.profiler {
+                p.record_alloc(name, bytes);
+            }
             let mark = frame.mark_buffers();
             frame.insert_buffer(name.clone(), Arc::clone(&buf));
             let r = eval_stmt(body, frame, ctx);
             frame.restore_buffers(mark);
             ctx.counters.add_free(bytes);
+            if let Some(p) = &ctx.profiler {
+                p.record_free(name, bytes);
+            }
             ctx.release_scratch(buf);
             r
         }

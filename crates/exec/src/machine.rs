@@ -1340,12 +1340,18 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
             let buffer = Arc::new(ctx.alloc_scratch(*ty, &[n]));
             let bytes = buffer.size_bytes() as u64;
             ctx.counters.add_allocation(bytes);
+            if let Some(p) = &ctx.profiler {
+                p.record_alloc(&prog.buf_names[*buf as usize], bytes);
+            }
             m.bufs[*buf as usize] = Some(buffer);
             let r = exec(prog, body, m, ctx);
             if let Some(buffer) = m.bufs[*buf as usize].take() {
                 ctx.release_scratch(buffer);
             }
             ctx.counters.add_free(bytes);
+            if let Some(p) = &ctx.profiler {
+                p.record_free(&prog.buf_names[*buf as usize], bytes);
+            }
             r
         }
         CStmt::Block(stmts) => {
@@ -1373,6 +1379,16 @@ pub(crate) fn exec(prog: &Program, s: &CStmt, m: &mut Machine, ctx: &Context) ->
         CStmt::Evaluate(value) => {
             eval(prog, value, m, ctx)?;
             Ok(())
+        }
+        CStmt::Produce { func, body } => {
+            if let Some(p) = &ctx.profiler {
+                let prev = p.enter_named(&prog.func_names[*func as usize]);
+                let r = exec(prog, body, m, ctx);
+                p.exit(prev);
+                r
+            } else {
+                exec(prog, body, m, ctx)
+            }
         }
         CStmt::NoOp => Ok(()),
     }

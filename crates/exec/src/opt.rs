@@ -82,13 +82,17 @@ impl OptLevel {
     }
 }
 
-/// Change count for one pass across all fixed-point iterations.
+/// Change count and wall time for one pass across all fixed-point
+/// iterations.
 #[derive(Debug, Clone)]
 pub struct PassStat {
     /// Pass name (stable; used in bench JSON).
     pub name: &'static str,
     /// Number of rewrites the pass performed.
     pub changes: u64,
+    /// Wall time spent in the pass, summed over iterations, in
+    /// nanoseconds (the compile-telemetry surface).
+    pub nanos: u64,
 }
 
 /// What the optimizer did to one program: the before/after instruction
@@ -151,7 +155,11 @@ pub(crate) fn optimize(
         iterations: 0,
         passes: PASSES
             .iter()
-            .map(|(name, _)| PassStat { name, changes: 0 })
+            .map(|(name, _)| PassStat {
+                name,
+                changes: 0,
+                nanos: 0,
+            })
             .collect(),
     };
     if level == OptLevel::None {
@@ -160,7 +168,9 @@ pub(crate) fn optimize(
     for iter in 1..=MAX_ITERATIONS {
         let mut total = 0;
         for (i, (name, pass)) in PASSES.iter().enumerate() {
+            let start = std::time::Instant::now();
             let changes = pass(p);
+            report.passes[i].nanos += start.elapsed().as_nanos() as u64;
             report.passes[i].changes += changes;
             total += changes;
             if changes > 0 {

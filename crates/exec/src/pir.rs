@@ -178,6 +178,16 @@ pub(crate) enum POp {
     /// Counter compensation: bump the arithmetic counter by `arith` (two's
     /// complement; may be negative) when instrumented. See the module docs.
     Count { arith: i64 },
+    /// Profiler marker: a produce nest for func `func` (an index into
+    /// [`PirProgram::func_names`]) begins here. Paired with a
+    /// [`POp::ProduceExit`] in the same block (the linearizer emits both
+    /// around the nest's statements, so pairs are well-nested within one
+    /// block by construction). Not counted, not pure, no destination:
+    /// every optimizer pass passes it through untouched, and
+    /// [`PirProgram::exec_inst_count`] excludes it like [`POp::Count`].
+    ProduceEnter { func: u32 },
+    /// Profiler marker closing the innermost open [`POp::ProduceEnter`].
+    ProduceExit,
 }
 
 /// One PIR instruction: an optional destination register, the operation,
@@ -203,6 +213,9 @@ pub(crate) struct PirProgram {
     /// Per-register runtime kind guarantee.
     pub(crate) kind: Vec<PKind>,
     pub(crate) buf_names: Vec<String>,
+    /// Func names referenced by [`POp::ProduceEnter`] markers, in
+    /// first-appearance order.
+    pub(crate) func_names: Vec<String>,
     pub(crate) free_slots: HashMap<String, Reg>,
     pub(crate) free_bufs: HashMap<String, u32>,
 }
@@ -234,7 +247,11 @@ impl POp {
 
     fn for_each_operand_impl(&self, f: &mut dyn FnMut(Reg)) {
         match self {
-            POp::ConstI(_) | POp::ConstF(_) | POp::Count { .. } => {}
+            POp::ConstI(_)
+            | POp::ConstF(_)
+            | POp::Count { .. }
+            | POp::ProduceEnter { .. }
+            | POp::ProduceExit => {}
             POp::Copy(a)
             | POp::Cast { a, .. }
             | POp::Not { a }
@@ -306,7 +323,11 @@ impl POp {
     pub(crate) fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Reg)) {
         let g: &mut dyn FnMut(&mut Reg) = &mut f;
         match self {
-            POp::ConstI(_) | POp::ConstF(_) | POp::Count { .. } => {}
+            POp::ConstI(_)
+            | POp::ConstF(_)
+            | POp::Count { .. }
+            | POp::ProduceEnter { .. }
+            | POp::ProduceExit => {}
             POp::Copy(a)
             | POp::Cast { a, .. }
             | POp::Not { a }
@@ -429,13 +450,18 @@ impl PirProgram {
     }
 
     /// Number of executable instructions (everything except counter
-    /// compensation markers) across reachable blocks — the optimizer's
-    /// before/after size metric.
+    /// compensation and profiler markers) across reachable blocks — the
+    /// optimizer's before/after size metric.
     pub(crate) fn exec_inst_count(&self) -> usize {
         self.reachable()
             .iter()
             .flat_map(|b| &self.blocks[*b as usize])
-            .filter(|i| !matches!(i.op, POp::Count { .. }))
+            .filter(|i| {
+                !matches!(
+                    i.op,
+                    POp::Count { .. } | POp::ProduceEnter { .. } | POp::ProduceExit
+                )
+            })
             .count()
     }
 
@@ -616,6 +642,8 @@ fn print_inst(inst: &PInst) -> String {
         },
         POp::Evaluate { a } => write!(s, "eval r{a}"),
         POp::Count { arith } => write!(s, "count {arith}"),
+        POp::ProduceEnter { func } => write!(s, "produce f{func}"),
+        POp::ProduceExit => write!(s, "end_produce"),
     };
     if inst.op.counted() && inst.weight != 1 {
         let _ = write!(s, " !w{}", inst.weight);
@@ -842,6 +870,15 @@ impl Linearizer {
             .get_mut(name)
             .and_then(Vec::pop)
             .expect("unbalanced linearize-time buffer scope");
+    }
+
+    /// Interns a produce-marker func name.
+    fn func_id(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.prog.func_names.iter().position(|n| n == name) {
+            return i as u32;
+        }
+        self.prog.func_names.push(name.to_string());
+        (self.prog.func_names.len() - 1) as u32
     }
 
     fn buf(&mut self, name: &str) -> u32 {
@@ -1219,7 +1256,25 @@ impl Linearizer {
                     },
                 );
             }
-            StmtNode::Producer { body, .. } => self.stmt(body)?,
+            StmtNode::Producer {
+                name,
+                is_produce,
+                body,
+            } => {
+                // Produce nests become paired profiler markers; consume
+                // markers stay transparent (their time attributes to the
+                // enclosing producer). Enter and Exit land in the same
+                // block as the nest's statements, so pairs stay balanced
+                // under any block-level splicing the optimizer does.
+                if *is_produce {
+                    let func = self.func_id(name);
+                    self.push(None, POp::ProduceEnter { func });
+                    self.stmt(body)?;
+                    self.push(None, POp::ProduceExit);
+                } else {
+                    self.stmt(body)?;
+                }
+            }
             StmtNode::For {
                 name,
                 min,

@@ -152,34 +152,59 @@ pub fn lower_with_options(pipeline: &Pipeline, options: &LowerOptions) -> Result
     let output = pipeline.output().name();
 
     // 1. Inline total-fusion functions.
-    inject::inline_all(&mut env, &order, &output)?;
+    {
+        let _span = halide_trace::span("lower/inline", "compile");
+        inject::inline_all(&mut env, &order, &output)?;
+    }
 
     // 2. Loop synthesis + injection + bounds inference.
-    let stmt = inject::build_pipeline_stmt(&env, &order, &output)?;
+    let stmt = {
+        let _span = halide_trace::span("lower/inject-bounds", "compile");
+        inject::build_pipeline_stmt(&env, &order, &output)?
+    };
 
     // 3. Sliding window + storage folding.
-    let (stmt, sliding_report) =
-        sliding::sliding_and_folding(&stmt, &env, options.sliding_window, options.storage_folding);
-    let stmt = simplify_stmt(&stmt);
+    let (stmt, sliding_report) = {
+        let _span = halide_trace::span("lower/sliding", "compile");
+        let (stmt, report) = sliding::sliding_and_folding(
+            &stmt,
+            &env,
+            options.sliding_window,
+            options.storage_folding,
+        );
+        (simplify_stmt(&stmt), report)
+    };
 
     // 4. Flattening.
-    let stmt = flatten::flatten(&stmt);
+    let stmt = {
+        let _span = halide_trace::span("lower/flatten", "compile");
+        flatten::flatten(&stmt)
+    };
 
     // 5. Vectorization and unrolling.
-    let stmt = if options.vectorize {
-        vectorize::vectorize_and_unroll(&stmt)?
-    } else {
-        demote_vector_loops(&stmt)
+    let stmt = {
+        let _span = halide_trace::span("lower/vectorize", "compile");
+        if options.vectorize {
+            vectorize::vectorize_and_unroll(&stmt)?
+        } else {
+            demote_vector_loops(&stmt)
+        }
     };
 
     // 6. Loop-invariant mask hoisting: `select` conditions that do not
     //    depend on an enclosing loop's variable are bound to `let`s at the
     //    loop-body head, where both execution engines' invariant-let peeling
     //    evaluates them once per loop entry.
-    let stmt = licm::hoist_invariant_masks(&stmt);
+    let stmt = {
+        let _span = halide_trace::span("lower/licm", "compile");
+        licm::hoist_invariant_masks(&stmt)
+    };
 
     // 7. Final cleanup.
-    let stmt = simplify_stmt(&stmt);
+    let stmt = {
+        let _span = halide_trace::span("lower/simplify", "compile");
+        simplify_stmt(&stmt)
+    };
 
     let out_def = &env[&output];
     let (free_symbols, external_buffers) = stmt_interface(&stmt);

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use halide_ir::ScalarType;
@@ -69,6 +69,17 @@ pub struct BufferPool {
     max_bytes: usize,
     /// Idle bytes currently held.
     idle_bytes: AtomicUsize,
+    /// Bytes currently checked out (acquired and not yet released). Signed:
+    /// releasing a buffer the pool never handed out (a legal use of
+    /// [`PooledBuffer::attached`]) may drive the instantaneous value
+    /// negative, which [`BufferPool::stats`] clamps to zero.
+    in_use_bytes: AtomicI64,
+    /// Buffers currently checked out.
+    outstanding: AtomicI64,
+    /// High-water mark of `in_use_bytes`.
+    peak_in_use_bytes: AtomicI64,
+    /// High-water mark of `outstanding`.
+    peak_outstanding: AtomicI64,
     hits: AtomicU64,
     misses: AtomicU64,
     returns: AtomicU64,
@@ -88,6 +99,18 @@ pub struct PoolStats {
     pub dropped: u64,
     /// Bytes of idle storage currently pooled.
     pub idle_bytes: u64,
+    /// Bytes currently checked out of the pool (acquired, not yet
+    /// released). A buffer taken out of circulation with
+    /// [`PooledBuffer::detach`] stays counted here — from the pool's point
+    /// of view it is still outstanding.
+    pub in_use_bytes: u64,
+    /// Buffers currently checked out of the pool.
+    pub outstanding: u64,
+    /// High-water mark of [`PoolStats::in_use_bytes`] over the pool's
+    /// lifetime — the working-set figure the serving benchmarks report.
+    pub peak_in_use_bytes: u64,
+    /// High-water mark of [`PoolStats::outstanding`].
+    pub peak_outstanding: u64,
 }
 
 impl PoolStats {
@@ -112,11 +135,24 @@ impl BufferPool {
             classes: Mutex::new(HashMap::new()),
             max_bytes,
             idle_bytes: AtomicUsize::new(0),
+            in_use_bytes: AtomicI64::new(0),
+            outstanding: AtomicI64::new(0),
+            peak_in_use_bytes: AtomicI64::new(0),
+            peak_outstanding: AtomicI64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             returns: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Records a buffer of `bytes` leaving the pool, updating the in-use
+    /// gauges and their high-water marks.
+    fn note_checkout(&self, bytes: usize) {
+        let now = self.in_use_bytes.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+        self.peak_in_use_bytes.fetch_max(now, Ordering::Relaxed);
+        let count = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_outstanding.fetch_max(count, Ordering::Relaxed);
     }
 
     /// Acquires a zero-filled buffer of the given type and extents, recycling
@@ -152,10 +188,9 @@ impl BufferPool {
                 // `Buffer::storage_bytes_per_elem`): the buffer's previous
                 // nominal type may differ from `ty` while sharing the same
                 // underlying representation.
-                self.idle_bytes.fetch_sub(
-                    buf.capacity_elems() * Buffer::storage_bytes_per_elem(ty),
-                    Ordering::Relaxed,
-                );
+                let bytes = buf.capacity_elems() * Buffer::storage_bytes_per_elem(ty);
+                self.idle_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                self.note_checkout(bytes);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 // The memset happens outside the free-list lock.
                 (buf.recycle(ty, extents), true)
@@ -169,10 +204,9 @@ impl BufferPool {
                 // request, which routes to class 7. At most 2x idle
                 // overhead, the standard size-class trade.
                 let padded = len.max(1).next_power_of_two() as i64;
-                (
-                    Buffer::with_extents(ty, &[padded]).recycle(ty, extents),
-                    false,
-                )
+                let buf = Buffer::with_extents(ty, &[padded]);
+                self.note_checkout(buf.capacity_elems() * Buffer::storage_bytes_per_elem(ty));
+                (buf.recycle(ty, extents), false)
             }
         }
     }
@@ -193,6 +227,10 @@ impl BufferPool {
     pub fn release(&self, buf: Buffer) {
         self.returns.fetch_add(1, Ordering::Relaxed);
         let bytes = buf.capacity_elems() * Buffer::storage_bytes_per_elem(buf.ty());
+        // A dropped-on-the-floor return still left circulation: both gauges
+        // come down whether the allocation is kept idle or freed.
+        self.in_use_bytes.fetch_sub(bytes as i64, Ordering::Relaxed);
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
         if self.idle_bytes.load(Ordering::Relaxed) + bytes > self.max_bytes {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
@@ -222,6 +260,10 @@ impl BufferPool {
             returns: self.returns.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             idle_bytes: self.idle_bytes.load(Ordering::Relaxed) as u64,
+            in_use_bytes: self.in_use_bytes.load(Ordering::Relaxed).max(0) as u64,
+            outstanding: self.outstanding.load(Ordering::Relaxed).max(0) as u64,
+            peak_in_use_bytes: self.peak_in_use_bytes.load(Ordering::Relaxed).max(0) as u64,
+            peak_outstanding: self.peak_outstanding.load(Ordering::Relaxed).max(0) as u64,
         }
     }
 }
@@ -390,6 +432,35 @@ mod tests {
         let b = pool.acquire_copy_of(&src);
         assert_eq!(pool.stats().hits, 1);
         assert_eq!(b.to_f64_vec(), src.to_f64_vec());
+    }
+
+    /// The in-use gauges track checkouts and keep their high-water marks;
+    /// a detached buffer stays counted as outstanding (documented: the pool
+    /// never learns it left circulation).
+    #[test]
+    fn in_use_gauges_track_checkouts_and_peaks() {
+        let pool = Arc::new(BufferPool::default());
+        let a = pool.acquire(ScalarType::Float(64), &[8]); // 64 bytes
+        let b = pool.acquire(ScalarType::Float(64), &[8]);
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 2);
+        assert_eq!(s.in_use_bytes, 128);
+        assert_eq!(s.peak_outstanding, 2);
+        assert_eq!(s.peak_in_use_bytes, 128);
+        drop(a);
+        drop(b);
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.in_use_bytes, 0);
+        // Peaks persist after the buffers come back.
+        assert_eq!(s.peak_outstanding, 2);
+        assert_eq!(s.peak_in_use_bytes, 128);
+        // A detached buffer never releases: it remains outstanding.
+        let c = pool.acquire(ScalarType::Float(64), &[8]).detach();
+        assert_eq!(pool.stats().outstanding, 1);
+        drop(c);
+        assert_eq!(pool.stats().outstanding, 1);
+        assert_eq!(pool.stats().peak_outstanding, 2);
     }
 
     #[test]

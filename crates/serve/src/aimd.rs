@@ -136,7 +136,12 @@ impl AimdController {
     /// request ran while admission was at the limit (only then can a healthy
     /// window justify growing it). Returns a decision when this observation
     /// closed a window.
-    pub fn observe(&self, latency: Duration, saturated: bool, now: Duration) -> Option<AimdDecision> {
+    pub fn observe(
+        &self,
+        latency: Duration,
+        saturated: bool,
+        now: Duration,
+    ) -> Option<AimdDecision> {
         let mut st = self.state.lock().unwrap();
         if st.samples_ms.len() < MAX_WINDOW_SAMPLES {
             st.samples_ms.push(latency.as_secs_f64() * 1e3);
@@ -235,17 +240,29 @@ mod tests {
         assert_eq!(ctrl.baseline_ms(), Some(10.0));
 
         // Windows 2-3: flat 10 ms under saturation — additive increase.
-        assert_eq!(run_window(&ctrl, 10, true, 200 * MS), AimdDecision::Increased(4));
-        assert_eq!(run_window(&ctrl, 10, true, 300 * MS), AimdDecision::Increased(5));
+        assert_eq!(
+            run_window(&ctrl, 10, true, 200 * MS),
+            AimdDecision::Increased(4)
+        );
+        assert_eq!(
+            run_window(&ctrl, 10, true, 300 * MS),
+            AimdDecision::Increased(5)
+        );
 
         // Window 4: p95 spikes to 30 ms (> 1.5 × baseline 10 ms) —
         // multiplicative decrease: floor(5 × 0.75) = 3.
-        assert_eq!(run_window(&ctrl, 30, true, 400 * MS), AimdDecision::Backoff(3));
+        assert_eq!(
+            run_window(&ctrl, 30, true, 400 * MS),
+            AimdDecision::Backoff(3)
+        );
         // The congested window must NOT have polluted the baseline.
         assert_eq!(ctrl.baseline_ms(), Some(10.0));
 
         // Window 5: back to 10 ms — climbs again.
-        assert_eq!(run_window(&ctrl, 10, true, 500 * MS), AimdDecision::Increased(4));
+        assert_eq!(
+            run_window(&ctrl, 10, true, 500 * MS),
+            AimdDecision::Increased(4)
+        );
     }
 
     /// Unsaturated healthy windows hold: spare limit is never grown
@@ -254,7 +271,10 @@ mod tests {
     fn no_increase_without_saturation() {
         let ctrl = controller(8);
         run_window(&ctrl, 10, true, 100 * MS); // seed baseline, limit 3
-        assert_eq!(run_window(&ctrl, 10, false, 200 * MS), AimdDecision::Held(3));
+        assert_eq!(
+            run_window(&ctrl, 10, false, 200 * MS),
+            AimdDecision::Held(3)
+        );
         assert_eq!(ctrl.limit(), 3);
     }
 
@@ -274,8 +294,14 @@ mod tests {
         );
         assert_eq!(run_window(&ctrl, 10, true, 100 * MS), AimdDecision::Held(3));
         // Repeated congestion pins at the floor, not below.
-        assert_eq!(run_window(&ctrl, 100, true, 200 * MS), AimdDecision::Backoff(2));
-        assert_eq!(run_window(&ctrl, 100, true, 300 * MS), AimdDecision::Backoff(2));
+        assert_eq!(
+            run_window(&ctrl, 100, true, 200 * MS),
+            AimdDecision::Backoff(2)
+        );
+        assert_eq!(
+            run_window(&ctrl, 100, true, 300 * MS),
+            AimdDecision::Backoff(2)
+        );
         assert_eq!(ctrl.limit(), 2);
     }
 

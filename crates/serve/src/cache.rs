@@ -331,6 +331,24 @@ impl<K: Eq + Hash + Clone, V: Clone> CostLru<K, V> {
         self.state.lock().unwrap().map.keys().cloned().collect()
     }
 
+    /// Every resident `(key, value, cost)` triple, in no particular order,
+    /// without refreshing any entry's credit (introspection, not traffic).
+    pub fn resident_entries(&self) -> Vec<(K, V, Duration)> {
+        self.state
+            .lock()
+            .unwrap()
+            .map
+            .iter()
+            .map(|(k, slot)| {
+                (
+                    k.clone(),
+                    slot.value.clone(),
+                    Duration::from_nanos(slot.cost_ns.min(u64::MAX as u128) as u64),
+                )
+            })
+            .collect()
+    }
+
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
         let mut st = self.state.lock().unwrap();
@@ -390,6 +408,14 @@ impl ProgramCache {
         }
 
         let start = Instant::now();
+        // One umbrella span per artifact build; the lowering phases and the
+        // PIR pass pipeline emit their own nested spans under it, so a trace
+        // ties every compile-side span to the ProgramKey that caused it.
+        let _span = halide_trace::span("cache/compile-miss", "compile")
+            .arg("app", key.app.name())
+            .arg("schedule", format!("{:?}", key.schedule))
+            .arg("shape", format!("{}x{}", key.shape.0, key.shape.1))
+            .arg("opt", key.opt.name());
         let built = key
             .app
             .build(key.shape.0, key.shape.1, key.schedule)
@@ -443,6 +469,17 @@ impl ProgramCache {
     /// Estimated resident bytes.
     pub fn bytes(&self) -> u64 {
         self.entries.bytes()
+    }
+
+    /// The build cost of every resident artifact, keyed by [`ProgramKey`] —
+    /// what each cached program cost to lower + compile, i.e. what evicting
+    /// it would make the next cold request pay. Does not count as traffic.
+    pub fn compile_costs(&self) -> Vec<(ProgramKey, Duration)> {
+        self.entries
+            .resident_entries()
+            .into_iter()
+            .map(|(k, _, cost)| (k, cost))
+            .collect()
     }
 
     /// Drops every entry (subsequent requests recompile).

@@ -9,10 +9,11 @@
 //! [`Clock::advance`] — so a queued request can be expired, or an AIMD
 //! window closed, without a single real millisecond passing.
 //!
-//! Blocking waits go through [`Clock::wait`]: under the system clock it is a
-//! plain `Condvar::wait_timeout` against the deadline; under a virtual clock
-//! it parks unconditionally and relies on [`Clock::advance`] notifying every
-//! condvar registered via [`Clock::register_waker`] — waiters re-check their
+//! Blocking waits go through the crate-internal `Clock::wait`: under the
+//! system clock it is a plain `Condvar::wait_timeout` against the deadline;
+//! under a virtual clock it parks unconditionally and relies on
+//! [`Clock::advance`] notifying every condvar registered via the internal
+//! `Clock::register_waker` — waiters re-check their
 //! deadline predicate on wake, so time moving is the only wake source a test
 //! needs to drive.
 
@@ -95,16 +96,13 @@ impl Clock {
                 }
                 // Wake everything parked on a registered condvar; dead
                 // registrations are pruned as we go.
-                v.wakers
-                    .lock()
-                    .unwrap()
-                    .retain(|w| match w.upgrade() {
-                        Some(cv) => {
-                            cv.notify_all();
-                            true
-                        }
-                        None => false,
-                    });
+                v.wakers.lock().unwrap().retain(|w| match w.upgrade() {
+                    Some(cv) => {
+                        cv.notify_all();
+                        true
+                    }
+                    None => false,
+                });
             }
         }
     }

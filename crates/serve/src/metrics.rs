@@ -238,4 +238,70 @@ mod tests {
         assert_eq!(s.max_ms, 60.0);
         assert_eq!((s.mean_ms * 10.0).round() / 10.0, 45.0);
     }
+
+    /// Filling the ring to exactly its window keeps every sample: nothing
+    /// has aged out yet, even though the next record will overwrite slot 0.
+    #[test]
+    fn exactly_full_window_retains_every_sample() {
+        let rec = LatencyRecorder::with_window(8);
+        for ms in 1..=8u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.p50_ms, 4.0); // nearest rank: ceil(0.50 * 8) = 4
+        assert_eq!(s.p95_ms, 8.0); // ceil(0.95 * 8) = 8
+        assert_eq!(s.p99_ms, 8.0);
+        assert_eq!(s.max_ms, 8.0);
+        assert!((s.mean_ms - 4.5).abs() < 1e-9);
+        assert_eq!(rec.state.lock().unwrap().samples_ms.len(), 8);
+    }
+
+    /// The (window + 1)-th record evicts exactly the oldest sample and
+    /// nothing else.
+    #[test]
+    fn window_plus_one_evicts_only_the_oldest() {
+        let rec = LatencyRecorder::with_window(8);
+        for ms in 1..=9u64 {
+            rec.record(Duration::from_millis(ms));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.count, 9, "total count keeps growing past the window");
+        // Retained: 2..=9. The minimum shifted but the max did not.
+        assert_eq!(s.p50_ms, 5.0); // rank 4 of [2..=9]
+        assert_eq!(s.max_ms, 9.0);
+        assert!((s.mean_ms - 5.5).abs() < 1e-9);
+        assert_eq!(rec.state.lock().unwrap().samples_ms.len(), 8);
+    }
+
+    /// Nearest-rank with n = 2: p50 is the lower sample (rank 1), every
+    /// higher percentile is the upper one (rank 2).
+    #[test]
+    fn two_samples_split_at_the_median() {
+        let rec = LatencyRecorder::new();
+        rec.record(Duration::from_millis(10));
+        rec.record(Duration::from_millis(30));
+        let s = rec.snapshot();
+        assert_eq!(s.p50_ms, 10.0); // ceil(0.50 * 2) = rank 1
+        assert_eq!(s.p95_ms, 30.0); // ceil(0.95 * 2) = rank 2
+        assert_eq!(s.p99_ms, 30.0);
+        assert_eq!(s.max_ms, 30.0);
+        assert!((s.mean_ms - 20.0).abs() < 1e-9);
+    }
+
+    /// A degenerate all-equal distribution reports that value for every
+    /// summary statistic — no interpolation artifacts.
+    #[test]
+    fn all_equal_samples_collapse_every_statistic() {
+        let rec = LatencyRecorder::with_window(16);
+        for _ in 0..40 {
+            rec.record(Duration::from_millis(5));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.count, 40);
+        assert_eq!(
+            (s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms, s.mean_ms),
+            (5.0, 5.0, 5.0, 5.0, 5.0)
+        );
+    }
 }

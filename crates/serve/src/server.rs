@@ -303,11 +303,7 @@ impl Admission {
             && st.in_flight < st.limit
             && !st.free_slots.is_empty()
             && !st.waiters.iter().any(|w| w.priority >= priority);
-        let competing = st
-            .waiters
-            .iter()
-            .filter(|w| w.priority >= priority)
-            .count();
+        let competing = st.waiters.iter().filter(|w| w.priority >= priority).count();
         if !runnable_now && competing >= self.queue_capacity {
             return Err(AdmitError::Full);
         }
@@ -528,6 +524,39 @@ struct Realized {
     counters: CounterSnapshot,
 }
 
+/// Lifecycle timestamps of one request, collected only while the global
+/// trace sink is enabled and flushed as one span tree (on the server's
+/// [`Clock`] timebase, pid [`halide_trace::PID_SERVE`]) when the request
+/// concludes. Every field is a reading of the injectable clock, so
+/// manual-clock tests can assert exact span durations.
+struct ReqTrace {
+    /// Synthetic "thread" id: one lane per request in the trace viewer.
+    tid: u64,
+    submitted: Duration,
+    /// When the admission slot was granted (leader path).
+    admitted: Option<Duration>,
+    /// When the program was ready (compiled or cache hit).
+    compiled: Option<Duration>,
+    /// Whether the program lookup was a cache hit.
+    cache_hit: bool,
+    /// When the realization finished (leader) or the flight's result
+    /// arrived (follower).
+    realized: Option<Duration>,
+}
+
+impl ReqTrace {
+    fn new(tid: u64, submitted: Duration) -> Self {
+        ReqTrace {
+            tid,
+            submitted,
+            admitted: None,
+            compiled: None,
+            cache_hit: false,
+            realized: None,
+        }
+    }
+}
+
 /// A compile-once / realize-many pipeline server.
 ///
 /// Owns the name [`Registry`], the compiled-[`ProgramCache`], the shared
@@ -555,6 +584,9 @@ pub struct PipelineServer {
     realizations: AtomicU64,
     /// Followers currently parked on a flight (gauge, for tests and drains).
     coalesce_waiting: AtomicU64,
+    /// Trace-lane allocator: each traced request gets its own tid so its
+    /// span tree renders as one row in the trace viewer.
+    trace_seq: AtomicU64,
 }
 
 impl PipelineServer {
@@ -587,6 +619,7 @@ impl PipelineServer {
             coalesced: AtomicU64::new(0),
             realizations: AtomicU64::new(0),
             coalesce_waiting: AtomicU64::new(0),
+            trace_seq: AtomicU64::new(0),
             aimd,
             clock,
             registry,
@@ -691,7 +724,13 @@ impl PipelineServer {
     /// execution failures otherwise.
     pub fn call(&self, req: &Request) -> ServeResult<Response> {
         let submitted = self.clock.now();
-        let result = self.call_inner(req, submitted);
+        let mut trace = halide_trace::enabled().then(|| {
+            ReqTrace::new(
+                self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1,
+                submitted,
+            )
+        });
+        let result = self.call_inner(req, submitted, trace.as_mut());
         match &result {
             Ok(resp) => {
                 self.requests.fetch_add(1, Ordering::Relaxed);
@@ -705,10 +744,71 @@ impl PipelineServer {
             }
             Err(_) => {}
         }
+        if let Some(t) = &trace {
+            self.emit_request_trace(req, t, &result);
+        }
         result
     }
 
-    fn call_inner(&self, req: &Request, submitted: Duration) -> ServeResult<Response> {
+    /// Flushes one request's span tree into the global sink: a `request`
+    /// umbrella plus the phases its timestamps witnessed (`queued` →
+    /// `compile` → `realize` → `respond` for leaders, `coalesced-wait` →
+    /// `respond` for followers).
+    fn emit_request_trace(&self, req: &Request, t: &ReqTrace, result: &ServeResult<Response>) {
+        let sink = halide_trace::global();
+        let done = self.clock.now();
+        let event = |name: &str, start: Duration, end: Duration| halide_trace::TraceEvent {
+            name: name.to_string(),
+            cat: "serve",
+            ts_ns: start.as_nanos() as u64,
+            dur_ns: end.saturating_sub(start).as_nanos() as u64,
+            pid: halide_trace::PID_SERVE,
+            tid: t.tid,
+            args: Vec::new(),
+        };
+        let outcome = match result {
+            Ok(resp) if resp.coalesced => "ok-coalesced",
+            Ok(_) => "ok",
+            Err(ServeError::Overloaded { .. }) => "rejected",
+            Err(ServeError::DeadlineExceeded { .. }) => "shed",
+            Err(_) => "error",
+        };
+        let coalesced = matches!(result, Ok(resp) if resp.coalesced)
+            || (t.admitted.is_none() && t.realized.is_some());
+        if let Some(admitted) = t.admitted {
+            sink.record(event("queued", t.submitted, admitted));
+            if let Some(compiled) = t.compiled {
+                let mut e = event("compile", admitted, compiled);
+                e.args.push((
+                    "cache".to_string(),
+                    if t.cache_hit { "hit" } else { "miss" }.to_string(),
+                ));
+                sink.record(e);
+                if let Some(realized) = t.realized {
+                    sink.record(event("realize", compiled, realized));
+                    sink.record(event("respond", realized, done));
+                }
+            }
+        } else if coalesced {
+            if let Some(joined) = t.realized {
+                sink.record(event("coalesced-wait", t.submitted, joined));
+                sink.record(event("respond", joined, done));
+            }
+        }
+        let mut e = event("request", t.submitted, done);
+        e.args.push(("app".to_string(), req.app.name().to_string()));
+        e.args
+            .push(("schedule".to_string(), format!("{:?}", req.schedule)));
+        e.args.push(("outcome".to_string(), outcome.to_string()));
+        sink.record(e);
+    }
+
+    fn call_inner(
+        &self,
+        req: &Request,
+        submitted: Duration,
+        mut trace: Option<&mut ReqTrace>,
+    ) -> ServeResult<Response> {
         let deadline = req
             .deadline
             .or(self.config.default_deadline)
@@ -735,7 +835,7 @@ impl PipelineServer {
                 output,
                 cold_compile,
                 counters,
-            } = self.realize_admitted(req, &key, submitted, deadline)?;
+            } = self.realize_admitted(req, &key, submitted, deadline, trace.as_deref_mut())?;
             return Ok(Response {
                 output: self.attach(output),
                 latency: self.clock.now().saturating_sub(submitted),
@@ -747,49 +847,55 @@ impl PipelineServer {
 
         let fkey = FlightKey::of(req, shape);
         match self.hub.join_or_lead(fkey.clone(), Arc::clone(&req.input)) {
-            Role::Follower(flight) => self.follow(&flight, submitted, deadline),
-            Role::Leader(flight) => match self.realize_admitted(req, &key, submitted, deadline) {
-                Ok(Realized {
-                    output,
-                    cold_compile,
-                    counters,
-                }) => {
-                    self.hub.conclude(&fkey);
-                    // The count is frozen by `conclude`: nothing joins a
-                    // flight that has left the map.
-                    let followers = flight.followers.load(Ordering::Relaxed);
-                    let output = if followers == 0 {
-                        // Fast path — nobody coalesced; the realization is
-                        // handed over without a copy, exactly as with
-                        // coalescing off.
-                        self.attach(output)
-                    } else {
-                        let shared = Arc::new(self.attach(output));
-                        self.hub.publish(
-                            &flight,
-                            Ok(FlightShared {
-                                output: Arc::clone(&shared),
-                                counters,
-                            }),
-                        );
-                        self.copy_output(&shared)
-                    };
-                    Ok(Response {
+            Role::Follower(flight) => {
+                self.follow(&flight, submitted, deadline, trace.as_deref_mut())
+            }
+            Role::Leader(flight) => {
+                let led =
+                    self.realize_admitted(req, &key, submitted, deadline, trace.as_deref_mut());
+                match led {
+                    Ok(Realized {
                         output,
-                        latency: self.clock.now().saturating_sub(submitted),
                         cold_compile,
                         counters,
-                        coalesced: false,
-                    })
-                }
-                Err(e) => {
-                    self.hub.conclude(&fkey);
-                    if flight.followers.load(Ordering::Relaxed) > 0 {
-                        self.hub.publish(&flight, Err(e.clone()));
+                    }) => {
+                        self.hub.conclude(&fkey);
+                        // The count is frozen by `conclude`: nothing joins a
+                        // flight that has left the map.
+                        let followers = flight.followers.load(Ordering::Relaxed);
+                        let output = if followers == 0 {
+                            // Fast path — nobody coalesced; the realization is
+                            // handed over without a copy, exactly as with
+                            // coalescing off.
+                            self.attach(output)
+                        } else {
+                            let shared = Arc::new(self.attach(output));
+                            self.hub.publish(
+                                &flight,
+                                Ok(FlightShared {
+                                    output: Arc::clone(&shared),
+                                    counters,
+                                }),
+                            );
+                            self.copy_output(&shared)
+                        };
+                        Ok(Response {
+                            output,
+                            latency: self.clock.now().saturating_sub(submitted),
+                            cold_compile,
+                            counters,
+                            coalesced: false,
+                        })
                     }
-                    Err(e)
+                    Err(e) => {
+                        self.hub.conclude(&fkey);
+                        if flight.followers.load(Ordering::Relaxed) > 0 {
+                            self.hub.publish(&flight, Err(e.clone()));
+                        }
+                        Err(e)
+                    }
                 }
-            },
+            }
         }
     }
 
@@ -802,6 +908,7 @@ impl PipelineServer {
         key: &ProgramKey,
         submitted: Duration,
         deadline: Option<Duration>,
+        mut trace: Option<&mut ReqTrace>,
     ) -> ServeResult<Realized> {
         let slot = match self.admission.acquire(req.priority, deadline) {
             Ok(slot) => slot,
@@ -813,12 +920,19 @@ impl PipelineServer {
             }
             Err(AdmitError::Expired) => return Err(self.deadline_exceeded(submitted)),
         };
+        if let Some(t) = trace.as_deref_mut() {
+            t.admitted = Some(self.clock.now());
+        }
         let guard = SlotGuard {
             admission: &self.admission,
             slot: Some(slot),
         };
 
         let (entry, cold) = self.cache.get_or_compile(key)?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.compiled = Some(self.clock.now());
+            t.cache_hit = !cold;
+        }
         if deadline_passed(deadline, self.clock.now()) {
             // The compile consumed the budget: the entry is cached for the
             // next attempt, but realizing now would arrive too late.
@@ -860,6 +974,9 @@ impl PipelineServer {
         let realization = realizer
             .realize_into(output)
             .map_err(|e| ServeError::Exec(e.to_string()))?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.realized = Some(self.clock.now());
+        }
         let mut counters = realization.counters;
         if output_hit {
             counters.pool_hits += 1;
@@ -890,6 +1007,7 @@ impl PipelineServer {
         flight: &Flight,
         submitted: Duration,
         deadline: Option<Duration>,
+        trace: Option<&mut ReqTrace>,
     ) -> ServeResult<Response> {
         self.coalesce_waiting.fetch_add(1, Ordering::Relaxed);
         let shared = {
@@ -905,6 +1023,9 @@ impl PipelineServer {
             }
         };
         self.coalesce_waiting.fetch_sub(1, Ordering::Relaxed);
+        if let Some(t) = trace {
+            t.realized = Some(self.clock.now());
+        }
         let shared = shared?;
         let output = self.copy_output(&shared.output);
         self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -972,6 +1093,25 @@ impl PipelineServer {
             latency: self.latency.snapshot(),
             pool: self.buffer_pool.stats(),
         }
+    }
+
+    /// Exports everything collected in the process-global trace sink as
+    /// chrome://tracing JSON — request-lifecycle spans from this server
+    /// (pid 2) alongside any compile-telemetry spans (pid 1). Tracing must
+    /// have been enabled via [`halide_trace::set_enabled`]; with it off the
+    /// export is an empty (but valid) trace.
+    pub fn trace_export(&self) -> String {
+        halide_trace::export_json()
+    }
+
+    /// The build cost of every compiled artifact currently resident in the
+    /// program cache, keyed by [`ProgramKey`] and sorted most expensive
+    /// first — what each entry cost to lower + compile, i.e. the latency a
+    /// cold request would pay if it were evicted.
+    pub fn compile_costs(&self) -> Vec<(ProgramKey, Duration)> {
+        let mut costs = self.cache.compile_costs();
+        costs.sort_by_key(|(_, cost)| std::cmp::Reverse(*cost));
+        costs
     }
 
     /// Forgets recorded latencies (for phase-separated benchmarking; the
@@ -1316,7 +1456,10 @@ mod tests {
         for resp in &responses {
             assert_eq!(resp.output.to_f64_vec(), reference, "fan-out diverged");
         }
-        assert_eq!(responses.iter().filter(|r| r.coalesced).count(), CLIENTS - 1);
+        assert_eq!(
+            responses.iter().filter(|r| r.coalesced).count(),
+            CLIENTS - 1
+        );
 
         let stats = server.stats();
         assert_eq!(stats.requests, CLIENTS as u64);
@@ -1394,6 +1537,85 @@ mod tests {
             server.stats().concurrency_limit,
             server.concurrency_limit() as u64
         );
+    }
+
+    // ---- request-lifecycle tracing ----------------------------------------
+
+    /// Request spans are recorded against the injectable clock: a request
+    /// that waits in the admission queue for exactly 7 virtual milliseconds
+    /// produces a `queued` span of exactly 7 ms, and its `request` umbrella
+    /// covers it.
+    #[test]
+    fn request_spans_follow_the_manual_clock() {
+        let clock = Clock::manual();
+        let server = Arc::new(PipelineServer::with_registry(
+            ServeConfig {
+                clock: clock.clone(),
+                ..ServeConfig::default()
+            },
+            Registry::with_paper_apps(),
+        ));
+        halide_trace::set_enabled(true);
+        server.pause();
+        let client = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.call(&blur_request(64, 32)))
+        };
+        while server.queued() != 1 {
+            std::thread::yield_now();
+        }
+        clock.advance(Duration::from_millis(7));
+        server.resume();
+        client.join().unwrap().unwrap();
+
+        let events = halide_trace::global().events();
+        let queued: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.name == "queued" && e.pid == halide_trace::PID_SERVE && e.dur_ns == 7_000_000
+            })
+            .collect();
+        assert_eq!(queued.len(), 1, "exactly one 7ms queued span");
+        let tid = queued[0].tid;
+        // The request umbrella on the same lane spans at least the queueing,
+        // reports the app, and records a successful outcome.
+        let umbrella = events
+            .iter()
+            .find(|e| e.name == "request" && e.tid == tid)
+            .expect("request umbrella span");
+        assert!(umbrella.dur_ns >= 7_000_000);
+        assert!(umbrella.args.iter().any(|(k, v)| k == "app" && v == "Blur"));
+        assert!(umbrella
+            .args
+            .iter()
+            .any(|(k, v)| k == "outcome" && v == "ok"));
+        // The phase spans within the lane tile it without gaps: queued ends
+        // where compile begins, compile where realize begins.
+        let phase = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.name == name && e.tid == tid)
+                .unwrap_or_else(|| panic!("missing {name} span"))
+        };
+        let (q, c, r) = (phase("queued"), phase("compile"), phase("realize"));
+        assert_eq!(q.ts_ns + q.dur_ns, c.ts_ns);
+        assert_eq!(c.ts_ns + c.dur_ns, r.ts_ns);
+        assert!(c.args.iter().any(|(k, v)| k == "cache" && v == "miss"));
+    }
+
+    /// The cache's compile-cost surface reports each resident artifact once,
+    /// keyed by its ProgramKey, with the cost the cold request paid.
+    #[test]
+    fn compile_costs_report_resident_artifacts() {
+        let server = PipelineServer::new(ServeConfig::default());
+        assert!(server.compile_costs().is_empty());
+        server.call(&blur_request(64, 32)).unwrap();
+        server.call(&blur_request(96, 32)).unwrap();
+        let costs = server.compile_costs();
+        assert_eq!(costs.len(), 2);
+        assert!(costs.iter().all(|(k, _)| k.app == AppKind::Blur));
+        assert!(costs[0].1 >= costs[1].1, "sorted most expensive first");
+        assert!(costs.iter().all(|(_, c)| *c > Duration::ZERO));
     }
 
     /// Raising the limit dispatches already-queued waiters.

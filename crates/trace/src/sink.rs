@@ -1,0 +1,513 @@
+//! Ring-buffered trace sink with a chrome://tracing JSON exporter.
+//!
+//! Events are stored as *complete* events (`"ph":"X"`: a start timestamp
+//! plus a duration) rather than begin/end pairs, so an exported trace can
+//! never contain orphaned begin or end markers — the failure mode the CI
+//! schema check guards against.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// `pid` used for compile-side spans (lowering, optimizer passes,
+/// realize-side profiling) whose timestamps come from `Instant`.
+pub const PID_COMPILE: u32 = 1;
+
+/// `pid` used for serve request-lifecycle spans whose timestamps come
+/// from the server's injectable `Clock` (a different timebase, so they
+/// get their own process row in the viewer).
+pub const PID_SERVE: u32 = 2;
+
+/// Default ring capacity: oldest events are dropped beyond this.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One complete trace event (chrome://tracing `"ph":"X"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name, e.g. `"lower/vectorize"` or `"request blur/tuned"`.
+    pub name: String,
+    /// Category, e.g. `"compile"`, `"serve"`, `"profile"`.
+    pub cat: &'static str,
+    /// Start timestamp in nanoseconds (timebase depends on `pid`).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Process row in the viewer ([`PID_COMPILE`] or [`PID_SERVE`]).
+    pub pid: u32,
+    /// Thread / request row within the process row.
+    pub tid: u64,
+    /// Key/value arguments shown when the span is selected.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// Builds a bare compile-side event with no args.
+    pub fn complete(name: impl Into<String>, cat: &'static str, ts_ns: u64, dur_ns: u64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat,
+            ts_ns,
+            dur_ns,
+            pid: PID_COMPILE,
+            tid: current_tid(),
+            args: Vec::new(),
+        }
+    }
+}
+
+/// A ring-buffered event sink, disabled by default.
+///
+/// When disabled, [`TraceSink::record`] is a single relaxed atomic load.
+/// When enabled, events are pushed into a bounded ring under a mutex;
+/// once full the oldest events are dropped (and counted).
+pub struct TraceSink {
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl TraceSink {
+    /// Creates a disabled sink with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a disabled sink holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            enabled: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Turns collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the sink is currently collecting.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one event (dropped silently when the sink is disabled).
+    pub fn record(&self, event: TraceEvent) {
+        if !self.enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Number of events evicted from the ring since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every event currently in the ring (oldest first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Discards all collected events.
+    pub fn clear(&self) {
+        self.ring.lock().unwrap().clear();
+    }
+
+    /// Exports the ring as a chrome://tracing JSON object.
+    ///
+    /// Timestamps are emitted in microseconds (the chrome trace unit)
+    /// with nanosecond precision preserved in the fraction. Two metadata
+    /// events name the process rows. The output always passes
+    /// [`validate_json_syntax`].
+    pub fn export_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(256 + events.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_COMPILE},\"tid\":0,\"args\":{{\"name\":\"compile+exec\"}}}}"
+        ));
+        out.push_str(&format!(
+            ",{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_SERVE},\"tid\":0,\"args\":{{\"name\":\"serve\"}}}}"
+        ));
+        for e in &events {
+            out.push_str(",{\"name\":\"");
+            escape_into(&e.name, &mut out);
+            out.push_str("\",\"cat\":\"");
+            escape_into(e.cat, &mut out);
+            out.push_str(&format!(
+                "\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{}",
+                e.ts_ns as f64 / 1000.0,
+                e.dur_ns as f64 / 1000.0,
+                e.pid,
+                e.tid
+            ));
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, &mut out);
+                    out.push_str("\":\"");
+                    escape_into(v, &mut out);
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Returns a small stable integer id for the current thread, used as the
+/// chrome trace `tid`.
+pub fn current_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+// ---------------------------------------------------------------------------
+// Trace-file validation (used by the CI schema check).
+// ---------------------------------------------------------------------------
+
+/// Validates an exported trace against the chrome://tracing schema:
+/// syntactically well-formed JSON, a top-level `traceEvents` array, and
+/// every event an object with a `name`, a known phase, and (for complete
+/// events) non-negative `ts`/`dur`. Since the exporter only emits
+/// complete (`"X"`) and metadata (`"M"`) events, a passing trace cannot
+/// contain orphaned begin/end markers.
+///
+/// Returns the number of events on success.
+pub fn validate_json_syntax(json: &str) -> Result<usize, String> {
+    let value = JsonParser::new(json).parse_document()?;
+    let JsonValue::Object(top) = value else {
+        return Err("top level is not an object".into());
+    };
+    let Some(JsonValue::Array(events)) =
+        top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
+    else {
+        return Err("missing traceEvents array".into());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let JsonValue::Object(fields) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |k: &str| fields.iter().find(|(fk, _)| fk == k).map(|(_, v)| v);
+        match get("name") {
+            Some(JsonValue::String(n)) if !n.is_empty() => {}
+            _ => return Err(format!("event {i} has no name")),
+        }
+        let ph = match get("ph") {
+            Some(JsonValue::String(p)) => p.clone(),
+            _ => return Err(format!("event {i} has no phase")),
+        };
+        match ph.as_str() {
+            "M" => {}
+            "X" => {
+                for key in ["ts", "dur"] {
+                    match get(key) {
+                        Some(JsonValue::Number(n)) if *n >= 0.0 && n.is_finite() => {}
+                        _ => return Err(format!("event {i} has invalid {key}")),
+                    }
+                }
+            }
+            // Begin/end/async phases would need pairing; the exporter
+            // never emits them, so their presence is a schema violation.
+            other => return Err(format!("event {i} has unsupported phase {other:?}")),
+        }
+    }
+    Ok(events.len())
+}
+
+enum JsonValue {
+    Null,
+    Bool,
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<JsonValue, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool),
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad unicode escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                }
+                _ => {
+                    // Re-assemble UTF-8 multibyte sequences byte-by-byte.
+                    let len = match b {
+                        0x00..=0x7f => 0,
+                        0xc0..=0xdf => 1,
+                        0xe0..=0xef => 2,
+                        _ => 3,
+                    };
+                    let start = self.pos - 1;
+                    self.pos += len;
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("bad utf-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected , or ] at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected , or }} at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let sink = TraceSink::with_capacity(2);
+        sink.set_enabled(true);
+        for i in 0..5 {
+            sink.record(TraceEvent::complete(format!("e{i}"), "t", i, 1));
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "e3");
+        assert_eq!(events[1].name, "e4");
+        assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn export_round_trips_through_validator() {
+        let sink = TraceSink::new();
+        sink.set_enabled(true);
+        let mut e = TraceEvent::complete("needs \"escaping\"\n", "test", 1234, 5678);
+        e.args = vec![("app".into(), "blur".into()), ("n".into(), "3".into())];
+        sink.record(e);
+        sink.record(TraceEvent::complete("plain", "test", 9999, 0));
+        let json = sink.export_json();
+        let n = validate_json_syntax(&json).expect("exported trace must validate");
+        // 2 recorded events + 2 process_name metadata events.
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json_syntax("not json").is_err());
+        assert!(validate_json_syntax("{}").is_err());
+        assert!(validate_json_syntax("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert!(
+            validate_json_syntax("{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":1}]}")
+                .is_err()
+        );
+        assert!(validate_json_syntax(
+            "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":1,\"dur\":-2}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validator_accepts_minimal_complete_event() {
+        let ok = "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0.5,\"dur\":2}]}";
+        assert_eq!(validate_json_syntax(ok), Ok(1));
+    }
+
+    #[test]
+    fn tids_are_stable_per_thread() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, other);
+    }
+}

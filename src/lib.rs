@@ -18,6 +18,9 @@
 //! * [`pipelines`] — the paper's benchmark applications (Sec. 6);
 //! * [`serve`] — the compile-once / realize-many pipeline server (program
 //!   cache, buffer pooling, bounded concurrent admission);
+//! * [`trace`] — observability: the sampling per-Func profiler, compile
+//!   telemetry, request tracing, and the chrome://tracing exporter (see
+//!   `docs/observability.md`);
 //! * [`ir`] and [`runtime`] — the underlying IR and runtime substrates.
 //!
 //! # Quickstart: the two-stage blur of Sec. 3.1
@@ -73,6 +76,7 @@ pub use halide_pipelines as pipelines;
 pub use halide_runtime as runtime;
 pub use halide_schedule as schedule;
 pub use halide_serve as serve;
+pub use halide_trace as trace;
 
 pub use halide_autotune::{Autotuner, TuneOptions};
 pub use halide_exec::{Realization, Realizer};

@@ -319,7 +319,10 @@ fn eviction_and_shedding_churn_never_corrupts_results() {
     assert_eq!(ok + overloaded + shed, (THREADS * ROUNDS) as u64);
     assert_eq!(stats.requests, ok);
     assert_eq!(stats.rejected, overloaded);
-    assert!(stats.shed >= shed, "every local shed is counted by the server");
+    assert!(
+        stats.shed >= shed,
+        "every local shed is counted by the server"
+    );
     assert!(ok > 0, "some requests must get through the churn");
     assert!(
         stats.cached_programs <= 2,
@@ -334,5 +337,8 @@ fn eviction_and_shedding_churn_never_corrupts_results() {
         stats.cold_compiles,
         stats.evicted_programs
     );
-    assert!(stats.cold_compiles > 3, "evicted programs recompile on reuse");
+    assert!(
+        stats.cold_compiles > 3,
+        "evicted programs recompile on reuse"
+    );
 }
